@@ -1,0 +1,186 @@
+//! Least-squares fitting, for extracting scaling exponents from measured
+//! curves (the Chuang–Sirbu `m^0.8` comparison of Figs 1 and 4).
+
+/// An ordinary least-squares line fit `y ≈ slope·x + intercept`.
+///
+/// ```
+/// use mcast_analysis::fit::linear_fit;
+/// let pts: Vec<(f64, f64)> = (0..5).map(|i| (i as f64, 2.0 * i as f64 + 1.0)).collect();
+/// let fit = linear_fit(&pts).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r2: f64,
+    /// Standard error of the slope (`NaN` with fewer than three points).
+    pub slope_std_err: f64,
+}
+
+/// Fit a line through `(x, y)` points. Returns `None` with fewer than two
+/// points or zero x-variance.
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mx).powi(2)).sum();
+    let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    let syy: f64 = points.iter().map(|p| (p.1 - my).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r2 = if syy == 0.0 {
+        1.0 // a constant-y dataset is fit perfectly by the horizontal line
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    // Standard error of the slope: sqrt(residual variance / Sxx).
+    let slope_std_err = if points.len() >= 3 {
+        let rss: f64 = points
+            .iter()
+            .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+            .sum();
+        (rss / (n - 2.0) / sxx).sqrt()
+    } else {
+        f64::NAN
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r2,
+        slope_std_err,
+    })
+}
+
+/// A power-law fit `y ≈ prefactor · x^exponent` obtained by a line fit in
+/// log-log space.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerLawFit {
+    /// The scaling exponent (the Chuang–Sirbu law predicts ≈ 0.8).
+    pub exponent: f64,
+    /// Multiplicative prefactor.
+    pub prefactor: f64,
+    /// R² of the log-log line fit.
+    pub r2: f64,
+}
+
+/// Fit `y = a·x^b` through strictly positive points. Non-positive points
+/// are skipped; returns `None` if fewer than two remain.
+pub fn power_law_fit(points: &[(f64, f64)]) -> Option<PowerLawFit> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.0 > 0.0 && p.1 > 0.0)
+        .map(|p| (p.0.ln(), p.1.ln()))
+        .collect();
+    let line = linear_fit(&logs)?;
+    Some(PowerLawFit {
+        exponent: line.slope,
+        prefactor: line.intercept.exp(),
+        r2: line.r2,
+    })
+}
+
+/// Evaluate a fitted power law.
+impl PowerLawFit {
+    /// `prefactor · x^exponent`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.prefactor * x.powf(self.exponent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 - 2.0)).collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 2.0).abs() < 1e-12);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_r2_below_one() {
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let x = i as f64;
+                (x, 2.0 * x + if i % 2 == 0 { 1.0 } else { -1.0 })
+            })
+            .collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope - 2.0).abs() < 0.05);
+        assert!(fit.r2 < 1.0 && fit.r2 > 0.95);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(linear_fit(&[]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0)]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none()); // zero x-variance
+        let horizontal = linear_fit(&[(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)]).unwrap();
+        assert_eq!(horizontal.slope, 0.0);
+        assert_eq!(horizontal.r2, 1.0);
+    }
+
+    #[test]
+    fn exact_power_law_recovered() {
+        let pts: Vec<(f64, f64)> = (1..40)
+            .map(|i| {
+                let x = i as f64;
+                (x, 2.5 * x.powf(0.8))
+            })
+            .collect();
+        let fit = power_law_fit(&pts).unwrap();
+        assert!((fit.exponent - 0.8).abs() < 1e-10);
+        assert!((fit.prefactor - 2.5).abs() < 1e-9);
+        assert!((fit.eval(10.0) - 2.5 * 10f64.powf(0.8)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_law_skips_nonpositive_points() {
+        let pts = vec![
+            (0.0, 1.0),
+            (-1.0, 2.0),
+            (1.0, 2.0),
+            (2.0, 2.0f64.powf(1.5) * 2.0),
+            (4.0, 4.0f64.powf(1.5) * 2.0),
+        ];
+        let fit = power_law_fit(&pts).unwrap();
+        assert!((fit.exponent - 1.5).abs() < 1e-9);
+        assert!(power_law_fit(&[(0.0, 1.0), (-2.0, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn kary_l_of_m_fits_near_chuang_sirbu() {
+        // The paper's Fig 4 claim, as a numeric check: the k-ary L(m)/D
+        // curve fits a power law with exponent in the 0.8 neighbourhood.
+        let (k, d) = (2.0, 14);
+        let ms: Vec<f64> = (0..28)
+            .map(|i| 1.5f64.powi(i))
+            .take_while(|&m| m < 0.5 * crate::kary::leaf_count(k, d))
+            .collect();
+        let pts: Vec<(f64, f64)> = ms
+            .iter()
+            .map(|&m| (m, crate::nm::l_of_m_leaves(k, d, m) / d as f64))
+            .collect();
+        let fit = power_law_fit(&pts).unwrap();
+        assert!(
+            (0.7..0.95).contains(&fit.exponent),
+            "exponent {}",
+            fit.exponent
+        );
+        assert!(fit.r2 > 0.97, "r2 {}", fit.r2);
+    }
+}

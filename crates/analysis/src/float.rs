@@ -1,0 +1,89 @@
+//! Numerically stable floating-point helpers.
+//!
+//! The paper's formulas are full of terms like `(1 − k^{−l})^n` with
+//! `k^{−l}` down at 1e−6 and `n` up at 1e7; naive evaluation loses all
+//! precision. Everything here routes through `ln_1p`/`exp_m1`.
+
+/// `(1 − q)^n` for `0 ≤ q ≤ 1`, any real `n ≥ 0`, computed as
+/// `exp(n · ln(1 − q))` via `ln_1p` so tiny `q` keeps full precision.
+#[inline]
+pub fn pow_one_minus(q: f64, n: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&q), "q = {q}");
+    debug_assert!(n >= 0.0, "n = {n}");
+    if q >= 1.0 {
+        return if n == 0.0 { 1.0 } else { 0.0 };
+    }
+    (n * (-q).ln_1p()).exp()
+}
+
+/// `1 − (1 − q)^n`, the "link is hit by at least one of n receivers"
+/// probability, computed as `−exp_m1(n·ln_1p(−q))` so small results keep
+/// precision.
+#[inline]
+pub fn one_minus_pow_one_minus(q: f64, n: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&q), "q = {q}");
+    if q >= 1.0 {
+        return if n == 0.0 { 0.0 } else { 1.0 };
+    }
+    -(n * (-q).ln_1p()).exp_m1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_naive_where_naive_is_fine() {
+        for q in [0.1, 0.5, 0.9] {
+            for n in [0.0, 1.0, 2.0, 7.0] {
+                let naive = (1.0f64 - q).powf(n);
+                assert!((pow_one_minus(q, n) - naive).abs() < 1e-14);
+                assert!((one_minus_pow_one_minus(q, n) - (1.0 - naive)).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn keeps_precision_for_tiny_q() {
+        // (1 − 1e-12)^1e6 ≈ 1 − 1e-6; naive powf would return exactly 1 or
+        // garbage in the last digits.
+        let q = 1e-12;
+        let n = 1e6;
+        let got = one_minus_pow_one_minus(q, n);
+        let expect = 1e-6; // n·q to first order
+        assert!((got - expect).abs() / expect < 1e-6, "got {got}");
+    }
+
+    #[test]
+    fn boundary_cases() {
+        assert_eq!(pow_one_minus(1.0, 5.0), 0.0);
+        assert_eq!(pow_one_minus(1.0, 0.0), 1.0);
+        assert_eq!(pow_one_minus(0.0, 5.0), 1.0);
+        assert_eq!(one_minus_pow_one_minus(0.0, 5.0), 0.0);
+        assert_eq!(one_minus_pow_one_minus(1.0, 3.0), 1.0);
+        assert_eq!(one_minus_pow_one_minus(1.0, 0.0), 0.0);
+        assert_eq!(pow_one_minus(0.3, 0.0), 1.0);
+    }
+
+    #[test]
+    fn complementarity() {
+        for q in [1e-9, 1e-4, 0.2, 0.7] {
+            for n in [1.0, 10.0, 1e5] {
+                let a = pow_one_minus(q, n);
+                let b = one_minus_pow_one_minus(q, n);
+                assert!((a + b - 1.0).abs() < 1e-12, "q={q} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_n() {
+        let q = 1e-3;
+        let mut prev = 0.0;
+        for n in [1.0, 10.0, 100.0, 1000.0, 10_000.0] {
+            let v = one_minus_pow_one_minus(q, n);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+}

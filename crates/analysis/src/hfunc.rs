@@ -1,0 +1,126 @@
+//! The scaling function `h(x)` (Eqs 11–12 and Fig 2 of the paper).
+//!
+//! `h(x) ≡ −ln(−x · (M ln M) · Δ²L̂(xM) / ū)` is built only from the
+//! curvature of `L̂`, the network size `M`, and the average unicast path
+//! length `ū` — nothing refers to the tree degree explicitly. The paper's
+//! key observation is that for k-ary trees `h(x) ≈ x·k^{−1/2}`: degree
+//! only rescales the *slope*, never the form, which is the paper's
+//! candidate explanation for the universality of the Chuang–Sirbu law.
+
+use crate::kary;
+
+/// `h(x)` for a k-ary tree with leaf receivers, computed from the exact
+/// `Δ²L̂` of Eq 6 (`ū = D` for leaf receivers).
+///
+/// Defined for `0 < x ≤ 1` (the paper notes it diverges as `x → 0`, where
+/// there is less than one receiver).
+pub fn h_exact(k: f64, depth: u32, x: f64) -> f64 {
+    assert!(x > 0.0 && x <= 1.0, "x must be in (0, 1], got {x}");
+    let m = kary::leaf_count(k, depth);
+    let n = x * m;
+    let d2 = kary::delta2_l_hat_leaves(k, depth, n);
+    let ubar = depth as f64;
+    let inner = -x * (m * m.ln()) * d2 / ubar;
+    debug_assert!(inner > 0.0, "Δ²L̂ must be negative");
+    -inner.ln()
+}
+
+/// Eq 12: the predicted linear form `h(x) ≈ x·k^{−1/2}`.
+pub fn h_predicted(k: f64, x: f64) -> f64 {
+    assert!(k >= 1.0);
+    x / k.sqrt()
+}
+
+/// Eq 9's direct asymptotic for `Δ²L̂(xM)`:
+/// `−e^{−x k^{−1/2}} / ((xM + 1) ln k)`.
+pub fn delta2_asymptote(k: f64, depth: u32, x: f64) -> f64 {
+    assert!(k > 1.0, "needs ln k > 0");
+    let m = kary::leaf_count(k, depth);
+    -(-x / k.sqrt()).exp() / ((x * m + 1.0) * k.ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_tree_h_is_nearly_linear() {
+        // Fig 2(a): for k = 2 the exact h(x) hugs x·k^{-1/2} once
+        // x ≳ 1/D. Check at D = 14 over the plotted range.
+        let (k, d) = (2.0, 14);
+        for x in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let exact = h_exact(k, d, x);
+            let pred = h_predicted(k, x);
+            assert!(
+                (exact - pred).abs() < 0.08,
+                "x={x}: exact {exact} vs predicted {pred}"
+            );
+        }
+    }
+
+    #[test]
+    fn k4_oscillates_but_tracks_the_trend() {
+        // Fig 2(b): k = 4 oscillates early then converges to the line.
+        let (k, d) = (4.0, 9);
+        for x in [0.5, 0.7, 0.9] {
+            let exact = h_exact(k, d, x);
+            let pred = h_predicted(k, x);
+            assert!(
+                (exact - pred).abs() < 0.15,
+                "x={x}: exact {exact} vs predicted {pred}"
+            );
+        }
+    }
+
+    #[test]
+    fn slope_scales_as_inverse_sqrt_k() {
+        // The degree only rescales h: slope(k=2)/slope(k=4) ≈ sqrt(4/2).
+        // Higher k oscillates (as the paper notes), so fit the long-range
+        // trend by least squares rather than a two-point difference.
+        let slope = |k: f64, d: u32| {
+            let pts: Vec<(f64, f64)> = (3..=19)
+                .map(|i| {
+                    let x = i as f64 * 0.05;
+                    (x, h_exact(k, d, x))
+                })
+                .collect();
+            crate::fit::linear_fit(&pts).unwrap().slope
+        };
+        let s2 = slope(2.0, 16);
+        let s4 = slope(4.0, 8);
+        let ratio = s2 / s4;
+        let expected = 2.0f64.sqrt();
+        assert!((ratio - expected).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn delta2_asymptote_matches_exact_at_moderate_x() {
+        let (k, d) = (2.0, 17);
+        for x in [0.01, 0.05, 0.2] {
+            let m = kary::leaf_count(k, d);
+            let exact = kary::delta2_l_hat_leaves(k, d, x * m);
+            let asym = delta2_asymptote(k, d, x);
+            let rel = ((exact - asym) / asym).abs();
+            assert!(
+                rel < 0.25,
+                "x={x}: exact {exact} vs asym {asym} (rel {rel})"
+            );
+        }
+    }
+
+    #[test]
+    fn h_diverges_for_tiny_x() {
+        // Below one receiver (x < 1/M) the definition blows up; just check
+        // the trend: h grows as x shrinks through the tiny regime.
+        let (k, d) = (2.0, 10);
+        let h_small = h_exact(k, d, 1e-4);
+        let h_tiny = h_exact(k, d, 1e-6);
+        assert!(h_tiny > h_small);
+    }
+
+    #[test]
+    #[should_panic]
+    fn x_out_of_range_panics() {
+        h_exact(2.0, 10, 1.5);
+    }
+}

@@ -1,0 +1,250 @@
+//! Exact and asymptotic k-ary tree formulas (§3 of the paper).
+//!
+//! For a k-ary tree of depth `D` with the source at the root and `n`
+//! receivers drawn with replacement from the `M = k^D` leaves:
+//!
+//! * Eq 4: `L̂(n) = Σ_{l=1}^{D} k^l (1 − (1 − k^{−l})^n)`;
+//! * Eq 5: `ΔL̂(n) = Σ_l (1 − k^{−l})^n`;
+//! * Eq 6: `Δ²L̂(n) = −Σ_l k^{−l} (1 − k^{−l})^n`;
+//! * Eq 21 (receivers at all non-root sites): the per-link hit probability
+//!   becomes `(subtree sites)/(all sites)`;
+//! * Eqs 15–17: `L̂(n) ≈ n (c − ln(n/M)/ln k)` — linear with a logarithmic
+//!   correction, **not** a power law.
+//!
+//! `k` is accepted as a real number ≥ 1 because the paper treats it as a
+//! continuous parameter ("we can vary it continuously towards the limit of
+//! k = 1", footnote 5).
+
+use crate::float::{one_minus_pow_one_minus, pow_one_minus};
+
+/// Panic unless the (k, depth) pair is usable.
+fn check_params(k: f64, depth: u32) {
+    assert!(
+        k >= 1.0 && k.is_finite(),
+        "k must be finite and >= 1, got {k}"
+    );
+    assert!(depth >= 1, "depth must be at least 1");
+}
+
+/// Number of leaves `M = k^D`.
+pub fn leaf_count(k: f64, depth: u32) -> f64 {
+    check_params(k, depth);
+    k.powi(depth as i32)
+}
+
+/// Eq 4: exact expected delivery-tree size `L̂(n)` with receivers drawn
+/// with replacement from the leaves. `n` may be any non-negative real.
+///
+/// ```
+/// use mcast_analysis::kary::l_hat_leaves;
+/// // One receiver on a depth-10 binary tree: a root-to-leaf path.
+/// assert!((l_hat_leaves(2.0, 10, 1.0) - 10.0).abs() < 1e-12);
+/// // Saturation: every link of the tree, Σ 2^l = 2046.
+/// assert!((l_hat_leaves(2.0, 10, 1e9) - 2046.0).abs() < 1e-6);
+/// ```
+pub fn l_hat_leaves(k: f64, depth: u32, n: f64) -> f64 {
+    check_params(k, depth);
+    assert!(n >= 0.0, "n must be non-negative");
+    (1..=depth)
+        .map(|l| {
+            let kl = k.powi(l as i32);
+            kl * one_minus_pow_one_minus(1.0 / kl, n)
+        })
+        .sum()
+}
+
+/// Eq 5: the discrete derivative `ΔL̂(n) = L̂(n+1) − L̂(n)` in closed form.
+pub fn delta_l_hat_leaves(k: f64, depth: u32, n: f64) -> f64 {
+    check_params(k, depth);
+    (1..=depth)
+        .map(|l| pow_one_minus(1.0 / k.powi(l as i32), n))
+        .sum()
+}
+
+/// Eq 6: the second discrete derivative
+/// `Δ²L̂(n) = −Σ_l k^{−l}(1 − k^{−l})^n` (always negative: the marginal
+/// receiver adds ever fewer links).
+pub fn delta2_l_hat_leaves(k: f64, depth: u32, n: f64) -> f64 {
+    check_params(k, depth);
+    -(1..=depth)
+        .map(|l| {
+            let q = 1.0 / k.powi(l as i32);
+            q * pow_one_minus(q, n)
+        })
+        .sum::<f64>()
+}
+
+/// Eq 21: exact expected tree size with receivers drawn with replacement
+/// from **every non-root site**.
+///
+/// A receiver uses a specific level-`l` link iff it sits in the subtree
+/// under that link: `(sites in a depth-(D−l) subtree) / (all sites)`.
+pub fn l_hat_all_sites(k: f64, depth: u32, n: f64) -> f64 {
+    check_params(k, depth);
+    assert!(n >= 0.0, "n must be non-negative");
+    // Total non-root sites: Σ_{j=1}^{D} k^j.
+    let total_sites: f64 = (1..=depth).map(|j| k.powi(j as i32)).sum();
+    (1..=depth)
+        .map(|l| {
+            let kl = k.powi(l as i32);
+            // Sites at or below one level-l link: Σ_{j=0}^{D-l} k^j.
+            let subtree: f64 = (0..=(depth - l)).map(|j| k.powi(j as i32)).sum();
+            kl * one_minus_pow_one_minus(subtree / total_sites, n)
+        })
+        .sum()
+}
+
+/// Eqs 15–17: the asymptotic form `L̂(n)/n ≈ (1 − ln(n/M))/ln k`,
+/// expressed in `x = n/M`. Valid in the paper's regime `5 < n < M`
+/// (requires `k > 1`).
+pub fn l_hat_over_n_asymptote(k: f64, x: f64) -> f64 {
+    assert!(k > 1.0, "asymptote needs k > 1 (ln k in the denominator)");
+    assert!(x > 0.0, "x = n/M must be positive");
+    (1.0 - x.ln()) / k.ln()
+}
+
+/// The same asymptote as an absolute tree size, `n·(D + (1 − ln n)/ln k
+/// − D) + n·D`-form: `L̂(n) ≈ n((1 − ln(n/M))/ln k)` (Eq 17 with the
+/// additive constant fixed by `c = 1/ln k`).
+pub fn l_hat_asymptote(k: f64, depth: u32, n: f64) -> f64 {
+    let m = leaf_count(k, depth);
+    n * l_hat_over_n_asymptote(k, n / m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force Monte-Carlo-free reference: enumerate levels directly
+    /// with naive powf (valid for small n).
+    fn l_hat_naive(k: f64, depth: u32, n: f64) -> f64 {
+        (1..=depth)
+            .map(|l| {
+                let kl = k.powi(l as i32);
+                kl * (1.0 - (1.0 - 1.0 / kl).powf(n))
+            })
+            .sum()
+    }
+
+    #[test]
+    fn matches_naive_formula() {
+        for (k, d) in [(2.0, 5), (3.0, 4), (4.0, 3)] {
+            for n in [0.0, 1.0, 2.0, 10.0, 100.0] {
+                let a = l_hat_leaves(k, d, n);
+                let b = l_hat_naive(k, d, n);
+                assert!((a - b).abs() < 1e-9, "k={k} d={d} n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_values() {
+        // No receivers: empty tree. One receiver: a root-to-leaf path.
+        assert_eq!(l_hat_leaves(2.0, 10, 0.0), 0.0);
+        assert!((l_hat_leaves(2.0, 10, 1.0) - 10.0).abs() < 1e-12);
+        assert!((l_hat_all_sites(2.0, 10, 0.0)).abs() < 1e-12);
+        // Saturation: enormous n covers every link, Σ k^l.
+        let all_links: f64 = (1..=6).map(|l| 2.0f64.powi(l)).sum();
+        assert!((l_hat_leaves(2.0, 6, 1e9) - all_links).abs() < 1e-6);
+        assert!((l_hat_all_sites(2.0, 6, 1e9) - all_links).abs() < 1e-6);
+    }
+
+    #[test]
+    fn discrete_derivatives_are_consistent() {
+        // ΔL̂ and Δ²L̂ must equal the finite differences of L̂.
+        let (k, d) = (2.0, 12);
+        for n in [0.0, 1.0, 5.0, 50.0, 500.0] {
+            let l0 = l_hat_leaves(k, d, n);
+            let l1 = l_hat_leaves(k, d, n + 1.0);
+            let l2 = l_hat_leaves(k, d, n + 2.0);
+            let d1 = delta_l_hat_leaves(k, d, n);
+            let d2 = delta2_l_hat_leaves(k, d, n);
+            assert!((d1 - (l1 - l0)).abs() < 1e-8, "n={n}");
+            assert!((d2 - (l2 - 2.0 * l1 + l0)).abs() < 1e-8, "n={n}");
+        }
+    }
+
+    #[test]
+    fn derivative_signs() {
+        let (k, d) = (3.0, 8);
+        for n in [1.0, 10.0, 1000.0] {
+            assert!(delta_l_hat_leaves(k, d, n) > 0.0, "L̂ increases");
+            assert!(delta2_l_hat_leaves(k, d, n) < 0.0, "L̂ is concave");
+        }
+    }
+
+    #[test]
+    fn one_receiver_everywhere_model_is_mean_site_depth() {
+        // With n = 1 over all sites, E[L] = mean depth of a uniform site.
+        let (k, d) = (2.0, 4);
+        let total_sites: f64 = (1..=d).map(|j| 2.0f64.powi(j as i32)).sum();
+        let mean_depth: f64 = (1..=d)
+            .map(|j| j as f64 * 2.0f64.powi(j as i32))
+            .sum::<f64>()
+            / total_sites;
+        assert!((l_hat_all_sites(k, d, 1.0) - mean_depth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_sites_tree_is_smaller_than_leaves_tree() {
+        // Receivers spread over all levels hit short paths too, so the
+        // expected tree is smaller than the leaf-only tree at equal n.
+        let (k, d) = (2.0, 10);
+        for n in [4.0, 64.0, 1024.0] {
+            assert!(l_hat_all_sites(k, d, n) < l_hat_leaves(k, d, n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn asymptote_tracks_exact_in_linear_regime() {
+        // Paper: Eq 16 captures the behaviour "to within an additive
+        // constant" for 5 < n < M. Slope check: finite differences of
+        // L̂/n against x must match −1/ln k within a few percent.
+        let (k, d) = (2.0, 17);
+        let m = leaf_count(k, d);
+        let xs = [1e-4, 1e-3, 1e-2];
+        let mut prev: Option<(f64, f64)> = None;
+        for &x in &xs {
+            let n = x * m;
+            let y = l_hat_leaves(k, d, n) / n;
+            if let Some((px, py)) = prev {
+                let slope = (y - py) / (x.ln() - px.ln());
+                let predicted = -1.0 / k.ln();
+                assert!(
+                    (slope - predicted).abs() / predicted.abs() < 0.05,
+                    "slope {slope} vs {predicted}"
+                );
+            }
+            prev = Some((x, y));
+        }
+    }
+
+    #[test]
+    fn asymptote_helpers_agree() {
+        let (k, d) = (4.0, 9);
+        let m = leaf_count(k, d);
+        let n = 1e3;
+        let a = l_hat_asymptote(k, d, n);
+        let b = n * l_hat_over_n_asymptote(k, n / m);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn continuous_k_is_accepted() {
+        // Footnote 5: k is merely a parameter.
+        let v = l_hat_leaves(1.5, 6, 10.0);
+        assert!(v.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn k_below_one_rejected() {
+        l_hat_leaves(0.5, 3, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn asymptote_rejects_k_equal_one() {
+        l_hat_over_n_asymptote(1.0, 0.5);
+    }
+}

@@ -1,0 +1,35 @@
+//! Closed-form analysis from the paper.
+//!
+//! Section 3 of the paper derives exact and asymptotic expressions for the
+//! expected multicast tree size on k-ary trees; §4 generalises them to any
+//! network through its reachability function `S(r)`. This crate implements
+//! every formula the figures are built from:
+//!
+//! * [`float`] — numerically stable `(1 − q)^n` and friends;
+//! * [`kary`] — the exact expected tree size `L̂(n)` (Eq 4), its discrete
+//!   derivatives (Eqs 5–6), the all-sites variant (Eq 21), and the
+//!   asymptotic forms (Eqs 15–17);
+//! * [`nm`] — the occupancy conversion between `n` with-replacement draws
+//!   and `m` distinct sites (Eqs 1–2), and the distinct-receiver curve
+//!   `L(m)` (Eq 18);
+//! * [`hfunc`] — the scaling function `h(x)` (Eq 11) with its predicted
+//!   linear form `h(x) ≈ x·k^{−1/2}` (Eq 12);
+//! * [`reachability`] — tree-size predictions driven by a reachability
+//!   function: the synthetic families of §4.2–4.3 (exponential, power-law,
+//!   super-exponential) and empirical `S(r)`/`T(r)` profiles measured on
+//!   real graphs (Eqs 23 and 30);
+//! * [`fit`] — least-squares line and power-law fits with R², used to
+//!   extract "the" Chuang–Sirbu exponent from measured curves;
+//! * [`pricing`] — the Chuang–Sirbu tariff and cost-recovery analysis,
+//!   the application the scaling law was invented for.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fit;
+pub mod float;
+pub mod hfunc;
+pub mod kary;
+pub mod nm;
+pub mod pricing;
+pub mod reachability;

@@ -1,0 +1,208 @@
+//! The occupancy conversion between receiver models (Eqs 1–2, 18).
+//!
+//! Drawing `n` receivers with replacement from `M` sites yields on average
+//! `m̄ = M(1 − (1 − 1/M)^n)` distinct sites. The paper analyses `L̂(n)`
+//! (easier) and converts to the empirically relevant `L(m)` by inverting
+//! this relation: `n(m) = ln(1 − m/M) / ln(1 − 1/M)` (Eq 1 rearranged),
+//! giving `L(m) ≈ L̂(n(m))` (Eq 2) because the distinct-site count
+//! concentrates tightly around its mean for large `M`.
+
+use crate::float::one_minus_pow_one_minus;
+use crate::kary;
+
+/// Eq 1 forward: expected distinct sites from `n` with-replacement draws
+/// over `m_total` sites.
+pub fn expected_distinct(m_total: f64, n: f64) -> f64 {
+    assert!(m_total >= 1.0, "need at least one site");
+    assert!(n >= 0.0);
+    m_total * one_minus_pow_one_minus(1.0 / m_total, n)
+}
+
+/// Eq 1 inverted: with-replacement draws needed so the *expected* distinct
+/// count is `m`. Requires `0 ≤ m < m_total` (at `m = m_total` the inverse
+/// diverges).
+pub fn draws_for_distinct(m_total: f64, m: f64) -> f64 {
+    assert!(m_total >= 1.0);
+    assert!(
+        (0.0..m_total).contains(&m),
+        "m = {m} must lie in [0, M = {m_total})"
+    );
+    if m == 0.0 {
+        return 0.0;
+    }
+    // n = ln(1 − m/M) / ln(1 − 1/M); both logs via ln_1p.
+    (-m / m_total).ln_1p() / (-1.0 / m_total).ln_1p()
+}
+
+/// Eq 18 (via Eqs 2 and 4): the distinct-receiver tree size `L(m)` on a
+/// k-ary tree with leaf receivers, `0 ≤ m < M`.
+pub fn l_of_m_leaves(k: f64, depth: u32, m: f64) -> f64 {
+    let big_m = kary::leaf_count(k, depth);
+    kary::l_hat_leaves(k, depth, draws_for_distinct(big_m, m))
+}
+
+/// The limit form the paper uses (below Eq 1): with `x = n/M` fixed and
+/// `y = m̄/M`, `y = 1 − e^{−x}`.
+pub fn occupancy_limit(x: f64) -> f64 {
+    assert!(x >= 0.0);
+    -(-x).exp_m1()
+}
+
+/// Variance of the distinct-site count after `n` with-replacement draws
+/// over `m_total` sites (standard occupancy result):
+/// `Var = M(M−1)(1−2/M)^n + M(1−1/M)^n − M²(1−1/M)^{2n}`.
+///
+/// The paper leans on this variance being small relative to the mean —
+/// "the distribution of resulting m values is tightly centered around m̄"
+/// — which is what licenses approximating `L(m)` by `L̂(n(m))` (Eq 2).
+pub fn distinct_count_variance(m_total: f64, n: f64) -> f64 {
+    assert!(m_total >= 1.0);
+    assert!(n >= 0.0);
+    let m = m_total;
+    let p1 = crate::float::pow_one_minus(1.0 / m, n); // (1 − 1/M)^n
+    let p2 = if m >= 2.0 {
+        crate::float::pow_one_minus(2.0 / m, n) // (1 − 2/M)^n
+    } else {
+        0.0
+    };
+    // Guard against tiny negative values from cancellation.
+    (m * (m - 1.0) * p2 + m * p1 - m * m * p1 * p1).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_direct_formula() {
+        let m_total = 1000.0f64;
+        for n in [0.0, 1.0, 10.0, 500.0, 5000.0] {
+            let direct = m_total * (1.0 - (1.0 - 1.0 / m_total).powf(n));
+            assert!(
+                (expected_distinct(m_total, n) - direct).abs() < 1e-9,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let m_total = 4096.0;
+        for m in [1.0, 10.0, 100.0, 2048.0, 4000.0] {
+            let n = draws_for_distinct(m_total, m);
+            let back = expected_distinct(m_total, n);
+            assert!((back - m).abs() < 1e-6, "m={m}: back={back}");
+        }
+    }
+
+    #[test]
+    fn inverse_exceeds_m_due_to_collisions() {
+        // You always need at least m draws to see m distinct sites.
+        let m_total = 100.0;
+        for m in [5.0, 50.0, 90.0] {
+            let n = draws_for_distinct(m_total, m);
+            assert!(n >= m, "m={m} n={n}");
+        }
+        // And for m ≪ M, collisions are rare: n ≈ m.
+        let n = draws_for_distinct(1e6, 10.0);
+        assert!((n - 10.0).abs() < 0.01, "n={n}");
+    }
+
+    #[test]
+    fn boundaries() {
+        assert_eq!(draws_for_distinct(50.0, 0.0), 0.0);
+        assert_eq!(expected_distinct(50.0, 0.0), 0.0);
+        assert!((expected_distinct(50.0, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn saturated_inverse_panics() {
+        draws_for_distinct(10.0, 10.0);
+    }
+
+    #[test]
+    fn occupancy_limit_matches_finite_m() {
+        // y = 1 − e^{−x} is the large-M limit of m̄/M at fixed x = n/M.
+        let x = 0.7;
+        let y_limit = occupancy_limit(x);
+        let m_total = 1e7;
+        let y_finite = expected_distinct(m_total, x * m_total) / m_total;
+        assert!((y_limit - y_finite).abs() < 1e-6);
+        assert_eq!(occupancy_limit(0.0), 0.0);
+        assert!((occupancy_limit(1e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_boundary_cases() {
+        // n = 0 or 1: the distinct count is deterministic.
+        assert_eq!(distinct_count_variance(100.0, 0.0), 0.0);
+        assert!(distinct_count_variance(100.0, 1.0).abs() < 1e-9);
+        // Single site: always exactly one distinct site.
+        assert!(distinct_count_variance(1.0, 50.0).abs() < 1e-9);
+        // Saturation: enormous n pins the count at M.
+        assert!(distinct_count_variance(50.0, 1e9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn variance_matches_monte_carlo() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let (m_total, n) = (60usize, 90usize);
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        let trials = 20_000;
+        for t in 0..trials {
+            let mut seen = vec![false; m_total];
+            let mut distinct = 0.0;
+            for _ in 0..n {
+                let s = rng.gen_range(0..m_total);
+                if !seen[s] {
+                    seen[s] = true;
+                    distinct += 1.0;
+                }
+            }
+            let delta = distinct - mean;
+            mean += delta / (t + 1) as f64;
+            m2 += delta * (distinct - mean);
+        }
+        let sample_var = m2 / (trials - 1) as f64;
+        let predicted = distinct_count_variance(m_total as f64, n as f64);
+        assert!(
+            (sample_var - predicted).abs() / predicted < 0.1,
+            "MC {sample_var} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn concentration_improves_with_network_size() {
+        // The paper's Eq 2 justification: at fixed x = n/M, the relative
+        // spread std(m)/m̄ shrinks like 1/sqrt(M).
+        let x = 0.5;
+        let rel = |m_total: f64| {
+            let n = x * m_total;
+            distinct_count_variance(m_total, n).sqrt() / expected_distinct(m_total, n)
+        };
+        let small = rel(1e2);
+        let large = rel(1e6);
+        assert!(large < small / 50.0, "small {small} vs large {large}");
+    }
+
+    #[test]
+    fn l_of_m_interpolates_l_hat() {
+        // For m ≪ M, collisions are negligible so L(m) ≈ L̂(m).
+        let (k, d) = (2.0, 14);
+        let l_m = l_of_m_leaves(k, d, 10.0);
+        let l_hat = kary::l_hat_leaves(k, d, 10.0);
+        assert!((l_m - l_hat).abs() / l_hat < 1e-3, "{l_m} vs {l_hat}");
+        // For large m, L(m) > L̂(n = m): distinct receivers cover more.
+        let m = 10_000.0;
+        assert!(l_of_m_leaves(k, d, m) > kary::l_hat_leaves(k, d, m));
+    }
+
+    #[test]
+    fn l_of_m_single_receiver_is_depth() {
+        assert!((l_of_m_leaves(3.0, 7, 1.0) - 7.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,162 @@
+//! Multicast tariffs — the application behind the Chuang–Sirbu law.
+//!
+//! Chuang & Sirbu's original paper used `L(m) ∝ m^0.8` to price multicast
+//! "as a function of group size" without measuring each session's actual
+//! tree. This module models that: a [`Tariff`] maps a group size to a
+//! charge (in units of link-time, the resource the paper counts), and the
+//! comparison helpers quantify over/under-charging against measured tree
+//! sizes. The `pricing` example drives it end to end.
+
+use crate::fit::PowerLawFit;
+
+/// A pricing rule for a multicast session of `m` receivers.
+///
+/// ```
+/// use mcast_analysis::pricing::Tariff;
+/// let tariff = Tariff::chuang_sirbu(10.0); // u = 10 hops
+/// // A 100-receiver group pays 10·100^0.8 ≈ 398 link-units…
+/// assert!((tariff.charge(100) - 398.1).abs() < 1.0);
+/// // …far below the 1000 that per-receiver unicast would cost.
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Tariff {
+    /// Chuang–Sirbu: `ū · m^k` (they proposed k = 0.8).
+    PowerLaw {
+        /// Average unicast path length of the network.
+        unicast_mean: f64,
+        /// The scaling exponent (0.8 in the original proposal).
+        exponent: f64,
+    },
+    /// Per-receiver unicast pricing, `ū · m` — what multicast replaces.
+    Unicast {
+        /// Average unicast path length of the network.
+        unicast_mean: f64,
+    },
+    /// A flat session charge independent of group size.
+    Flat {
+        /// The charge.
+        price: f64,
+    },
+}
+
+impl Tariff {
+    /// The Chuang–Sirbu tariff with the canonical 0.8 exponent.
+    pub fn chuang_sirbu(unicast_mean: f64) -> Self {
+        Self::PowerLaw {
+            unicast_mean,
+            exponent: 0.8,
+        }
+    }
+
+    /// A power-law tariff calibrated from a measured fit.
+    pub fn from_fit(fit: &PowerLawFit, unicast_mean: f64) -> Self {
+        Self::PowerLaw {
+            unicast_mean,
+            exponent: fit.exponent,
+        }
+    }
+
+    /// The charge for a group of `m` receivers.
+    ///
+    /// # Panics
+    /// Panics if `m` is zero (no session).
+    pub fn charge(&self, m: usize) -> f64 {
+        assert!(m > 0, "a session needs at least one receiver");
+        match *self {
+            Self::PowerLaw {
+                unicast_mean,
+                exponent,
+            } => unicast_mean * (m as f64).powf(exponent),
+            Self::Unicast { unicast_mean } => unicast_mean * m as f64,
+            Self::Flat { price } => price,
+        }
+    }
+}
+
+/// How well a tariff recovers measured costs over a set of
+/// `(group size, measured tree links)` observations: returns
+/// `(mean charge/cost ratio, worst over- or under-charge factor)`.
+///
+/// A perfect tariff gives `(1.0, 1.0)`.
+pub fn cost_recovery(tariff: &Tariff, observations: &[(usize, f64)]) -> (f64, f64) {
+    assert!(!observations.is_empty(), "need observations");
+    let mut sum = 0.0;
+    let mut worst = 1.0f64;
+    for &(m, cost) in observations {
+        assert!(cost > 0.0, "costs must be positive");
+        let ratio = tariff.charge(m) / cost;
+        sum += ratio;
+        worst = worst.max(ratio.max(1.0 / ratio));
+    }
+    (sum / observations.len() as f64, worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nm;
+
+    #[test]
+    fn charges() {
+        let cs = Tariff::chuang_sirbu(10.0);
+        assert!((cs.charge(1) - 10.0).abs() < 1e-12);
+        assert!((cs.charge(100) - 10.0 * 100f64.powf(0.8)).abs() < 1e-9);
+        let uni = Tariff::Unicast { unicast_mean: 10.0 };
+        assert_eq!(uni.charge(100), 1000.0);
+        let flat = Tariff::Flat { price: 7.0 };
+        assert_eq!(flat.charge(1), 7.0);
+        assert_eq!(flat.charge(1000), 7.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_group_rejected() {
+        Tariff::chuang_sirbu(1.0).charge(0);
+    }
+
+    #[test]
+    fn chuang_sirbu_recovers_kary_costs_well() {
+        // Bill k-ary tree sessions with the 0.8 tariff: recovery should
+        // stay within a factor ~2 over three decades (the paper's whole
+        // point), while unicast pricing overcharges big groups badly.
+        let (k, d) = (2.0, 14u32);
+        let obs: Vec<(usize, f64)> = (0..14)
+            .map(|i| {
+                let m = 1usize << i;
+                (m, nm::l_of_m_leaves(k, d, m as f64))
+            })
+            .collect();
+        let cs = Tariff::chuang_sirbu(d as f64);
+        let (_, cs_worst) = cost_recovery(&cs, &obs);
+        assert!(cs_worst < 2.0, "Chuang-Sirbu worst factor {cs_worst}");
+
+        let uni = Tariff::Unicast {
+            unicast_mean: d as f64,
+        };
+        let (_, uni_worst) = cost_recovery(&uni, &obs);
+        assert!(uni_worst > 4.0, "unicast worst factor {uni_worst}");
+        assert!(uni_worst > cs_worst);
+    }
+
+    #[test]
+    fn calibrated_tariff_beats_the_canonical_exponent() {
+        let (k, d) = (4.0, 9u32);
+        let pts: Vec<(f64, f64)> = (0..16)
+            .map(|i| {
+                let m = (1.7f64).powi(i);
+                (m, nm::l_of_m_leaves(k, d, m) / d as f64)
+            })
+            .collect();
+        let fit = crate::fit::power_law_fit(&pts).unwrap();
+        let calibrated = Tariff::from_fit(&fit, d as f64 * fit.prefactor);
+        let obs: Vec<(usize, f64)> = (0..14)
+            .map(|i| {
+                let m = 1usize << i;
+                (m, nm::l_of_m_leaves(k, d, m as f64))
+            })
+            .collect();
+        let (_, worst_cal) = cost_recovery(&calibrated, &obs);
+        let (_, worst_cs) = cost_recovery(&Tariff::chuang_sirbu(d as f64), &obs);
+        assert!(worst_cal <= worst_cs + 0.05, "{worst_cal} vs {worst_cs}");
+    }
+}

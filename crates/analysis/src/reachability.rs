@@ -1,0 +1,223 @@
+//! Tree-size predictions driven by reachability functions (§4 of the
+//! paper).
+//!
+//! For a network whose reachability function is `S(r)` (sites exactly `r`
+//! hops from the source), the paper approximates the expected tree size:
+//!
+//! * Eq 23 (receivers at distance-`D` "leaves"):
+//!   `L̂(n) = Σ_{r=1}^{D} S(r)·(1 − (1 − 1/S(r))^n)`;
+//! * Eq 30 (receivers at all sites):
+//!   `L̂(n) = Σ_{l=1}^{D} S(l)·(1 − (1 − (T(D) − T(l−1))/(S(l)·T(D)))^n)`
+//!   with `T(r) = Σ_{j≤r} S(j)`.
+//!
+//! §4.2–4.3 contrast three synthetic families — exponential `e^{λr}`,
+//! power-law `r^λ`, super-exponential `e^{λr²}` — normalised so `S(D)`
+//! agrees; only the exponential family preserves the k-ary asymptotic
+//! form. [`SyntheticReachability`] reproduces that comparison (Fig 8), and
+//! [`empirical_leaves`]/[`empirical_all_sites`] plug in measured profiles from real graphs (Fig 6's
+//! overlay).
+
+use crate::float::one_minus_pow_one_minus;
+use mcast_topology::reachability::Reachability;
+
+/// The synthetic reachability families of §4.2–4.3.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SyntheticReachability {
+    /// `S(r) ∝ e^{λr}` — random graphs, k-ary trees (λ = ln k).
+    Exponential {
+        /// Growth rate λ.
+        lambda: f64,
+    },
+    /// `S(r) ∝ r^λ` — slower than exponential (spatial/mesh-like growth).
+    PowerLaw {
+        /// Exponent λ.
+        lambda: f64,
+    },
+    /// `S(r) ∝ e^{λr²}` — faster than exponential.
+    SuperExponential {
+        /// Growth rate λ.
+        lambda: f64,
+    },
+}
+
+impl SyntheticReachability {
+    /// Unnormalised shape value at hop `r ≥ 1`.
+    fn shape(&self, r: u32) -> f64 {
+        let r = f64::from(r);
+        match *self {
+            Self::Exponential { lambda } => (lambda * r).exp(),
+            Self::PowerLaw { lambda } => r.powf(lambda),
+            Self::SuperExponential { lambda } => (lambda * r * r).exp(),
+        }
+    }
+
+    /// `S(r)` for `r = 1..=depth`, scaled so `S(depth) = s_at_depth`
+    /// (the paper normalises "so that S(D) is the same for all three
+    /// networks").
+    pub fn profile(&self, depth: u32, s_at_depth: f64) -> Vec<f64> {
+        assert!(depth >= 1);
+        assert!(s_at_depth > 0.0);
+        let scale = s_at_depth / self.shape(depth);
+        (1..=depth).map(|r| scale * self.shape(r)).collect()
+    }
+}
+
+/// Eq 23: expected tree size with `n` with-replacement receivers at the
+/// `S(D)` distance-`D` sites, for an arbitrary `S(r)` profile
+/// (`s[r-1] = S(r)`).
+pub fn l_hat_leaves_from_profile(s: &[f64], n: f64) -> f64 {
+    assert!(!s.is_empty(), "profile must cover at least one hop");
+    assert!(n >= 0.0);
+    s.iter()
+        .map(|&sr| {
+            assert!(sr >= 1.0, "S(r) must be at least 1, got {sr}");
+            sr * one_minus_pow_one_minus(1.0 / sr, n)
+        })
+        .sum()
+}
+
+/// Eq 30: expected tree size with `n` with-replacement receivers over all
+/// sites, for an arbitrary `S(r)` profile.
+pub fn l_hat_all_sites_from_profile(s: &[f64], n: f64) -> f64 {
+    assert!(!s.is_empty());
+    assert!(n >= 0.0);
+    let total: f64 = s.iter().sum();
+    let mut tail = total; // T(D) − T(l−1) for l = 1 (source not a site)
+    let mut sum = 0.0;
+    for &sl in s {
+        assert!(sl >= 1.0, "S(l) must be at least 1");
+        let hit = tail / (sl * total);
+        sum += sl * one_minus_pow_one_minus(hit.min(1.0), n);
+        tail -= sl;
+    }
+    sum
+}
+
+/// Eq 23 driven by a measured per-source [`Reachability`] profile
+/// (`S(1..=ecc)` of a real graph).
+pub fn empirical_leaves(profile: &Reachability, n: f64) -> f64 {
+    let s: Vec<f64> = (1..=profile.eccentricity())
+        .map(|r| profile.s(r).max(1) as f64)
+        .collect();
+    l_hat_leaves_from_profile(&s, n)
+}
+
+/// Eq 30 driven by a measured per-source [`Reachability`] profile.
+pub fn empirical_all_sites(profile: &Reachability, n: f64) -> f64 {
+    let s: Vec<f64> = (1..=profile.eccentricity())
+        .map(|r| profile.s(r).max(1) as f64)
+        .collect();
+    l_hat_all_sites_from_profile(&s, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kary;
+
+    #[test]
+    fn exponential_profile_reproduces_kary_formula() {
+        // S(r) = k^r is exactly the k-ary tree: Eq 23 must equal Eq 4.
+        let (k, d) = (2.0f64, 10u32);
+        let s: Vec<f64> = (1..=d).map(|r| k.powi(r as i32)).collect();
+        for n in [1.0, 10.0, 300.0] {
+            let a = l_hat_leaves_from_profile(&s, n);
+            let b = kary::l_hat_leaves(k, d, n);
+            assert!((a - b).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn all_sites_profile_reproduces_kary_eq21() {
+        let (k, d) = (3.0f64, 6u32);
+        let s: Vec<f64> = (1..=d).map(|r| k.powi(r as i32)).collect();
+        for n in [1.0, 25.0, 1000.0] {
+            let a = l_hat_all_sites_from_profile(&s, n);
+            let b = kary::l_hat_all_sites(k, d, n);
+            assert!((a - b).abs() < 1e-9, "n={n}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn profiles_normalise_at_depth() {
+        let d = 12;
+        let target = 4096.0;
+        for model in [
+            SyntheticReachability::Exponential {
+                lambda: 2.0f64.ln(),
+            },
+            SyntheticReachability::PowerLaw { lambda: 3.0 },
+            SyntheticReachability::SuperExponential { lambda: 0.06 },
+        ] {
+            let p = model.profile(d, target);
+            assert_eq!(p.len(), d as usize);
+            assert!((p[d as usize - 1] - target).abs() < 1e-9, "{model:?}");
+            // Profiles are increasing in r for these parameters.
+            assert!(p.windows(2).all(|w| w[0] <= w[1]), "{model:?}");
+        }
+    }
+
+    #[test]
+    fn saturation_covers_all_links() {
+        let s = vec![2.0, 4.0, 8.0, 16.0];
+        let total: f64 = s.iter().sum();
+        assert!((l_hat_leaves_from_profile(&s, 1e9) - total).abs() < 1e-6);
+        assert!((l_hat_all_sites_from_profile(&s, 1e9) - total).abs() < 1e-6);
+        assert_eq!(l_hat_leaves_from_profile(&s, 0.0), 0.0);
+    }
+
+    #[test]
+    fn single_receiver_all_sites_is_mean_depth() {
+        // n = 1: E[L] = Σ_l l·S(l)/T(D) — the mean site depth.
+        let s = vec![3.0, 9.0, 27.0];
+        let total: f64 = s.iter().sum();
+        let mean_depth = (1.0 * 3.0 + 2.0 * 9.0 + 3.0 * 27.0) / total;
+        let got = l_hat_all_sites_from_profile(&s, 1.0);
+        assert!((got - mean_depth).abs() < 1e-9, "{got} vs {mean_depth}");
+    }
+
+    #[test]
+    fn figure8_ordering() {
+        // Fig 8: at equal S(D) and moderate n, the per-receiver tree cost
+        // L̂(n)/(n·D) of the power-law network exceeds the exponential
+        // one, which exceeds the super-exponential one (most receivers
+        // live near the top in power-law growth ⇒ longer disjoint paths;
+        // the paper's plot shows the power-law curve highest).
+        let d = 20u32;
+        let target = 2.0f64.powi(20);
+        let exp = SyntheticReachability::Exponential {
+            lambda: 2.0f64.ln(),
+        }
+        .profile(d, target);
+        let pow = SyntheticReachability::PowerLaw { lambda: 3.0 }.profile(d, target);
+        let sup = SyntheticReachability::SuperExponential {
+            lambda: 2.0f64.ln() / 20.0,
+        }
+        .profile(d, target);
+        let n = 1e4;
+        let l_exp = l_hat_leaves_from_profile(&exp, n);
+        let l_pow = l_hat_leaves_from_profile(&pow, n);
+        let l_sup = l_hat_leaves_from_profile(&sup, n);
+        assert!(l_pow > l_exp, "power {l_pow} vs exp {l_exp}");
+        assert!(l_exp > l_sup, "exp {l_exp} vs super {l_sup}");
+    }
+
+    #[test]
+    fn empirical_wrappers_match_manual_profile() {
+        use mcast_topology::graph::from_edges;
+        // Depth-3 binary tree: S = [1, 2, 4, 8] from the root.
+        let edges: Vec<_> = (1..15u32).map(|i| ((i - 1) / 2, i)).collect();
+        let g = from_edges(15, &edges);
+        let prof = Reachability::from_source(&g, 0);
+        let manual = vec![2.0, 4.0, 8.0];
+        for n in [1.0, 6.0, 100.0] {
+            assert!(
+                (empirical_leaves(&prof, n) - l_hat_leaves_from_profile(&manual, n)).abs() < 1e-12
+            );
+            assert!(
+                (empirical_all_sites(&prof, n) - l_hat_all_sites_from_profile(&manual, n)).abs()
+                    < 1e-12
+            );
+        }
+    }
+}

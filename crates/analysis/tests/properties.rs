@@ -1,0 +1,139 @@
+//! Property-based tests for the closed-form analysis.
+
+use mcast_analysis::fit::{linear_fit, power_law_fit};
+use mcast_analysis::float::{one_minus_pow_one_minus, pow_one_minus};
+use mcast_analysis::kary;
+use mcast_analysis::nm;
+use mcast_analysis::reachability::{
+    l_hat_all_sites_from_profile, l_hat_leaves_from_profile, SyntheticReachability,
+};
+use proptest::prelude::*;
+
+fn k_and_depth() -> impl Strategy<Value = (f64, u32)> {
+    (1.1f64..6.0, 2u32..12)
+}
+
+proptest! {
+    #[test]
+    fn float_helpers_are_consistent((q, n) in (1e-9f64..0.999, 0.0f64..1e6)) {
+        let a = pow_one_minus(q, n);
+        let b = one_minus_pow_one_minus(q, n);
+        prop_assert!((a + b - 1.0).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&a));
+        prop_assert!((0.0..=1.0).contains(&b));
+    }
+
+    #[test]
+    fn l_hat_is_monotone_and_bounded((k, d) in k_and_depth(), n0 in 0.0f64..1e5, dn in 0.1f64..1e4) {
+        let lo = kary::l_hat_leaves(k, d, n0);
+        let hi = kary::l_hat_leaves(k, d, n0 + dn);
+        prop_assert!(hi >= lo, "L̂ must grow with n: {lo} vs {hi}");
+        // Bounded by the total link count Σ k^l.
+        let all: f64 = (1..=d).map(|l| k.powi(l as i32)).sum();
+        prop_assert!(hi <= all + 1e-9);
+        // And bounded below by a single path once n ≥ 1.
+        if n0 + dn >= 1.0 {
+            prop_assert!(hi >= d as f64 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn discrete_derivatives_match_differences((k, d) in k_and_depth(), n in 0.0f64..1e4) {
+        let l0 = kary::l_hat_leaves(k, d, n);
+        let l1 = kary::l_hat_leaves(k, d, n + 1.0);
+        let l2 = kary::l_hat_leaves(k, d, n + 2.0);
+        let d1 = kary::delta_l_hat_leaves(k, d, n);
+        let d2 = kary::delta2_l_hat_leaves(k, d, n);
+        prop_assert!((d1 - (l1 - l0)).abs() < 1e-6 * (1.0 + d1.abs()));
+        prop_assert!((d2 - (l2 - 2.0 * l1 + l0)).abs() < 1e-6 * (1.0 + d2.abs()));
+        prop_assert!(d1 >= 0.0);
+        prop_assert!(d2 <= 0.0);
+    }
+
+    #[test]
+    fn all_sites_never_exceeds_leaves((k, d) in k_and_depth(), n in 1.0f64..1e4) {
+        // Leaf receivers are maximally deep, so their expected tree
+        // dominates the all-sites one at any n.
+        let leaves = kary::l_hat_leaves(k, d, n);
+        let all = kary::l_hat_all_sites(k, d, n);
+        prop_assert!(all <= leaves + 1e-9, "{all} > {leaves}");
+        prop_assert!(all >= 0.0);
+    }
+
+    #[test]
+    fn occupancy_round_trip(m_total in 2.0f64..1e6, frac in 0.001f64..0.999) {
+        let m = frac * m_total;
+        let n = nm::draws_for_distinct(m_total, m);
+        let back = nm::expected_distinct(m_total, n);
+        prop_assert!((back - m).abs() < 1e-6 * m.max(1.0), "m {m} back {back}");
+        prop_assert!(n >= m - 1e-9, "collisions mean n >= m");
+    }
+
+    #[test]
+    fn occupancy_variance_nonnegative_and_small(m_total in 2.0f64..1e5, n in 0.0f64..1e6) {
+        let var = nm::distinct_count_variance(m_total, n);
+        prop_assert!(var >= 0.0);
+        // Var of a sum of M indicator variables is at most M²/4.
+        prop_assert!(var <= m_total * m_total / 4.0 + 1e-6);
+    }
+
+    #[test]
+    fn profile_formulas_match_kary_for_exponential((kk, d) in (2u32..5, 2u32..9), n in 0.0f64..1e5) {
+        let k = kk as f64;
+        let s: Vec<f64> = (1..=d).map(|r| k.powi(r as i32)).collect();
+        let a = l_hat_leaves_from_profile(&s, n);
+        let b = kary::l_hat_leaves(k, d, n);
+        prop_assert!((a - b).abs() < 1e-6 * (1.0 + b), "{a} vs {b}");
+        let c = l_hat_all_sites_from_profile(&s, n);
+        let e = kary::l_hat_all_sites(k, d, n);
+        prop_assert!((c - e).abs() < 1e-6 * (1.0 + e), "{c} vs {e}");
+    }
+
+    #[test]
+    fn synthetic_profiles_normalise(target in 10.0f64..1e7, d in 2u32..25, lam in 0.2f64..2.0) {
+        for model in [
+            SyntheticReachability::Exponential { lambda: lam },
+            SyntheticReachability::PowerLaw { lambda: lam * 3.0 },
+            SyntheticReachability::SuperExponential { lambda: lam / d as f64 },
+        ] {
+            let p = model.profile(d, target);
+            prop_assert_eq!(p.len(), d as usize);
+            prop_assert!((p[d as usize - 1] - target).abs() < 1e-6 * target);
+            prop_assert!(p.iter().all(|&v| v > 0.0 && v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_lines(slope in -10.0f64..10.0, intercept in -10.0f64..10.0) {
+        let pts: Vec<(f64, f64)> = (0..12).map(|i| {
+            let x = i as f64 * 0.7;
+            (x, slope * x + intercept)
+        }).collect();
+        let fit = linear_fit(&pts).unwrap();
+        prop_assert!((fit.slope - slope).abs() < 1e-8);
+        prop_assert!((fit.intercept - intercept).abs() < 1e-8);
+        prop_assert!(fit.r2 > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn power_fit_recovers_exact_laws(expo in -2.0f64..2.0, pre in 0.1f64..10.0) {
+        let pts: Vec<(f64, f64)> = (1..14).map(|i| {
+            let x = 1.5f64.powi(i);
+            (x, pre * x.powf(expo))
+        }).collect();
+        let fit = power_law_fit(&pts).unwrap();
+        prop_assert!((fit.exponent - expo).abs() < 1e-8);
+        prop_assert!((fit.prefactor - pre).abs() < 1e-6 * pre);
+    }
+
+    #[test]
+    fn l_of_m_dominates_l_hat_at_equal_count((k, d) in k_and_depth(), frac in 0.01f64..0.9) {
+        // Distinct receivers cover at least as much tree as the same
+        // number of with-replacement draws.
+        let m_total = kary::leaf_count(k, d);
+        let m = (frac * m_total).max(1.0);
+        let distinct = nm::l_of_m_leaves(k, d, m);
+        let with_repl = kary::l_hat_leaves(k, d, m);
+        prop_assert!(distinct >= with_repl - 1e-9, "{distinct} < {with_repl}");
+    }
+}

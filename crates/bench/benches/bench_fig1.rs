@@ -1,0 +1,27 @@
+//! Figure 1 kernel: the measured `L(m)/ū` ratio curve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcast_bench::{bench_measure_config, bench_run_config};
+use mcast_experiments::networks;
+use mcast_experiments::runner::{log_grid, parallel_ratio_curve};
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_run_config();
+    let mcfg = bench_measure_config();
+    let r100 = networks::r100(&cfg);
+    let ts1000 = networks::ts1000(&cfg);
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    g.bench_function("ratio_curve/r100", |b| {
+        let ms = log_grid(50, 4);
+        b.iter(|| parallel_ratio_curve(&r100.graph, &ms, &mcfg, &cfg))
+    });
+    g.bench_function("ratio_curve/ts1000", |b| {
+        let ms = log_grid(500, 4);
+        b.iter(|| parallel_ratio_curve(&ts1000.graph, &ms, &mcfg, &cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

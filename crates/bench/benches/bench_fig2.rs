@@ -1,0 +1,26 @@
+//! Figure 2 kernel: the exact scaling function h(x).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcast_analysis::hfunc::h_exact;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.bench_function("h_exact/k2_D17_sweep", |b| {
+        b.iter(|| {
+            (1..=50)
+                .map(|i| h_exact(2.0, 17, i as f64 * 0.02))
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("h_exact/k4_D9_sweep", |b| {
+        b.iter(|| {
+            (1..=50)
+                .map(|i| h_exact(4.0, 9, i as f64 * 0.02))
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

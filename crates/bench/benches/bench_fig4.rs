@@ -1,0 +1,24 @@
+//! Figure 4 kernel: L(m) via the occupancy conversion (Eq 18).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcast_analysis::nm::l_of_m_leaves;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.bench_function("l_of_m_leaves/k2_D17_45pts", |b| {
+        b.iter(|| {
+            let mut m = 1.0f64;
+            let step = (0.99f64 * 131072.0).powf(1.0 / 44.0);
+            let mut acc = 0.0;
+            for _ in 0..45 {
+                acc += l_of_m_leaves(2.0, 17, m);
+                m *= step;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

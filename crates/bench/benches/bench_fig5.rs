@@ -1,0 +1,27 @@
+//! Figure 5 kernel: the exact Eq 21 curve, receivers at all sites.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcast_analysis::kary::{l_hat_all_sites, leaf_count};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    for (k, d) in [(2.0f64, 17u32), (4.0, 9)] {
+        let m = leaf_count(k, d);
+        g.bench_function(format!("l_hat_all_sites/k{k}_D{d}_49pts"), |b| {
+            b.iter(|| {
+                let mut x = 1e-6;
+                let step = (1.0f64 / 1e-6).powf(1.0 / 48.0);
+                let mut acc = 0.0;
+                for _ in 0..49 {
+                    acc += l_hat_all_sites(k, d, x * m);
+                    x *= step;
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Figure 6 kernel: the measured normalised tree-size curve L(n)/(n u).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcast_bench::{bench_measure_config, bench_run_config};
+use mcast_experiments::networks;
+use mcast_experiments::runner::{log_grid, parallel_lhat_curve};
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_run_config();
+    let mcfg = bench_measure_config();
+    let ts1000 = networks::ts1000(&cfg);
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("lhat_curve/ts1000", |b| {
+        let ns = log_grid(1000, 4);
+        b.iter(|| parallel_lhat_curve(&ts1000.graph, &ns, &mcfg, &cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

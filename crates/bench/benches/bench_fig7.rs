@@ -1,0 +1,25 @@
+//! Figure 7 kernel: averaged reachability T(r).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcast_experiments::figures::table1::spread_sources;
+use mcast_experiments::networks;
+use mcast_experiments::RunConfig;
+use mcast_topology::reachability::AverageReachability;
+
+fn bench(c: &mut Criterion) {
+    let cfg = RunConfig::fast();
+    let ts1000 = networks::ts1000(&cfg);
+    let ti5000 = networks::ti5000(&cfg);
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    for net in [&ts1000, &ti5000] {
+        let sources = spread_sources(&net.graph, 64);
+        g.bench_function(format!("avg_reachability/{}", net.name), |b| {
+            b.iter(|| AverageReachability::over_sources(&net.graph, &sources))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 8 kernel: Eq 23 over synthetic reachability profiles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcast_analysis::reachability::{l_hat_leaves_from_profile, SyntheticReachability};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    let families = [
+        (
+            "exp",
+            SyntheticReachability::Exponential {
+                lambda: 2.0f64.ln(),
+            },
+        ),
+        ("pow", SyntheticReachability::PowerLaw { lambda: 3.0 }),
+        (
+            "super",
+            SyntheticReachability::SuperExponential {
+                lambda: 2.0f64.ln() / 20.0,
+            },
+        ),
+    ];
+    for (name, fam) in families {
+        let profile = fam.profile(20, 2.0f64.powi(20));
+        g.bench_function(format!("l_hat_profile/{name}_51pts"), |b| {
+            b.iter(|| {
+                let mut n = 1.0f64;
+                let step = 1e10f64.powf(1.0 / 50.0);
+                let mut acc = 0.0;
+                for _ in 0..51 {
+                    acc += l_hat_leaves_from_profile(&profile, n);
+                    n *= step;
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 9 kernel: the affinity Metropolis chain.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcast_gen::kary::KaryTree;
+use mcast_tree::affinity::{mean_tree_size, AffinityConfig, RootedTree};
+
+fn bench(c: &mut Criterion) {
+    let graph = KaryTree::new(2, 10).unwrap().into_graph();
+    let tree = RootedTree::from_graph(&graph, 0);
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    for beta in [0.0f64, 1.0, -1.0] {
+        g.bench_function(format!("mcmc/D10_n100_beta{beta}"), |b| {
+            let cfg = AffinityConfig {
+                beta,
+                burn_in_sweeps: 10,
+                sample_sweeps: 20,
+                seed: 1999,
+            };
+            b.iter(|| mean_tree_size(&tree, 100, &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Substrate performance: BFS, delivery-tree sizing, generators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcast_experiments::networks;
+use mcast_experiments::RunConfig;
+use mcast_gen::power_law::{power_law, PowerLawParams};
+use mcast_gen::tiers::{tiers, TiersParams};
+use mcast_gen::transit_stub::{transit_stub, TransitStubParams};
+use mcast_topology::bfs::Bfs;
+use mcast_topology::spdag::SpDag;
+use mcast_tree::affinity_general::DistanceMatrix;
+use mcast_tree::dynamics::{simulate_churn, ChurnConfig, LifetimeShape};
+use mcast_tree::policy::{sizer_with_policy, TieBreak};
+use mcast_tree::sampling::{with_replacement, ReceiverPool};
+use mcast_tree::steiner::SteinerHeuristic;
+use mcast_tree::DeliverySizer;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let cfg = RunConfig::fast();
+    let ts1000 = networks::ts1000(&cfg).graph;
+    let as_map = networks::as_map(&cfg).graph;
+
+    let mut g = c.benchmark_group("substrates");
+    g.bench_function("bfs/ts1000", |b| {
+        let mut bfs = Bfs::new(&ts1000);
+        let mut s = 0u32;
+        b.iter(|| {
+            bfs.run_scratch(s % 1000);
+            s = s.wrapping_add(37);
+            bfs.scratch_order().len()
+        })
+    });
+    g.bench_function("bfs/as4902", |b| {
+        let mut bfs = Bfs::new(&as_map);
+        let mut s = 0u32;
+        b.iter(|| {
+            bfs.run_scratch(s % 4902);
+            s = s.wrapping_add(37);
+            bfs.scratch_order().len()
+        })
+    });
+    g.bench_function("delivery/ts1000_m100", |b| {
+        let mut sizer = DeliverySizer::from_graph(&ts1000, 0);
+        let pool = ReceiverPool::AllExceptSource {
+            nodes: 1000,
+            source: 0,
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut buf = Vec::new();
+        b.iter(|| {
+            with_replacement(&pool, 100, &mut rng, &mut buf);
+            sizer.tree_links(&buf)
+        })
+    });
+    g.bench_function("spdag/ts1000", |b| {
+        let mut s = 0u32;
+        b.iter(|| {
+            let dag = SpDag::new(&ts1000, s % 1000);
+            s = s.wrapping_add(37);
+            dag.predecessors(999).len()
+        })
+    });
+    g.bench_function("steiner/ts1000_m20", |b| {
+        let mut steiner = SteinerHeuristic::new(&ts1000);
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| {
+            let receivers: Vec<u32> = (0..20).map(|_| rng.gen_range(1..1000u32)).collect();
+            steiner.tree_links(0, &receivers)
+        })
+    });
+    g.bench_function("policy/random_tiebreak_ts1000", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| sizer_with_policy(&ts1000, 0, TieBreak::Random, &mut rng).tree_links(&[999]))
+    });
+    g.sample_size(10);
+    g.bench_function("churn/ts1000_5k_events", |b| {
+        b.iter(|| {
+            simulate_churn(
+                &ts1000,
+                0,
+                &ChurnConfig {
+                    arrival_rate: 20.0,
+                    mean_lifetime: 1.0,
+                    lifetime_shape: LifetimeShape::Exponential,
+                    warmup_events: 500,
+                    sample_events: 4500,
+                    seed: 4,
+                },
+            )
+            .mean_links
+        })
+    });
+    g.bench_function("distance_matrix/ts1000", |b| {
+        b.iter(|| DistanceMatrix::new(&ts1000).get(0, 999))
+    });
+    g.bench_function("gen/transit_stub_1000", |b| {
+        b.iter(|| {
+            transit_stub(TransitStubParams::ts1000(), &mut SmallRng::seed_from_u64(1)).unwrap()
+        })
+    });
+    g.bench_function("gen/tiers_5000", |b| {
+        b.iter(|| tiers(TiersParams::ti5000(), &mut SmallRng::seed_from_u64(1)).unwrap())
+    });
+    g.bench_function("gen/power_law_4902", |b| {
+        b.iter(|| power_law(PowerLawParams::as_map(), &mut SmallRng::seed_from_u64(1)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

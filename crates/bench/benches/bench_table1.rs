@@ -1,0 +1,24 @@
+//! Table 1 kernel: per-network statistics (path stats + reachability).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcast_experiments::figures::table1::network_stats;
+use mcast_experiments::networks::{self, NetworkKind};
+use mcast_experiments::RunConfig;
+
+fn bench(c: &mut Criterion) {
+    let cfg = RunConfig::fast();
+    let ts1000 = networks::ts1000(&cfg);
+    let arpa = networks::arpa(&cfg);
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("network_stats/ts1000", |b| {
+        b.iter(|| network_stats("ts1000", NetworkKind::Generated, &ts1000.graph))
+    });
+    g.bench_function("network_stats/ARPA", |b| {
+        b.iter(|| network_stats("ARPA", NetworkKind::Real, &arpa.graph))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Shared helpers for the benchmark targets.
+//!
+//! Each `bench_*` target regenerates (a scaled-down kernel of) one paper
+//! artefact so `cargo bench` both exercises every experiment path and
+//! tracks the performance of the underlying substrates. The full-size
+//! artefacts are produced by the `mcs` binary (`mcast-experiments`), not
+//! by Criterion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mcast_experiments::RunConfig;
+use mcast_tree::MeasureConfig;
+
+/// The benchmark-scale run configuration: single-digit sample counts so
+/// Criterion's repeated runs stay quick.
+pub fn bench_run_config() -> RunConfig {
+    RunConfig {
+        threads: 1,
+        ..RunConfig::fast()
+    }
+}
+
+/// Benchmark-scale measurement counts.
+pub fn bench_measure_config() -> MeasureConfig {
+    MeasureConfig {
+        sources: 4,
+        receiver_sets: 4,
+        seed: 1999,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_configs_are_small() {
+        assert_eq!(bench_run_config().threads, 1);
+        assert!(bench_measure_config().sources <= 8);
+    }
+}

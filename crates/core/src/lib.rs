@@ -1,0 +1,58 @@
+//! # multicast-scaling
+//!
+//! A from-scratch reproduction of *"Scaling of Multicast Trees: Comments
+//! on the Chuang–Sirbu Scaling Law"* (Phillips, Shenker, Tangmunarunkit —
+//! SIGCOMM 1999): simulation and analysis of the number of links `L(m)`
+//! in a source-specific multicast delivery tree reaching `m` random
+//! receivers, the empirical Chuang–Sirbu law `L(m) ∝ m^0.8`, and the
+//! paper's explanation of its apparent universality through the
+//! asymptotics of k-ary trees and exponential reachability functions.
+//!
+//! This crate is the facade: it re-exports every subsystem and offers the
+//! compact [`ScalingStudy`] API for the common "hand me a topology, tell
+//! me how multicast scales on it" workflow.
+//!
+//! ## Subsystems
+//!
+//! * [`topology`] — graph substrate: CSR graphs, BFS, components,
+//!   metrics, reachability functions `S(r)`/`T(r)`;
+//! * [`gen`] — topology generators: k-ary trees, flat random, Waxman,
+//!   transit-stub, TIERS, power-law, MBone-like overlays, embedded ARPA;
+//! * [`tree`] — delivery-tree sizing, receiver sampling, the paper's
+//!   measurement methodology, and the §5 affinity model;
+//! * [`analysis`] — the paper's closed forms: Eq 4/5/6/21 exact k-ary
+//!   sizes, `h(x)`, asymptotics, reachability-driven predictions, fits;
+//! * [`experiments`] — runnable reproductions of Table 1 and Figs 1–9
+//!   (also exposed via the `mcs` binary).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mcast_core::ScalingStudy;
+//! use mcast_core::gen::transit_stub::{transit_stub, TransitStubParams};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // A 1000-node transit-stub topology, as in the paper's ts1000.
+//! let graph = transit_stub(TransitStubParams::ts1000(),
+//!                          &mut StdRng::seed_from_u64(7)).unwrap();
+//!
+//! let study = ScalingStudy::new(graph).with_samples(8, 8);
+//! let fit = study.scaling_exponent();
+//! // The Chuang–Sirbu law: the exponent lands near 0.8.
+//! assert!(fit.exponent > 0.6 && fit.exponent < 0.95);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mcast_analysis as analysis;
+pub use mcast_experiments as experiments;
+pub use mcast_gen as gen;
+pub use mcast_topology as topology;
+pub use mcast_tree as tree;
+
+pub mod prelude;
+mod study;
+
+pub use study::{ReachabilityClass, ScalingStudy};

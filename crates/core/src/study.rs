@@ -1,0 +1,232 @@
+//! The high-level [`ScalingStudy`] API.
+
+use mcast_analysis::fit::{power_law_fit, PowerLawFit};
+use mcast_analysis::reachability::empirical_all_sites;
+use mcast_topology::components::Components;
+use mcast_topology::reachability::AverageReachability;
+use mcast_topology::{Graph, NodeId};
+use mcast_tree::measure::{lhat_curve, ratio_curve, CurvePoint, MeasureConfig};
+
+/// The §4 dichotomy: does the network's reachable ball grow exponentially?
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReachabilityClass {
+    /// `ln T(r)` is close to linear before saturation — the paper's
+    /// asymptotic form `L̂(n) ≈ n(c − ln(n/M)/ln k)` should apply.
+    Exponential,
+    /// `ln T(r)` is visibly concave — expect deviations (ARPA, MBone,
+    /// ti5000 territory).
+    SubExponential,
+}
+
+/// One-stop measurement object: wraps a connected topology together with
+/// sampling parameters and exposes the paper's measured quantities.
+///
+/// See the crate-level docs for a complete example.
+#[derive(Clone, Debug)]
+pub struct ScalingStudy {
+    graph: Graph,
+    cfg: MeasureConfig,
+}
+
+impl ScalingStudy {
+    /// Wrap a topology with the paper's default sample counts
+    /// (100 sources × 100 receiver sets) and a fixed seed.
+    ///
+    /// # Panics
+    /// Panics if the graph is empty or disconnected (the measurement
+    /// methodology requires every receiver reachable from every source);
+    /// extract the largest component first via
+    /// [`mcast_topology::components::largest_component`].
+    pub fn new(graph: Graph) -> Self {
+        assert!(graph.node_count() >= 2, "need at least two nodes");
+        assert!(
+            Components::find(&graph).is_connected(),
+            "ScalingStudy requires a connected graph"
+        );
+        Self {
+            graph,
+            cfg: MeasureConfig::default(),
+        }
+    }
+
+    /// Override the sample counts (`N_source`, `N_rcvr`).
+    pub fn with_samples(mut self, sources: usize, receiver_sets: usize) -> Self {
+        self.cfg.sources = sources;
+        self.cfg.receiver_sets = receiver_sets;
+        self
+    }
+
+    /// Override the root seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// The wrapped topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// A sensible default log-spaced grid of distinct group sizes,
+    /// 1 … N/2.
+    pub fn default_group_sizes(&self) -> Vec<usize> {
+        let cap = (self.graph.node_count() / 2).max(2);
+        let mut out = Vec::new();
+        let mut x = 1f64;
+        while (x as usize) < cap {
+            let v = x.round() as usize;
+            if out.last() != Some(&v) {
+                out.push(v);
+            }
+            x *= 10f64.powf(0.25);
+        }
+        out.push(cap);
+        out
+    }
+
+    /// §2's measured curve: `E[L(m)/ū(m)]` at each `m` (distinct uniform
+    /// receivers).
+    pub fn ratio_curve(&self, ms: &[usize]) -> Vec<CurvePoint> {
+        ratio_curve(&self.graph, ms, &self.cfg)
+    }
+
+    /// §4's measured curve: `E[L̂(n)/(n·ū)]` at each `n`
+    /// (with-replacement receivers).
+    pub fn normalized_tree_curve(&self, ns: &[usize]) -> Vec<CurvePoint> {
+        lhat_curve(&self.graph, ns, &self.cfg)
+    }
+
+    /// The Chuang–Sirbu exponent: a power-law fit to the measured
+    /// `L(m)/ū` curve over the default grid's mid range.
+    pub fn scaling_exponent(&self) -> PowerLawFit {
+        let ms = self.default_group_sizes();
+        let curve = self.ratio_curve(&ms);
+        let cap = *ms.last().unwrap() as f64;
+        let pts: Vec<(f64, f64)> = curve
+            .iter()
+            .map(|p| (p.x as f64, p.stats.mean()))
+            .filter(|&(m, _)| (2.0..=cap / 2.0).contains(&m))
+            .collect();
+        power_law_fit(&pts).expect("mid-range fit has enough points")
+    }
+
+    /// Classify the topology's reachability growth (§4's dichotomy),
+    /// using the R² of a line fit to `ln T(r)` averaged over spread
+    /// sources. The 0.93 threshold splits the reproduced suite cleanly:
+    /// the exponential family (r100, ts1000, ts1008, Internet, AS) scores
+    /// 0.95–1.0, the sub-exponential one (ti5000, ARPA, MBone) 0.87–0.90.
+    pub fn reachability_class(&self) -> ReachabilityClass {
+        let n = self.graph.node_count();
+        let count = 64.min(n);
+        let sources: Vec<NodeId> = (0..count).map(|i| (i * n / count) as NodeId).collect();
+        let reach = AverageReachability::over_sources(&self.graph, &sources);
+        if reach.exponential_fit_r2(0.9) >= 0.93 {
+            ReachabilityClass::Exponential
+        } else {
+            ReachabilityClass::SubExponential
+        }
+    }
+
+    /// The Eq 30 analytic prediction of `L̂(n)` from this topology's
+    /// measured reachability profile, averaged over spread sources.
+    pub fn predicted_tree_size(&self, n: usize) -> f64 {
+        use mcast_topology::bfs::Bfs;
+        use mcast_topology::reachability::Reachability;
+        let g = &self.graph;
+        let count = 16.min(g.node_count());
+        let mut bfs = Bfs::new(g);
+        let mut acc = 0.0;
+        for i in 0..count {
+            let s = (i * g.node_count() / count) as NodeId;
+            bfs.run_scratch(s);
+            let prof = Reachability::from_distances(bfs.scratch_distances(), bfs.scratch_order());
+            acc += empirical_all_sites(&prof, n as f64);
+        }
+        acc / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_gen::kary::KaryTree;
+    use mcast_gen::tiers::{tiers, TiersParams};
+    use mcast_topology::graph::from_edges;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn binary_tree(depth: u32) -> Graph {
+        KaryTree::new(2, depth).unwrap().into_graph()
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_graph_rejected() {
+        ScalingStudy::new(from_edges(4, &[(0, 1), (2, 3)]));
+    }
+
+    #[test]
+    fn default_grid_is_log_spaced() {
+        let s = ScalingStudy::new(binary_tree(8));
+        let g = s.default_group_sizes();
+        assert_eq!(*g.first().unwrap(), 1);
+        assert_eq!(*g.last().unwrap(), 255);
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn exponent_near_chuang_sirbu_on_tree() {
+        let study = ScalingStudy::new(binary_tree(9))
+            .with_samples(6, 6)
+            .with_seed(3);
+        let fit = study.scaling_exponent();
+        assert!(
+            (0.6..0.95).contains(&fit.exponent),
+            "exponent {}",
+            fit.exponent
+        );
+    }
+
+    #[test]
+    fn reachability_classification() {
+        let tree = ScalingStudy::new(binary_tree(10));
+        assert_eq!(tree.reachability_class(), ReachabilityClass::Exponential);
+        let small = TiersParams {
+            wan_nodes: 30,
+            man_count: 4,
+            man_nodes: 20,
+            lans_per_man: 4,
+            lan_hosts: 10,
+            wan_redundancy: 1,
+            man_redundancy: 1,
+        };
+        let ti = tiers(small, &mut StdRng::seed_from_u64(5)).unwrap();
+        assert_eq!(
+            ScalingStudy::new(ti).reachability_class(),
+            ReachabilityClass::SubExponential
+        );
+    }
+
+    #[test]
+    fn predicted_tree_size_tracks_measurement() {
+        let study = ScalingStudy::new(binary_tree(8))
+            .with_samples(8, 16)
+            .with_seed(11);
+        let n = 50;
+        let measured = study.normalized_tree_curve(&[n])[0].stats.mean();
+        // Convert prediction to the same normalisation.
+        let pred_links = study.predicted_tree_size(n);
+        // ū for the root-symmetric tree ≈ mean depth; recover via ratio.
+        let curve_links = measured; // L/(n·ū)
+        let ubar = {
+            // mean distance from a spread of sources, via the study graph
+            let (avg, _) = mcast_topology::metrics::exact_path_stats(study.graph());
+            avg
+        };
+        let pred_norm = pred_links / (n as f64 * ubar);
+        assert!(
+            (pred_norm - curve_links).abs() < 0.2,
+            "pred {pred_norm} vs measured {curve_links}"
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! `mcs` — regenerate the tables and figures of "Scaling of Multicast
+//! Trees" (SIGCOMM '99).
+//!
+//! ```text
+//! mcs [OPTIONS] <EXPERIMENT>...
+//! mcs [OPTIONS] measure <edge-list-file>
+//!
+//! EXPERIMENT:  table1 | fig1 | … | fig9 | ablate-* | churn | all | list
+//!
+//! OPTIONS:
+//!   --paper         paper-scale sample counts and topology sizes
+//!   --fast          reduced sizes (default)
+//!   --seed <u64>    root seed (default 1999)
+//!   --threads <n>   worker threads (default: all cores)
+//!   --out <dir>     also write <dir>/<id>.{json,csv,dat} artefacts
+//!
+//! `measure` runs the paper's methodology on *your* topology: it parses
+//! the edge list (`u v` per line, `#` comments), extracts the largest
+//! connected component, and reports Table-1-style statistics, the fitted
+//! Chuang–Sirbu exponent, and the reachability classification.
+//! ```
+
+use mcast_experiments::render;
+use mcast_experiments::suite;
+use mcast_experiments::{RunConfig, Scale};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    cfg: RunConfig,
+    out: Option<PathBuf>,
+    experiments: Vec<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: mcs [--paper|--fast] [--seed N] [--threads N] [--out DIR] <table1|fig1..fig9|ablate-*|churn|all|list>...\n       mcs [OPTIONS] measure <edge-list-file>"
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut cfg = RunConfig::default();
+    let mut out = None;
+    let mut experiments = Vec::new();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--paper" => cfg.scale = Scale::Paper,
+            "--fast" => cfg.scale = Scale::Fast,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                cfg.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                cfg.threads = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a directory")?;
+                out = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`\n{}", usage()));
+            }
+            exp => experiments.push(exp.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        return Err(usage().to_string());
+    }
+    Ok(Args {
+        cfg,
+        out,
+        experiments,
+    })
+}
+
+fn write_artefacts(dir: &PathBuf, report: &mcast_experiments::Report) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(
+        dir.join(format!("{}.json", report.id)),
+        render::report_json(report),
+    )?;
+    for d in &report.datasets {
+        std::fs::write(dir.join(format!("{}.csv", d.id)), render::dataset_csv(d))?;
+        std::fs::write(
+            dir.join(format!("{}.dat", d.id)),
+            render::dataset_gnuplot(d),
+        )?;
+        std::fs::write(
+            dir.join(format!("{}.svg", d.id)),
+            mcast_experiments::svg::dataset_svg(d),
+        )?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // `measure <file>` consumes the following positional argument.
+    if args.experiments.first().map(String::as_str) == Some("measure") {
+        let Some(path) = args.experiments.get(1) else {
+            eprintln!("measure needs an edge-list file\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match mcast_experiments::measure_cli::measure_text(path, &text, &args.cfg) {
+            Ok(report) => {
+                print!("{}", render::report_ascii(&report));
+                if let Some(dir) = &args.out {
+                    if let Err(e) = write_artefacts(dir, &report) {
+                        eprintln!("failed to write artefacts: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("cannot measure `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Expand `all` / handle `list`.
+    let mut ids: Vec<String> = Vec::new();
+    for e in &args.experiments {
+        match e.as_str() {
+            "list" => {
+                for id in suite::EXPERIMENT_IDS {
+                    println!("{id:8} {}", suite::describe(id).expect("described"));
+                }
+                if args.experiments.len() == 1 {
+                    return ExitCode::SUCCESS;
+                }
+            }
+            "all" => ids.extend(suite::EXPERIMENT_IDS.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    for id in &ids {
+        let Some(report) = suite::run(id, &args.cfg) else {
+            eprintln!("unknown experiment `{id}`\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        print!("{}", render::report_ascii(&report));
+        println!();
+        if let Some(dir) = &args.out {
+            if let Err(e) = write_artefacts(dir, &report) {
+                eprintln!("failed to write artefacts for {id}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

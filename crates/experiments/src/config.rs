@@ -1,0 +1,127 @@
+//! Run configuration shared by every experiment.
+
+use mcast_tree::MeasureConfig;
+
+/// How big to run: `Fast` keeps everything CI-friendly (seconds per
+/// figure), `Paper` uses the paper's sample counts and full-size
+/// topologies (minutes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Reduced sample counts and topology sizes.
+    #[default]
+    Fast,
+    /// The paper's `N_source = N_rcvr = 100` and full-size stand-ins.
+    Paper,
+}
+
+/// Global configuration for an experiment run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Scale preset.
+    pub scale: Scale,
+    /// Root seed; all topology generation and sampling derives from it.
+    pub seed: u64,
+    /// Worker threads for the Monte-Carlo drivers (0 = all cores).
+    pub threads: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Fast,
+            seed: 1999, // SIGCOMM '99
+            threads: 0,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A fast-scale config with the default seed.
+    pub fn fast() -> Self {
+        Self::default()
+    }
+
+    /// A paper-scale config with the default seed.
+    pub fn paper() -> Self {
+        Self {
+            scale: Scale::Paper,
+            ..Self::default()
+        }
+    }
+
+    /// The measurement sample counts for this scale (paper: 100 × 100).
+    pub fn measure(&self) -> MeasureConfig {
+        match self.scale {
+            Scale::Fast => MeasureConfig {
+                sources: 12,
+                receiver_sets: 12,
+                seed: self.seed,
+            },
+            Scale::Paper => MeasureConfig {
+                sources: 100,
+                receiver_sets: 100,
+                seed: self.seed,
+            },
+        }
+    }
+
+    /// Resolved worker-thread count.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// Seed for a named sub-experiment, derived stably from the root seed.
+    pub fn sub_seed(&self, tag: &str) -> u64 {
+        // FNV-1a over the tag, folded into the root seed.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in tag.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^ self.seed.rotate_left(17)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_presets() {
+        let f = RunConfig::fast();
+        assert_eq!(f.scale, Scale::Fast);
+        assert_eq!(f.measure().sources, 12);
+        let p = RunConfig::paper();
+        assert_eq!(p.measure().sources, 100);
+        assert_eq!(p.measure().receiver_sets, 100);
+    }
+
+    #[test]
+    fn sub_seeds_differ_by_tag_and_seed() {
+        let c = RunConfig::fast();
+        assert_ne!(c.sub_seed("fig1"), c.sub_seed("fig2"));
+        let c2 = RunConfig {
+            seed: 7,
+            ..RunConfig::fast()
+        };
+        assert_ne!(c.sub_seed("fig1"), c2.sub_seed("fig1"));
+        // Stable across calls.
+        assert_eq!(c.sub_seed("fig1"), c.sub_seed("fig1"));
+    }
+
+    #[test]
+    fn resolved_threads_is_positive() {
+        assert!(RunConfig::fast().resolved_threads() >= 1);
+        let fixed = RunConfig {
+            threads: 3,
+            ..RunConfig::fast()
+        };
+        assert_eq!(fixed.resolved_threads(), 3);
+    }
+}

@@ -1,0 +1,206 @@
+//! Result containers: plots (series of points) and tables, bundled into
+//! per-experiment reports. Everything serialises to JSON so runs can be
+//! archived and diffed.
+
+use serde::{Deserialize, Serialize};
+
+/// One plotted curve.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct Series {
+    /// Legend label (e.g. `"ts1000"` or `"m^0.8"`).
+    pub label: String,
+    /// `(x, y)` points in plot order.
+    pub points: Vec<(f64, f64)>,
+    /// Optional per-point standard errors (same length as `points`).
+    pub errors: Option<Vec<f64>>,
+}
+
+impl Series {
+    /// A series without error bars.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            points,
+            errors: None,
+        }
+    }
+
+    /// A series with per-point standard errors.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn with_errors(
+        label: impl Into<String>,
+        points: Vec<(f64, f64)>,
+        errors: Vec<f64>,
+    ) -> Self {
+        assert_eq!(points.len(), errors.len(), "error bars must match points");
+        Self {
+            label: label.into(),
+            points,
+            errors: Some(errors),
+        }
+    }
+}
+
+/// A figure (or figure panel): several series over shared axes.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct DataSet {
+    /// Identifier, e.g. `"fig1a"`.
+    pub id: String,
+    /// Human title, e.g. `"Fig 1(a): generated network topologies"`.
+    pub title: String,
+    /// X-axis label.
+    pub xlabel: String,
+    /// Y-axis label.
+    pub ylabel: String,
+    /// Whether the x axis is logarithmic in the paper's plot.
+    pub log_x: bool,
+    /// Whether the y axis is logarithmic in the paper's plot.
+    pub log_y: bool,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+/// A table artefact (Table 1 and the fitted-exponent summaries).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct TableData {
+    /// Identifier, e.g. `"table1"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of pre-formatted cells, each `headers.len()` long.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TableData {
+    /// Add a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the headers.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+}
+
+/// Everything one experiment produces.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct Report {
+    /// Experiment id (`table1`, `fig3`, …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Free-form notes: methodology, substitutions, fitted values.
+    pub notes: Vec<String>,
+    /// Table artefacts.
+    pub tables: Vec<TableData>,
+    /// Plot artefacts.
+    pub datasets: Vec<DataSet>,
+}
+
+impl Report {
+    /// An empty report shell.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            notes: Vec::new(),
+            tables: Vec::new(),
+            datasets: Vec::new(),
+        }
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+
+    /// Look up a dataset by id.
+    pub fn dataset(&self, id: &str) -> Option<&DataSet> {
+        self.datasets.iter().find(|d| d.id == id)
+    }
+
+    /// Look up a series by dataset and label.
+    pub fn series(&self, dataset_id: &str, label: &str) -> Option<&Series> {
+        self.dataset(dataset_id)?
+            .series
+            .iter()
+            .find(|s| s.label == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        let mut r = Report::new("figX", "A test figure");
+        r.note("methodology note");
+        r.datasets.push(DataSet {
+            id: "figXa".into(),
+            title: "panel a".into(),
+            xlabel: "m".into(),
+            ylabel: "L/u".into(),
+            log_x: true,
+            log_y: true,
+            series: vec![Series::new("net", vec![(1.0, 1.0), (2.0, 1.7)])],
+        });
+        r
+    }
+
+    #[test]
+    fn series_error_length_checked() {
+        let s = Series::with_errors("a", vec![(0.0, 1.0)], vec![0.1]);
+        assert_eq!(s.errors.as_ref().unwrap().len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn series_error_mismatch_panics() {
+        Series::with_errors("a", vec![(0.0, 1.0)], vec![0.1, 0.2]);
+    }
+
+    #[test]
+    fn table_row_width_checked() {
+        let mut t = TableData {
+            id: "t".into(),
+            title: "t".into(),
+            headers: vec!["a".into(), "b".into()],
+            rows: vec![],
+        };
+        t.push_row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn table_row_mismatch_panics() {
+        let mut t = TableData {
+            id: "t".into(),
+            title: "t".into(),
+            headers: vec!["a".into()],
+            rows: vec![],
+        };
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn lookups() {
+        let r = sample_report();
+        assert!(r.dataset("figXa").is_some());
+        assert!(r.dataset("nope").is_none());
+        assert!(r.series("figXa", "net").is_some());
+        assert!(r.series("figXa", "other").is_none());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = sample_report();
+        let text = serde_json::to_string(&r).unwrap();
+        let back: Report = serde_json::from_str(&text).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,123 @@
+//! Figure 1: `ln(L(m)/ū)` versus `ln m` for the eight networks, against
+//! the Chuang–Sirbu reference `m^0.8`.
+//!
+//! Panel (a) holds the generated topologies, panel (b) the real ones. The
+//! per-network power-law fit over the mid range is reported in the notes —
+//! the paper's observation is that every exponent lands near 0.8 even
+//! though the true functional form is not a power law.
+
+use crate::config::RunConfig;
+use crate::dataset::{DataSet, Report, Series};
+use crate::figures::chuang_sirbu_reference;
+use crate::networks::{self, Network};
+use crate::runner::{log_grid, parallel_ratio_curve};
+use mcast_analysis::fit::power_law_fit;
+
+fn panel(cfg: &RunConfig, id: &str, title: &str, nets: &[Network], report: &mut Report) {
+    let mcfg = cfg.measure();
+    let mut series = Vec::new();
+    let mut max_m = 0usize;
+    for net in nets {
+        // The paper plots up to roughly half the network; cap the grid so
+        // the distinct sampler always has room.
+        let cap = (net.graph.node_count() / 2).max(2);
+        let ms = log_grid(cap, 4);
+        max_m = max_m.max(cap);
+        let curve = parallel_ratio_curve(&net.graph, &ms, &mcfg, cfg);
+        let points: Vec<(f64, f64)> = curve.iter().map(|p| (p.x as f64, p.stats.mean())).collect();
+        let errors: Vec<f64> = curve.iter().map(|p| p.stats.std_err()).collect();
+
+        // Mid-range power-law fit: the "Chuang–Sirbu exponent".
+        let mid: Vec<(f64, f64)> = points
+            .iter()
+            .copied()
+            .filter(|&(m, _)| m >= 4.0 && m <= cap as f64 / 2.0)
+            .collect();
+        if let Some(fit) = power_law_fit(&mid) {
+            report.note(format!(
+                "{}: fitted exponent {:.3} (R2 {:.3}) over m in [4, {}]",
+                net.name,
+                fit.exponent,
+                fit.r2,
+                cap / 2
+            ));
+        }
+        series.push(Series::with_errors(net.name, points, errors));
+    }
+    series.push(chuang_sirbu_reference(
+        &log_grid(max_m, 4)
+            .iter()
+            .map(|&m| m as f64)
+            .collect::<Vec<_>>(),
+    ));
+    report.datasets.push(DataSet {
+        id: id.into(),
+        title: title.into(),
+        xlabel: "m".into(),
+        ylabel: "L(m)/u".into(),
+        log_x: true,
+        log_y: true,
+        series,
+    });
+}
+
+/// Run the Figure 1 experiment.
+pub fn run(cfg: &RunConfig) -> Report {
+    let mut report = Report::new(
+        "fig1",
+        "Fig 1: ln(L(m)/u) vs ln m for several network topologies, compared to m^0.8",
+    );
+    report.note(
+        "methodology: N_source x N_rcvr samples of L/u_sample, sources with replacement (paper §2)",
+    );
+    panel(
+        cfg,
+        "fig1a",
+        "Fig 1(a): generated network topologies",
+        &networks::generated(cfg),
+        &mut report,
+    );
+    panel(
+        cfg,
+        "fig1b",
+        "Fig 1(b): real network topologies (stand-ins)",
+        &networks::real(cfg),
+        &mut report,
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_run_has_both_panels_and_reference() {
+        let cfg = RunConfig {
+            threads: 2,
+            ..RunConfig::fast()
+        };
+        let r = run(&cfg);
+        let a = r.dataset("fig1a").expect("panel a");
+        let b = r.dataset("fig1b").expect("panel b");
+        assert_eq!(a.series.len(), 5); // 4 networks + reference
+        assert_eq!(b.series.len(), 5);
+        assert!(r.series("fig1a", "m^0.8").is_some());
+        // Ratio curves start at 1 (single receiver) and increase.
+        for panel in [a, b] {
+            for s in panel.series.iter().filter(|s| s.label != "m^0.8") {
+                assert!((s.points[0].1 - 1.0).abs() < 1e-9, "{}", s.label);
+                let last = s.points.last().unwrap();
+                assert!(last.1 > 2.0, "{} grows", s.label);
+                assert!(last.1 < last.0, "{} stays below unicast", s.label);
+            }
+        }
+        // Exponent notes were recorded for all eight networks.
+        let exponent_notes = r
+            .notes
+            .iter()
+            .filter(|n| n.contains("fitted exponent"))
+            .count();
+        assert_eq!(exponent_notes, 8);
+    }
+}

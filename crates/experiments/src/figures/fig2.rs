@@ -1,0 +1,106 @@
+//! Figure 2: the scaling function `h(x)` versus `x` for k-ary trees,
+//! compared to the predicted line `h(x) = x·k^{−1/2}` (Eqs 11–12).
+//!
+//! Panel (a): k = 2 with D ∈ {10, 14, 17}; panel (b): k = 4 with
+//! D ∈ {5, 7, 9}. The exact `Δ²L̂` of Eq 6 drives the computation; the
+//! k = 4 curves oscillate at small x exactly as the paper describes.
+
+use crate::config::RunConfig;
+use crate::dataset::{DataSet, Report, Series};
+use mcast_analysis::hfunc::{h_exact, h_predicted};
+
+/// The (k, depths) pairs of the two panels.
+pub const PANELS: [(f64, [u32; 3]); 2] = [(2.0, [10, 14, 17]), (4.0, [5, 7, 9])];
+
+fn panel(id: &str, k: f64, depths: [u32; 3]) -> DataSet {
+    let xs: Vec<f64> = (1..=50).map(|i| i as f64 * 0.02).collect();
+    let mut series = Vec::new();
+    for d in depths {
+        series.push(Series::new(
+            format!("k={k}, D={d}"),
+            xs.iter().map(|&x| (x, h_exact(k, d, x))).collect(),
+        ));
+    }
+    series.push(Series::new(
+        format!("x/sqrt({k})"),
+        xs.iter().map(|&x| (x, h_predicted(k, x))).collect(),
+    ));
+    DataSet {
+        id: id.into(),
+        title: format!("Fig 2: h(x) for k = {k} trees, receivers at leaves"),
+        xlabel: "x = n/M".into(),
+        ylabel: "h(x)".into(),
+        log_x: false,
+        log_y: false,
+        series,
+    }
+}
+
+/// Run the Figure 2 experiment (exact computation, no sampling).
+pub fn run(_cfg: &RunConfig) -> Report {
+    let mut report = Report::new(
+        "fig2",
+        "Fig 2: h(x) versus x for k-ary trees, compared to h(x) = x k^(-1/2)",
+    );
+    report.note("exact: Eq 11 evaluated with the closed-form second difference of Eq 6");
+    for (i, (k, depths)) in PANELS.iter().enumerate() {
+        let id = if i == 0 { "fig2a" } else { "fig2b" };
+        report.datasets.push(panel(id, *k, *depths));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_analysis::fit::linear_fit;
+
+    #[test]
+    fn panels_exist_with_reference() {
+        let r = run(&RunConfig::fast());
+        let a = r.dataset("fig2a").unwrap();
+        let b = r.dataset("fig2b").unwrap();
+        assert_eq!(a.series.len(), 4);
+        assert_eq!(b.series.len(), 4);
+        assert!(r.series("fig2a", "x/sqrt(2)").is_some());
+        assert!(r.series("fig2b", "x/sqrt(4)").is_some());
+    }
+
+    #[test]
+    fn k2_curves_track_the_line() {
+        let r = run(&RunConfig::fast());
+        let a = r.dataset("fig2a").unwrap();
+        for s in a.series.iter().filter(|s| s.label.starts_with("k=")) {
+            // Fit the x > 0.1 regime; slope should be near 1/sqrt(2).
+            let pts: Vec<(f64, f64)> = s.points.iter().copied().filter(|p| p.0 > 0.1).collect();
+            let fit = linear_fit(&pts).unwrap();
+            assert!(
+                (fit.slope - 1.0 / 2.0f64.sqrt()).abs() < 0.12,
+                "{}: slope {}",
+                s.label,
+                fit.slope
+            );
+            assert!(fit.r2 > 0.97, "{}: r2 {}", s.label, fit.r2);
+        }
+    }
+
+    #[test]
+    fn k4_long_term_trend_matches() {
+        let r = run(&RunConfig::fast());
+        let b = r.dataset("fig2b").unwrap();
+        let deepest = r.series("fig2b", "k=4, D=9").unwrap();
+        let pts: Vec<(f64, f64)> = deepest
+            .points
+            .iter()
+            .copied()
+            .filter(|p| p.0 > 0.3)
+            .collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!(
+            (fit.slope - 0.5).abs() < 0.15,
+            "slope {} (expected ~1/sqrt(4))",
+            fit.slope
+        );
+        let _ = b;
+    }
+}

@@ -1,0 +1,122 @@
+//! Figure 3: `L̂(n)/n` versus `n/M` (log x) for k-ary trees with
+//! receivers at the leaves, compared to the asymptote
+//! `1/ln k − ln(n/M)/ln k` (Eqs 4 and 16–17).
+//!
+//! The exact Eq 4 curves are linear in `ln(n/M)` over `5 < n < M` with the
+//! predicted slope `−1/ln k`, concave for very small `n/M`, and slightly
+//! convex near `n/M = 1` — the three trends the paper calls out.
+
+use crate::config::RunConfig;
+use crate::dataset::{DataSet, Report, Series};
+use crate::figures::{kary_asymptote_reference, log_grid_f64};
+use mcast_analysis::kary::{l_hat_leaves, leaf_count};
+
+/// The (k, depths) pairs of the two panels.
+pub const PANELS: [(f64, [u32; 3]); 2] = [(2.0, [10, 14, 17]), (4.0, [5, 7, 9])];
+
+/// X grid (n/M) of the paper's plot: 1e-6 … 1.
+pub fn x_grid() -> Vec<f64> {
+    log_grid_f64(1e-6, 1.0, 49)
+}
+
+fn panel(id: &str, k: f64, depths: [u32; 3]) -> DataSet {
+    let xs = x_grid();
+    let mut series = Vec::new();
+    for d in depths {
+        let m = leaf_count(k, d);
+        series.push(Series::new(
+            format!("k={k}, D={d}"),
+            xs.iter()
+                .map(|&x| {
+                    let n = x * m;
+                    (x, l_hat_leaves(k, d, n) / n)
+                })
+                .collect(),
+        ));
+    }
+    series.push(kary_asymptote_reference(k, &xs));
+    DataSet {
+        id: id.into(),
+        title: format!("Fig 3: L(n)/n vs n/M for k = {k} trees, receivers at leaves"),
+        xlabel: "n/M".into(),
+        ylabel: "L(n)/n".into(),
+        log_x: true,
+        log_y: false,
+        series,
+    }
+}
+
+/// Run the Figure 3 experiment (exact computation).
+pub fn run(_cfg: &RunConfig) -> Report {
+    let mut report = Report::new(
+        "fig3",
+        "Fig 3: L(n)/n versus ln(n/M) for k-ary trees and receivers at leaves",
+    );
+    report.note("exact: Eq 4 evaluated at real-valued n = x * M");
+    for (i, (k, depths)) in PANELS.iter().enumerate() {
+        let id = if i == 0 { "fig3a" } else { "fig3b" };
+        report.datasets.push(panel(id, *k, *depths));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_analysis::fit::linear_fit;
+
+    #[test]
+    fn panels_and_reference_exist() {
+        let r = run(&RunConfig::fast());
+        assert!(r.dataset("fig3a").is_some());
+        assert!(r.dataset("fig3b").is_some());
+        assert!(r.series("fig3a", "(1 - ln x)/ln 2").is_some());
+    }
+
+    #[test]
+    fn linear_regime_slope_matches_minus_inverse_ln_k() {
+        let r = run(&RunConfig::fast());
+        for (panel_id, k, d) in [("fig3a", 2.0f64, 17u32), ("fig3b", 4.0, 9)] {
+            let label = format!("k={k}, D={d}");
+            let s = r.series(panel_id, &label).unwrap();
+            let m = leaf_count(k, d);
+            // The paper's linear regime: 5 < n < M, away from both ends.
+            let pts: Vec<(f64, f64)> = s
+                .points
+                .iter()
+                .filter(|p| p.0 * m > 5.0 && p.0 < 0.05)
+                .map(|p| (p.0.ln(), p.1))
+                .collect();
+            assert!(pts.len() >= 5, "{label}: {} pts", pts.len());
+            let fit = linear_fit(&pts).unwrap();
+            let predicted = -1.0 / k.ln();
+            assert!(
+                (fit.slope - predicted).abs() / predicted.abs() < 0.06,
+                "{label}: slope {} vs {predicted}",
+                fit.slope
+            );
+            assert!(fit.r2 > 0.99, "{label}: r2 {}", fit.r2);
+        }
+    }
+
+    #[test]
+    fn concave_for_tiny_x() {
+        // Below one receiver the curve flattens towards n·D/n = D:
+        // its value at x = 1e-6 sits *below* the extrapolated line.
+        let r = run(&RunConfig::fast());
+        let s = r.series("fig3a", "k=2, D=10").unwrap();
+        let first = s.points[0];
+        let line = r.series("fig3a", "(1 - ln x)/ln 2").unwrap().points[0];
+        assert!(first.1 < line.1, "exact {} vs line {}", first.1, line.1);
+    }
+
+    #[test]
+    fn saturation_end_is_finite_and_small() {
+        let r = run(&RunConfig::fast());
+        let s = r.series("fig3b", "k=4, D=9").unwrap();
+        let last = s.points.last().unwrap();
+        assert!((last.0 - 1.0).abs() < 1e-12);
+        // At n = M the tree has nearly all its links: L/n ≈ (M·k/(k−1))/M.
+        assert!(last.1 > 0.5 && last.1 < 2.0, "{}", last.1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Figure 4: `ln(L(m)/ū)` versus `ln m` for k-ary trees with receivers at
+//! the leaves, compared to `m^0.8`.
+//!
+//! `L(m)` comes from the exact Eq 4 composed with the occupancy
+//! conversion of Eq 1 (Eq 18's content). The paper's point: the true form
+//! is `n(c − ln(n/M)/ln k)` — "most decidedly not" a power law — yet the
+//! curve is startlingly well approximated by `m^0.8`.
+
+use crate::config::RunConfig;
+use crate::dataset::{DataSet, Report, Series};
+use crate::figures::{chuang_sirbu_reference, log_grid_f64};
+use mcast_analysis::fit::power_law_fit;
+use mcast_analysis::kary::leaf_count;
+use mcast_analysis::nm::l_of_m_leaves;
+
+/// The (k, depths) pairs of the two panels.
+pub const PANELS: [(f64, [u32; 3]); 2] = [(2.0, [10, 14, 17]), (4.0, [5, 7, 9])];
+
+fn panel(id: &str, k: f64, depths: [u32; 3], report: &mut Report) -> DataSet {
+    let mut series = Vec::new();
+    let mut max_m: f64 = 1.0;
+    for d in depths {
+        let m_total = leaf_count(k, d);
+        let ms = log_grid_f64(1.0, 0.99 * m_total, 45);
+        max_m = max_m.max(0.99 * m_total);
+        let points: Vec<(f64, f64)> = ms
+            .iter()
+            .map(|&m| (m, l_of_m_leaves(k, d, m) / d as f64))
+            .collect();
+        if let Some(fit) = power_law_fit(&points) {
+            report.note(format!(
+                "k={k}, D={d}: fitted exponent {:.3} (R2 {:.3})",
+                fit.exponent, fit.r2
+            ));
+        }
+        series.push(Series::new(format!("k={k}, D={d}"), points));
+    }
+    series.push(chuang_sirbu_reference(&log_grid_f64(1.0, max_m, 45)));
+    DataSet {
+        id: id.into(),
+        title: format!("Fig 4: L(m)/u vs m for k = {k} trees, receivers at leaves"),
+        xlabel: "m".into(),
+        ylabel: "L(m)/u".into(),
+        log_x: true,
+        log_y: true,
+        series,
+    }
+}
+
+/// Run the Figure 4 experiment (exact computation).
+pub fn run(_cfg: &RunConfig) -> Report {
+    let mut report = Report::new(
+        "fig4",
+        "Fig 4: ln(L(m)/u) versus ln m for k-ary trees, compared to m^0.8",
+    );
+    report.note("exact: Eq 4 composed with the n(m) occupancy inversion of Eq 1 (u = D)");
+    for (i, (k, depths)) in PANELS.iter().enumerate() {
+        let id = if i == 0 { "fig4a" } else { "fig4b" };
+        let ds = panel(id, *k, *depths, &mut report);
+        report.datasets.push(ds);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponents_land_near_chuang_sirbu() {
+        let r = run(&RunConfig::fast());
+        let exps: Vec<f64> = r
+            .notes
+            .iter()
+            .filter(|n| n.contains("fitted exponent"))
+            .map(|n| {
+                let tail = n.split("exponent ").nth(1).unwrap();
+                tail.split(' ').next().unwrap().parse::<f64>().unwrap()
+            })
+            .collect();
+        assert_eq!(exps.len(), 6);
+        for e in exps {
+            assert!((0.68..0.95).contains(&e), "exponent {e}");
+        }
+    }
+
+    #[test]
+    fn curves_start_at_one_and_grow_monotonically() {
+        let r = run(&RunConfig::fast());
+        for panel in ["fig4a", "fig4b"] {
+            for s in r.dataset(panel).unwrap().series.iter() {
+                if s.label == "m^0.8" {
+                    continue;
+                }
+                assert!(
+                    (s.points[0].1 - 1.0).abs() < 1e-9,
+                    "{}: starts at 1",
+                    s.label
+                );
+                assert!(
+                    s.points.windows(2).all(|w| w[1].1 >= w[0].1),
+                    "{}: monotone",
+                    s.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stays_close_to_reference_in_log_space() {
+        // "the agreement with the Chuang-Sirbu scaling law is remarkably
+        // good": within a factor ~2 across four decades for D = 14.
+        let r = run(&RunConfig::fast());
+        let s = r.series("fig4a", "k=2, D=14").unwrap();
+        for &(m, y) in &s.points {
+            if (2.0..=8192.0).contains(&m) {
+                let reference = m.powf(0.8);
+                let ratio = y / reference;
+                assert!((0.4..2.5).contains(&ratio), "m={m}: ratio {ratio}");
+            }
+        }
+    }
+}

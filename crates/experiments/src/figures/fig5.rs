@@ -1,0 +1,112 @@
+//! Figure 5: `L̂(n)/n` versus `n/M` for k-ary trees with receivers spread
+//! over **all** non-root sites (Eq 21), compared to the same asymptote as
+//! Figure 3.
+//!
+//! The paper's finding: the curves keep the `n(c − ln(n/M)/ln k)` form,
+//! only the constant `c` shifts relative to the leaf-only case.
+
+use crate::config::RunConfig;
+use crate::dataset::{DataSet, Report, Series};
+use crate::figures::{kary_asymptote_reference, log_grid_f64};
+use mcast_analysis::kary::{l_hat_all_sites, leaf_count};
+
+/// The (k, depths) pairs of the two panels.
+pub const PANELS: [(f64, [u32; 3]); 2] = [(2.0, [10, 14, 17]), (4.0, [5, 7, 9])];
+
+fn panel(id: &str, k: f64, depths: [u32; 3]) -> DataSet {
+    let xs = log_grid_f64(1e-6, 1.0, 49);
+    let mut series = Vec::new();
+    for d in depths {
+        let m = leaf_count(k, d);
+        series.push(Series::new(
+            format!("k={k}, D={d}"),
+            xs.iter()
+                .map(|&x| {
+                    let n = x * m;
+                    (x, l_hat_all_sites(k, d, n) / n)
+                })
+                .collect(),
+        ));
+    }
+    series.push(kary_asymptote_reference(k, &xs));
+    DataSet {
+        id: id.into(),
+        title: format!("Fig 5: L(n)/n vs n/M for k = {k} trees, receivers throughout"),
+        xlabel: "n/M".into(),
+        ylabel: "L(n)/n".into(),
+        log_x: true,
+        log_y: false,
+        series,
+    }
+}
+
+/// Run the Figure 5 experiment (exact computation).
+pub fn run(_cfg: &RunConfig) -> Report {
+    let mut report = Report::new(
+        "fig5",
+        "Fig 5: L(n)/n versus ln(n/M) for k-ary trees with receivers throughout",
+    );
+    report.note("exact: Eq 21 evaluated at real-valued n = x * M (M = k^D leaves)");
+    for (i, (k, depths)) in PANELS.iter().enumerate() {
+        let id = if i == 0 { "fig5a" } else { "fig5b" };
+        report.datasets.push(panel(id, *k, *depths));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_analysis::fit::linear_fit;
+
+    #[test]
+    fn same_slope_different_intercept_than_fig3() {
+        // The §3.4 claim: same n(c − ln(n/M)/ln k) behaviour, c changed.
+        let fig5 = run(&RunConfig::fast());
+        let fig3 = crate::figures::fig3::run(&RunConfig::fast());
+        let label = "k=2, D=17";
+        let m = leaf_count(2.0, 17);
+        let line = |s: &crate::dataset::Series| {
+            let pts: Vec<(f64, f64)> = s
+                .points
+                .iter()
+                .filter(|p| p.0 * m > 5.0 && p.0 < 0.05)
+                .map(|p| (p.0.ln(), p.1))
+                .collect();
+            linear_fit(&pts).unwrap()
+        };
+        let f5 = line(fig5.series("fig5a", label).unwrap());
+        let f3 = line(fig3.series("fig3a", label).unwrap());
+        assert!(
+            (f5.slope - f3.slope).abs() / f3.slope.abs() < 0.08,
+            "slopes {} vs {}",
+            f5.slope,
+            f3.slope
+        );
+        assert!(
+            (f5.intercept - f3.intercept).abs() > 0.2,
+            "intercepts too close: {} vs {}",
+            f5.intercept,
+            f3.intercept
+        );
+        assert!(f5.r2 > 0.99);
+    }
+
+    #[test]
+    fn all_sites_curve_sits_below_leaves_curve() {
+        let fig5 = run(&RunConfig::fast());
+        let fig3 = crate::figures::fig3::run(&RunConfig::fast());
+        let label = "k=4, D=9";
+        let s5 = fig5.series("fig5b", label).unwrap();
+        let s3 = fig3.series("fig3b", label).unwrap();
+        let mid = s5.points.len() / 2;
+        assert!(s5.points[mid].1 < s3.points[mid].1);
+    }
+
+    #[test]
+    fn panels_present() {
+        let r = run(&RunConfig::fast());
+        assert_eq!(r.datasets.len(), 2);
+        assert_eq!(r.dataset("fig5a").unwrap().series.len(), 4);
+    }
+}

@@ -1,0 +1,119 @@
+//! Figure 7: `ln T(r)` versus `r` for the eight networks.
+//!
+//! The reachability dichotomy behind everything in §4: r100, ts1000,
+//! ts1008, Internet and AS grow exponentially (straight lines here) before
+//! saturating; ti5000, ARPA and MBone are visibly concave
+//! (sub-exponential).
+
+use crate::config::RunConfig;
+use crate::dataset::{DataSet, Report, Series};
+use crate::figures::table1::spread_sources;
+use crate::networks::{self, Network};
+use mcast_topology::reachability::AverageReachability;
+
+fn panel(id: &str, title: &str, nets: &[Network], report: &mut Report) {
+    let mut series = Vec::new();
+    for net in nets {
+        let sources = spread_sources(&net.graph, 64);
+        let reach = AverageReachability::over_sources(&net.graph, &sources);
+        report.note(format!(
+            "{}: max radius {}, lnT fit R2 {:.4}",
+            net.name,
+            reach.max_radius(),
+            reach.exponential_fit_r2(0.9)
+        ));
+        series.push(Series::new(
+            net.name,
+            reach
+                .t_vec()
+                .iter()
+                .enumerate()
+                .map(|(r, &t)| (r as f64, t))
+                .collect(),
+        ));
+    }
+    report.datasets.push(DataSet {
+        id: id.into(),
+        title: title.into(),
+        xlabel: "r".into(),
+        ylabel: "T(r)".into(),
+        log_x: false,
+        log_y: true,
+        series,
+    });
+}
+
+/// Run the Figure 7 experiment.
+pub fn run(cfg: &RunConfig) -> Report {
+    let mut report = Report::new("fig7", "Fig 7: ln T(r) versus r for several networks");
+    report
+        .note("T(r) averaged over 64 spread sources per network (paper: N_source random sources)");
+    panel(
+        "fig7a",
+        "Fig 7(a): generated network topologies",
+        &networks::generated(cfg),
+        &mut report,
+    );
+    panel(
+        "fig7b",
+        "Fig 7(b): real network topologies (stand-ins)",
+        &networks::real(cfg),
+        &mut report,
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r2_of(report: &Report, name: &str) -> f64 {
+        let note = report
+            .notes
+            .iter()
+            .find(|n| n.starts_with(&format!("{name}:")))
+            .unwrap();
+        note.split("R2 ").nth(1).unwrap().trim().parse().unwrap()
+    }
+
+    #[test]
+    fn exponential_vs_subexponential_dichotomy() {
+        let r = run(&RunConfig::fast());
+        // The paper's split: exponential family fits a line well…
+        for name in ["r100", "ts1000", "ts1008", "Internet", "AS"] {
+            assert!(r2_of(&r, name) > 0.93, "{name}: R2 {}", r2_of(&r, name));
+        }
+        // …and each sub-exponential network fits worse than every
+        // exponential one.
+        let worst_exp = ["r100", "ts1000", "ts1008", "Internet", "AS"]
+            .iter()
+            .map(|n| r2_of(&r, n))
+            .fold(f64::INFINITY, f64::min);
+        for name in ["ti5000", "ARPA", "MBone"] {
+            assert!(
+                r2_of(&r, name) < worst_exp,
+                "{name}: R2 {} not below exponential floor {worst_exp}",
+                r2_of(&r, name)
+            );
+        }
+    }
+
+    #[test]
+    fn t_curves_are_monotone_and_saturate() {
+        let r = run(&RunConfig::fast());
+        for panel in ["fig7a", "fig7b"] {
+            for s in &r.dataset(panel).unwrap().series {
+                assert!(
+                    s.points.windows(2).all(|w| w[1].1 >= w[0].1),
+                    "{}: monotone",
+                    s.label
+                );
+                assert!(s.points[0].1 >= 1.0);
+            }
+        }
+        // ts1000 saturates at its node count.
+        let ts = r.series("fig7a", "ts1000").unwrap();
+        let last = ts.points.last().unwrap().1;
+        assert!((last - 1000.0).abs() < 1.0, "saturation {last}");
+    }
+}

@@ -1,0 +1,205 @@
+//! Figure 8: `L̂(n)/(n·D)` versus `ln n` for three reachability families
+//! (§4.3): exponential `S(r) = 2^r`, power-law `S(r) ∝ r^λ`, and
+//! super-exponential `S(r) ∝ e^{λr²}`, normalised so `S(D)` coincides.
+//!
+//! Only the exponential family yields the straight line of the k-ary
+//! asymptotics; the power-law network stays expensive per receiver far
+//! longer, and the super-exponential one collapses sooner — "the
+//! asymptotic form we derived for the exponential case does not apply to
+//! these other kinds of networks".
+
+use crate::config::RunConfig;
+use crate::dataset::{DataSet, Report, Series};
+use crate::figures::log_grid_f64;
+use crate::runner::{log_grid, parallel_lhat_curve};
+use mcast_analysis::reachability::{l_hat_leaves_from_profile, SyntheticReachability};
+use mcast_gen::lattice::torus_2d;
+use mcast_gen::random::random_with_degree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Depth of the synthetic networks.
+pub const DEPTH: u32 = 20;
+
+/// Shared `S(D)` normalisation (the exponential case's natural value).
+pub fn s_at_depth() -> f64 {
+    2f64.powi(DEPTH as i32)
+}
+
+/// The three families with the paper's qualitative parameters.
+pub fn families() -> Vec<(&'static str, SyntheticReachability)> {
+    vec![
+        (
+            "S(r) = 2^r",
+            SyntheticReachability::Exponential { lambda: 2f64.ln() },
+        ),
+        (
+            "S(r) ~ r^3",
+            SyntheticReachability::PowerLaw { lambda: 3.0 },
+        ),
+        (
+            "S(r) ~ e^(l r^2)",
+            SyntheticReachability::SuperExponential {
+                lambda: 2f64.ln() / DEPTH as f64,
+            },
+        ),
+    ]
+}
+
+/// Run the Figure 8 experiment (exact computation over Eq 23).
+pub fn run(_cfg: &RunConfig) -> Report {
+    let mut report = Report::new(
+        "fig8",
+        "Fig 8: L(n)/(n D) versus ln n for several reachability functions S(r)",
+    );
+    report.note(format!(
+        "Eq 23 with D = {DEPTH}, constants normalised so S(D) = 2^{DEPTH} for all families"
+    ));
+    let ns = log_grid_f64(1.0, 1e10, 51);
+    let mut series = Vec::new();
+    for (label, family) in families() {
+        let profile = family.profile(DEPTH, s_at_depth());
+        series.push(Series::new(
+            label,
+            ns.iter()
+                .map(|&n| {
+                    (
+                        n,
+                        l_hat_leaves_from_profile(&profile, n) / (n * DEPTH as f64),
+                    )
+                })
+                .collect(),
+        ));
+    }
+    report.datasets.push(DataSet {
+        id: "fig8".into(),
+        title: "Fig 8: synthetic reachability families".into(),
+        xlabel: "n".into(),
+        ylabel: "L(n)/(n D)".into(),
+        log_x: true,
+        log_y: false,
+        series,
+    });
+    report.datasets.push(empirical_companion(_cfg));
+    report.note(
+        "fig8-sim (extension): the same dichotomy measured on real graphs — \
+         a 2-D torus (S(r) ~ r) vs an equal-size random graph (S(r) ~ e^{lr})",
+    );
+    report
+}
+
+/// Empirical companion: measure `L̂(n)/(n·ū)` on a real polynomial-`S(r)`
+/// graph (a 2-D torus) and an equal-size exponential one (flat random) —
+/// simulation, not formula.
+fn empirical_companion(cfg: &RunConfig) -> DataSet {
+    let side = 71usize; // 5041 nodes
+    let torus = torus_2d(side, side).expect("valid torus");
+    let random = random_with_degree(
+        side * side,
+        4.0,
+        &mut StdRng::seed_from_u64(cfg.sub_seed("fig8-sim")),
+    )
+    .expect("valid random graph");
+    let mcfg = {
+        let mut m = cfg.measure();
+        m.sources = m.sources.min(8);
+        m.receiver_sets = m.receiver_sets.min(8);
+        m
+    };
+    let ns = log_grid(2500, 4);
+    let mut series = Vec::new();
+    for (label, graph) in [("torus 71x71", &torus), ("random deg-4", &random)] {
+        let curve = parallel_lhat_curve(graph, &ns, &mcfg, cfg);
+        series.push(Series::new(
+            label,
+            curve.iter().map(|p| (p.x as f64, p.stats.mean())).collect(),
+        ));
+    }
+    DataSet {
+        id: "fig8-sim".into(),
+        title: "Fig 8 companion: measured L(n)/(n u), torus vs random".into(),
+        xlabel: "n".into(),
+        ylabel: "L(n)/(n u)".into(),
+        log_x: true,
+        log_y: false,
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_analysis::fit::linear_fit;
+
+    #[test]
+    fn exponential_is_linear_in_ln_n_where_others_are_not() {
+        let r = run(&RunConfig::fast());
+        let d = r.dataset("fig8").unwrap();
+        let fit_r2 = |label: &str| {
+            let s = d.series.iter().find(|s| s.label == label).unwrap();
+            // Mid-regime: between a handful of receivers and saturation.
+            let pts: Vec<(f64, f64)> = s
+                .points
+                .iter()
+                .filter(|p| p.0 > 10.0 && p.0 < 1e6)
+                .map(|p| (p.0.ln(), p.1))
+                .collect();
+            linear_fit(&pts).unwrap().r2
+        };
+        let exp = fit_r2("S(r) = 2^r");
+        let pow = fit_r2("S(r) ~ r^3");
+        assert!(exp > 0.995, "exponential R2 {exp}");
+        assert!(pow < exp, "power-law R2 {pow} should be below {exp}");
+    }
+
+    #[test]
+    fn power_law_stays_most_expensive() {
+        // Fig 8's visual: the r^λ curve sits above the others at large n.
+        let r = run(&RunConfig::fast());
+        let d = r.dataset("fig8").unwrap();
+        let at = |label: &str, idx: usize| {
+            d.series.iter().find(|s| s.label == label).unwrap().points[idx].1
+        };
+        let idx = 35; // n ~ 1e7
+        let pow = at("S(r) ~ r^3", idx);
+        let exp = at("S(r) = 2^r", idx);
+        let sup = at("S(r) ~ e^(l r^2)", idx);
+        assert!(pow > exp, "{pow} vs {exp}");
+        assert!(exp > sup, "{exp} vs {sup}");
+    }
+
+    #[test]
+    fn simulated_torus_deviates_from_log_linearity() {
+        let r = run(&RunConfig {
+            threads: 2,
+            ..RunConfig::fast()
+        });
+        let d = r.dataset("fig8-sim").unwrap();
+        let r2 = |label: &str| {
+            let s = d.series.iter().find(|s| s.label == label).unwrap();
+            let pts: Vec<(f64, f64)> = s
+                .points
+                .iter()
+                .filter(|p| p.0 >= 4.0)
+                .map(|p| (p.0.ln(), p.1))
+                .collect();
+            linear_fit(&pts).unwrap().r2
+        };
+        let random = r2("random deg-4");
+        let torus = r2("torus 71x71");
+        assert!(random > 0.99, "random-graph linearity {random}");
+        assert!(
+            torus < random,
+            "torus ({torus}) should be less linear than random ({random})"
+        );
+    }
+
+    #[test]
+    fn all_start_at_one() {
+        // n = 1, leaf receivers at distance D: L = D, so L/(nD) = 1.
+        let r = run(&RunConfig::fast());
+        for s in &r.dataset("fig8").unwrap().series {
+            assert!((s.points[0].1 - 1.0).abs() < 1e-9, "{}", s.label);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! One module per paper artefact. Each exposes
+//! `pub fn run(cfg: &RunConfig) -> Report`.
+//!
+//! | Module   | Paper artefact | What it shows |
+//! |----------|----------------|---------------|
+//! | [`table1`] | Table 1 | the eight-network suite and its statistics |
+//! | [`fig1`]   | Fig 1   | measured `L(m)/ū` vs `m^0.8` on all networks |
+//! | [`fig2`]   | Fig 2   | `h(x)` vs the predicted `x·k^{−1/2}` |
+//! | [`fig3`]   | Fig 3   | exact `L̂(n)/n` vs the asymptote, leaf receivers |
+//! | [`fig4`]   | Fig 4   | k-ary `L(m)/ū` vs `m^0.8` |
+//! | [`fig5`]   | Fig 5   | exact `L̂(n)/n`, receivers at all sites |
+//! | [`fig6`]   | Fig 6   | measured `L̂(n)/(n·ū)` on all networks |
+//! | [`fig7`]   | Fig 7   | reachability `T(r)` on all networks |
+//! | [`fig8`]   | Fig 8   | `L̂(n)` under non-exponential `S(r)` |
+//! | [`fig9`]   | Fig 9   | affinity/disaffinity `L̂_β(n)` on binary trees |
+//! | [`ablations`] | (extensions) | shared trees, Steiner quality, normalisation, tie-breaking |
+//! | [`churn`] | (extension) | session join/leave dynamics vs static snapshots |
+//! | [`verdict`] | (summary) | PASS/FAIL check of every DESIGN.md §4 criterion |
+
+pub mod ablations;
+pub mod churn;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod verdict;
+
+use crate::dataset::Series;
+
+/// The Chuang–Sirbu reference curve `y = x^0.8` over the given x values.
+pub fn chuang_sirbu_reference(xs: &[f64]) -> Series {
+    Series::new("m^0.8", xs.iter().map(|&x| (x, x.powf(0.8))).collect())
+}
+
+/// The k-ary asymptote `y = (1 − ln x)/ln k` over the given `x = n/M`
+/// values (Eq 17 normalised per receiver).
+pub fn kary_asymptote_reference(k: f64, xs: &[f64]) -> Series {
+    Series::new(
+        format!("(1 - ln x)/ln {k}"),
+        xs.iter()
+            .map(|&x| (x, mcast_analysis::kary::l_hat_over_n_asymptote(k, x)))
+            .collect(),
+    )
+}
+
+/// Log-spaced real-valued grid between `lo` and `hi` (inclusive ends).
+pub fn log_grid_f64(lo: f64, hi: f64, points: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo && points >= 2);
+    let step = (hi / lo).powf(1.0 / (points - 1) as f64);
+    let mut out = Vec::with_capacity(points);
+    let mut x = lo;
+    for _ in 0..points - 1 {
+        out.push(x);
+        x *= step;
+    }
+    out.push(hi);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_series_shapes() {
+        let r = chuang_sirbu_reference(&[1.0, 10.0, 100.0]);
+        assert_eq!(r.points.len(), 3);
+        assert!((r.points[1].1 - 10f64.powf(0.8)).abs() < 1e-12);
+        let k = kary_asymptote_reference(2.0, &[0.01, 0.1]);
+        assert!(k.points[0].1 > k.points[1].1, "decreasing in x");
+    }
+
+    #[test]
+    fn log_grid_f64_endpoints() {
+        let g = log_grid_f64(1e-6, 1.0, 25);
+        assert_eq!(g.len(), 25);
+        assert!((g[0] - 1e-6).abs() < 1e-18);
+        assert!((g[24] - 1.0).abs() < 1e-12);
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,31 @@
+//! Experiment harness reproducing every table and figure of
+//! "Scaling of Multicast Trees" (SIGCOMM '99).
+//!
+//! Each paper artefact has a module under [`figures`] exposing
+//! `run(&RunConfig) -> Report`; the [`suite`] registry maps experiment ids
+//! (`table1`, `fig1` … `fig9`) to runners; the `mcs` binary drives them
+//! from the command line. [`networks`] builds the canonical eight-topology
+//! suite of the paper's Table 1 (with documented stand-ins for the
+//! unretrievable real maps), and [`runner`] provides the multi-threaded
+//! Monte-Carlo drivers.
+//!
+//! Reproduction is *shape-faithful*, not number-faithful: the real maps
+//! are stand-ins, so each figure's success criteria (who is linear, who
+//! deviates, what the slopes are) live in `DESIGN.md` §4 and are asserted
+//! by the integration tests in `/tests`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dataset;
+pub mod figures;
+pub mod measure_cli;
+pub mod networks;
+pub mod render;
+pub mod runner;
+pub mod suite;
+pub mod svg;
+
+pub use config::{RunConfig, Scale};
+pub use dataset::{DataSet, Report, Series, TableData};

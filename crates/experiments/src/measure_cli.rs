@@ -1,0 +1,148 @@
+//! The `mcs measure` path: run the paper's methodology on a
+//! user-supplied topology.
+
+use crate::config::RunConfig;
+use crate::dataset::{DataSet, Report, Series, TableData};
+use crate::figures::table1::{network_stats, spread_sources};
+use crate::networks::NetworkKind;
+use crate::runner::{log_grid, parallel_ratio_curve};
+use mcast_analysis::fit::power_law_fit;
+use mcast_topology::components::largest_component;
+use mcast_topology::io::parse_edge_list;
+use mcast_topology::reachability::AverageReachability;
+use mcast_topology::{Graph, TopologyError};
+
+/// Parse an edge list and measure it; see [`measure_graph`].
+pub fn measure_text(name: &str, text: &str, cfg: &RunConfig) -> Result<Report, TopologyError> {
+    let graph = parse_edge_list(text)?;
+    if graph.node_count() < 2 {
+        return Err(TopologyError::Empty);
+    }
+    Ok(measure_graph(name, &graph, cfg))
+}
+
+/// Full measurement of one topology: Table-1-style statistics, the
+/// measured `L(m)/ū` curve with its fitted Chuang–Sirbu exponent, and
+/// the §4 reachability classification. Disconnected inputs are reduced
+/// to their largest component (with a note).
+pub fn measure_graph(name: &str, graph: &Graph, cfg: &RunConfig) -> Report {
+    let mut report = Report::new("measure", format!("measurement of `{name}`"));
+    let extracted = largest_component(graph);
+    if extracted.graph.node_count() != graph.node_count() {
+        report.note(format!(
+            "input is disconnected: measuring its largest component ({} of {} nodes)",
+            extracted.graph.node_count(),
+            graph.node_count()
+        ));
+    }
+    let graph = &extracted.graph;
+
+    // Statistics table.
+    let stats = network_stats("input", NetworkKind::Real, graph);
+    let mut table = TableData {
+        id: "measure-stats".into(),
+        title: "topology statistics".into(),
+        headers: [
+            "nodes",
+            "links",
+            "avg degree",
+            "avg path",
+            "diameter",
+            "lnT(r) fit R2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows: Vec::new(),
+    };
+    table.push_row(vec![
+        stats.nodes.to_string(),
+        stats.links.to_string(),
+        format!("{:.2}", stats.avg_degree),
+        format!("{:.2}", stats.avg_path),
+        stats.diameter.to_string(),
+        format!("{:.3}", stats.reach_r2),
+    ]);
+    report.tables.push(table);
+
+    // Reachability class (same threshold as ScalingStudy).
+    let sources = spread_sources(graph, 64);
+    let r2 = AverageReachability::over_sources(graph, &sources).exponential_fit_r2(0.9);
+    report.note(if r2 >= 0.93 {
+        format!("reachability: exponential (R2 {r2:.3}) — expect the paper's L(n) ~ n(c - ln(n/M)/ln k) form")
+    } else {
+        format!("reachability: sub-exponential (R2 {r2:.3}) — expect deviations from the m^0.8 law")
+    });
+
+    // Measured curve + exponent.
+    let cap = (graph.node_count() / 2).max(2);
+    let ms = log_grid(cap, 4);
+    let curve = parallel_ratio_curve(graph, &ms, &cfg.measure(), cfg);
+    let points: Vec<(f64, f64)> = curve.iter().map(|p| (p.x as f64, p.stats.mean())).collect();
+    let errors: Vec<f64> = curve.iter().map(|p| p.stats.std_err()).collect();
+    let mid: Vec<(f64, f64)> = points
+        .iter()
+        .copied()
+        .filter(|&(m, _)| m >= 2.0 && m <= cap as f64 / 2.0)
+        .collect();
+    if let Some(fit) = power_law_fit(&mid) {
+        report.note(format!(
+            "fitted Chuang-Sirbu exponent: {:.3} (R2 {:.3}); the canonical value is 0.8",
+            fit.exponent, fit.r2
+        ));
+    }
+    report.datasets.push(DataSet {
+        id: "measure-curve".into(),
+        title: format!("L(m)/u on `{name}`"),
+        xlabel: "m".into(),
+        ylabel: "L(m)/u".into(),
+        log_x: true,
+        log_y: true,
+        series: vec![
+            Series::with_errors("measured", points, errors),
+            crate::figures::chuang_sirbu_reference(
+                &ms.iter().map(|&m| m as f64).collect::<Vec<_>>(),
+            ),
+        ],
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_small_edge_list() {
+        let text = "0 1\n1 2\n2 3\n3 0\n0 2\n2 4\n4 5\n5 6\n6 2\n";
+        let cfg = RunConfig {
+            threads: 1,
+            ..RunConfig::fast()
+        };
+        let r = measure_text("demo", text, &cfg).unwrap();
+        assert_eq!(r.tables.len(), 1);
+        assert_eq!(r.tables[0].rows[0][0], "7"); // nodes
+        assert!(r.notes.iter().any(|n| n.contains("reachability:")));
+        assert!(r.notes.iter().any(|n| n.contains("exponent")));
+        assert!(r.dataset("measure-curve").is_some());
+    }
+
+    #[test]
+    fn disconnected_input_reduces_to_largest_component() {
+        let text = "0 1\n1 2\n2 0\n5 6\n";
+        let cfg = RunConfig {
+            threads: 1,
+            ..RunConfig::fast()
+        };
+        let r = measure_text("demo", text, &cfg).unwrap();
+        assert!(r.notes.iter().any(|n| n.contains("disconnected")));
+        assert_eq!(r.tables[0].rows[0][0], "3");
+    }
+
+    #[test]
+    fn garbage_is_an_error() {
+        let cfg = RunConfig::fast();
+        assert!(measure_text("x", "not an edge list", &cfg).is_err());
+        assert!(measure_text("x", "", &cfg).is_err());
+    }
+}

@@ -1,0 +1,252 @@
+//! Renderers: ASCII tables for the terminal, CSV and gnuplot-style `.dat`
+//! for downstream plotting, JSON for archival.
+
+use crate::dataset::{DataSet, Report, TableData};
+use std::fmt::Write as _;
+
+/// Render a table with aligned columns.
+pub fn table_ascii(t: &TableData) -> String {
+    let mut widths: Vec<usize> = t.headers.iter().map(|h| h.len()).collect();
+    for row in &t.rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} — {}", t.id, t.title);
+    let line = |out: &mut String, cells: &[String]| {
+        let mut first = true;
+        for (i, c) in cells.iter().enumerate() {
+            if !first {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{:<width$}", c, width = widths[i]);
+            first = false;
+        }
+        out.push('\n');
+    };
+    line(&mut out, &t.headers);
+    let rule: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+    line(&mut out, &rule);
+    for row in &t.rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Render a dataset as an aligned ASCII value table: one x column, one y
+/// column per series (blank where a series lacks that x).
+pub fn dataset_ascii(d: &DataSet) -> String {
+    let mut xs: Vec<f64> = d
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+    xs.dedup();
+    let mut t = TableData {
+        id: d.id.clone(),
+        title: d.title.clone(),
+        headers: std::iter::once(d.xlabel.clone())
+            .chain(d.series.iter().map(|s| s.label.clone()))
+            .collect(),
+        rows: Vec::new(),
+    };
+    for &x in &xs {
+        let mut row = vec![format_num(x)];
+        for s in &d.series {
+            let y = s
+                .points
+                .iter()
+                .find(|p| p.0 == x)
+                .map(|p| format_num(p.1))
+                .unwrap_or_default();
+            row.push(y);
+        }
+        t.push_row(row);
+    }
+    let mut out = table_ascii(&t);
+    let _ = writeln!(
+        out,
+        "# axes: x = {}{}, y = {}{}",
+        d.xlabel,
+        if d.log_x { " (log)" } else { "" },
+        d.ylabel,
+        if d.log_y { " (log)" } else { "" },
+    );
+    out
+}
+
+/// CSV for one dataset: `series,x,y,stderr`.
+pub fn dataset_csv(d: &DataSet) -> String {
+    let mut out = String::from("series,x,y,stderr\n");
+    for s in &d.series {
+        for (i, (x, y)) in s.points.iter().enumerate() {
+            let err = s
+                .errors
+                .as_ref()
+                .map(|e| format!("{}", e[i]))
+                .unwrap_or_default();
+            let _ = writeln!(out, "{},{},{},{}", csv_escape(&s.label), x, y, err);
+        }
+    }
+    out
+}
+
+/// Gnuplot-style `.dat`: blocks per series separated by blank lines, with
+/// `# label` headers.
+pub fn dataset_gnuplot(d: &DataSet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} — {}", d.id, d.title);
+    for s in &d.series {
+        let _ = writeln!(out, "\n# series: {}", s.label);
+        for (i, (x, y)) in s.points.iter().enumerate() {
+            match &s.errors {
+                Some(e) => {
+                    let _ = writeln!(out, "{x} {y} {}", e[i]);
+                }
+                None => {
+                    let _ = writeln!(out, "{x} {y}");
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Full-report terminal rendering.
+pub fn report_ascii(r: &Report) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} — {} ==", r.id, r.title);
+    for n in &r.notes {
+        let _ = writeln!(out, "note: {n}");
+    }
+    for t in &r.tables {
+        out.push('\n');
+        out.push_str(&table_ascii(t));
+    }
+    for d in &r.datasets {
+        out.push('\n');
+        out.push_str(&dataset_ascii(d));
+    }
+    out
+}
+
+/// JSON for archival (pretty-printed).
+pub fn report_json(r: &Report) -> String {
+    serde_json::to_string_pretty(r).expect("report serialises")
+}
+
+fn format_num(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if (1e-3..1e6).contains(&a) {
+        let s = format!("{v:.4}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Series;
+
+    fn demo_dataset() -> DataSet {
+        DataSet {
+            id: "d".into(),
+            title: "demo".into(),
+            xlabel: "m".into(),
+            ylabel: "L".into(),
+            log_x: true,
+            log_y: false,
+            series: vec![
+                Series::new("a", vec![(1.0, 2.0), (10.0, 3.5)]),
+                Series::with_errors("b", vec![(1.0, 1.0)], vec![0.25]),
+            ],
+        }
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = TableData {
+            id: "t1".into(),
+            title: "demo".into(),
+            headers: vec!["name".into(), "n".into()],
+            rows: vec![
+                vec!["arpa".into(), "47".into()],
+                vec!["internet".into(), "56317".into()],
+            ],
+        };
+        let s = table_ascii(&t);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].starts_with("name"));
+        assert!(lines[2].starts_with("----"));
+        assert!(s.contains("internet  56317"));
+    }
+
+    #[test]
+    fn dataset_ascii_merges_x_values() {
+        let s = dataset_ascii(&demo_dataset());
+        assert!(s.contains("m"));
+        assert!(s.contains("(log)"));
+        // x = 10 exists only for series a; series b column is blank there.
+        let row10: &str = s.lines().find(|l| l.starts_with("10")).unwrap();
+        assert!(row10.contains("3.5"));
+    }
+
+    #[test]
+    fn csv_format() {
+        let c = dataset_csv(&demo_dataset());
+        assert!(c.starts_with("series,x,y,stderr\n"));
+        assert!(c.contains("a,1,2,\n"));
+        assert!(c.contains("b,1,1,0.25\n"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn gnuplot_blocks() {
+        let g = dataset_gnuplot(&demo_dataset());
+        assert!(g.contains("# series: a"));
+        assert!(g.contains("1 2\n"));
+        assert!(g.contains("1 1 0.25\n"));
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_num(0.0), "0");
+        assert_eq!(format_num(1.5), "1.5");
+        assert_eq!(format_num(2.0), "2");
+        assert!(format_num(1e-9).contains('e'));
+        assert!(format_num(3.2e7).contains('e'));
+    }
+
+    #[test]
+    fn report_round_trip_includes_everything() {
+        let mut r = Report::new("x", "demo report");
+        r.note("hello");
+        r.datasets.push(demo_dataset());
+        let text = report_ascii(&r);
+        assert!(text.contains("demo report"));
+        assert!(text.contains("note: hello"));
+        let json = report_json(&r);
+        assert!(json.contains("\"id\": \"x\""));
+    }
+}

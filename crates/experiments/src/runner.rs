@@ -1,0 +1,226 @@
+//! Multi-threaded Monte-Carlo drivers.
+//!
+//! The paper's methodology is embarrassingly parallel across sources: each
+//! (source, receiver-set) sample is independent, and per-source RNGs are
+//! derived from the root seed, so the sharded result is *identical* to the
+//! sequential one regardless of thread count.
+
+use crate::config::RunConfig;
+use mcast_topology::Graph;
+use mcast_tree::measure::{pick_source, source_rng, CurvePoint, MeasureConfig, SourceMeasurer};
+use mcast_tree::RunningStats;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run `f(index)` for every index in `0..count` across the configured
+/// worker threads (work-stealing via an atomic cursor), collecting outputs
+/// in index order.
+pub fn parallel_map<O, F>(count: usize, cfg: &RunConfig, f: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(usize) -> O + Sync,
+{
+    let threads = cfg.resolved_threads().min(count.max(1));
+    let mut slots: Vec<Option<O>> = (0..count).map(|_| None).collect();
+    if count == 0 {
+        return Vec::new();
+    }
+    if threads <= 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(f(i));
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let collected: Vec<(usize, O)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let f = &f;
+                    scope.spawn(move |_| {
+                        let mut local: Vec<(usize, O)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= count {
+                                break;
+                            }
+                            local.push((i, f(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+        .expect("scope panicked");
+        for (i, o) in collected {
+            slots[i] = Some(o);
+        }
+    }
+    slots.into_iter().map(|s| s.expect("slot filled")).collect()
+}
+
+/// One source's contribution to a measured curve.
+fn measure_source(
+    graph: &Graph,
+    xs: &[usize],
+    mcfg: &MeasureConfig,
+    source_index: usize,
+    distinct: bool,
+) -> Vec<RunningStats> {
+    let source = pick_source(graph, mcfg.seed, source_index);
+    let mut measurer = SourceMeasurer::new(graph, source);
+    let mut rng = source_rng(mcfg.seed, source_index);
+    let mut out = vec![RunningStats::new(); xs.len()];
+    for (i, &x) in xs.iter().enumerate() {
+        for _ in 0..mcfg.receiver_sets {
+            let v = if distinct {
+                measurer.ratio_sample(x, &mut rng)
+            } else {
+                measurer.normalized_tree_sample(x, &mut rng)
+            };
+            out[i].push(v);
+        }
+    }
+    out
+}
+
+fn merge_curves(xs: &[usize], per_source: Vec<Vec<RunningStats>>) -> Vec<CurvePoint> {
+    let mut merged = vec![RunningStats::new(); xs.len()];
+    for src in per_source {
+        for (m, s) in merged.iter_mut().zip(src) {
+            m.merge(&s);
+        }
+    }
+    xs.iter()
+        .zip(merged)
+        .map(|(&x, stats)| CurvePoint { x, stats })
+        .collect()
+}
+
+/// Parallel version of [`mcast_tree::measure::ratio_curve`] (§2's
+/// `E[L(m)/ū(m)]`).
+pub fn parallel_ratio_curve(
+    graph: &Graph,
+    ms: &[usize],
+    mcfg: &MeasureConfig,
+    cfg: &RunConfig,
+) -> Vec<CurvePoint> {
+    let per_source = parallel_map(mcfg.sources, cfg, |s| {
+        measure_source(graph, ms, mcfg, s, true)
+    });
+    merge_curves(ms, per_source)
+}
+
+/// Parallel version of [`mcast_tree::measure::lhat_curve`] (§4's
+/// `E[L̂(n)/(n·ū)]`).
+pub fn parallel_lhat_curve(
+    graph: &Graph,
+    ns: &[usize],
+    mcfg: &MeasureConfig,
+    cfg: &RunConfig,
+) -> Vec<CurvePoint> {
+    let per_source = parallel_map(mcfg.sources, cfg, |s| {
+        measure_source(graph, ns, mcfg, s, false)
+    });
+    merge_curves(ns, per_source)
+}
+
+/// A log-spaced grid of integer group sizes from 1 to `max`, deduplicated:
+/// the x grid of Figs 1 and 6.
+pub fn log_grid(max: usize, per_decade: usize) -> Vec<usize> {
+    assert!(max >= 1);
+    assert!(per_decade >= 1);
+    let mut out = vec![];
+    let step = 10f64.powf(1.0 / per_decade as f64);
+    let mut x = 1f64;
+    while x <= max as f64 {
+        let v = x.round() as usize;
+        if out.last() != Some(&v) {
+            out.push(v);
+        }
+        x *= step;
+    }
+    if out.last() != Some(&max) {
+        out.push(max);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::graph::from_edges;
+    use mcast_tree::measure::{lhat_curve, ratio_curve};
+
+    fn binary_tree(depth: u32) -> Graph {
+        let n = (1u32 << (depth + 1)) - 1;
+        let edges: Vec<_> = (1..n).map(|i| ((i - 1) / 2, i)).collect();
+        from_edges(n as usize, &edges)
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let cfg = RunConfig {
+            threads: 4,
+            ..RunConfig::fast()
+        };
+        let out = parallel_map(100, &cfg, |i| i * i);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+        assert!(parallel_map(0, &cfg, |i| i).is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let g = binary_tree(6);
+        let mcfg = MeasureConfig {
+            sources: 6,
+            receiver_sets: 8,
+            seed: 77,
+        };
+        let cfg = RunConfig {
+            threads: 3,
+            ..RunConfig::fast()
+        };
+        let ms = [2usize, 8, 20];
+        let seq = ratio_curve(&g, &ms, &mcfg);
+        let par = parallel_ratio_curve(&g, &ms, &mcfg, &cfg);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.x, b.x);
+            assert_eq!(a.stats.count(), b.stats.count());
+            assert!((a.stats.mean() - b.stats.mean()).abs() < 1e-12);
+            assert!((a.stats.variance() - b.stats.variance()).abs() < 1e-9);
+        }
+        let ns = [1usize, 16];
+        let seq = lhat_curve(&g, &ns, &mcfg);
+        let par = parallel_lhat_curve(&g, &ns, &mcfg, &cfg);
+        for (a, b) in seq.iter().zip(&par) {
+            assert!((a.stats.mean() - b.stats.mean()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_thread_path_works() {
+        let cfg = RunConfig {
+            threads: 1,
+            ..RunConfig::fast()
+        };
+        let out = parallel_map(5, &cfg, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn log_grid_shape() {
+        let g = log_grid(1000, 3);
+        assert_eq!(*g.first().unwrap(), 1);
+        assert_eq!(*g.last().unwrap(), 1000);
+        assert!(g.windows(2).all(|w| w[0] < w[1]), "{g:?}");
+        // Roughly 3 points per decade.
+        assert!(g.len() >= 9 && g.len() <= 13, "{}", g.len());
+        assert_eq!(log_grid(1, 5), vec![1]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Registry mapping experiment ids to runners.
+
+use crate::config::RunConfig;
+use crate::dataset::Report;
+use crate::figures;
+
+/// All experiment ids, in paper order.
+pub const EXPERIMENT_IDS: [&str; 16] = [
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "ablate-shared",
+    "ablate-steiner",
+    "ablate-norm",
+    "ablate-tiebreak",
+    "churn",
+    "verdict",
+];
+
+/// One-line description per experiment (shown by `mcs list`).
+pub fn describe(id: &str) -> Option<&'static str> {
+    Some(match id {
+        "table1" => "description of the eight networks used in Figure 1",
+        "fig1" => "measured L(m)/u vs m^0.8 on generated and real networks",
+        "fig2" => "h(x) for k-ary trees vs the predicted x k^(-1/2)",
+        "fig3" => "exact L(n)/n vs n/M, receivers at leaves, vs the asymptote",
+        "fig4" => "k-ary L(m)/u vs m^0.8 (exact + occupancy conversion)",
+        "fig5" => "exact L(n)/n vs n/M, receivers at all sites",
+        "fig6" => "measured L(n)/(n u) vs ln n on all networks (+ Eq 30 overlay)",
+        "fig7" => "reachability T(r) on all networks",
+        "fig8" => "L(n) under exponential / power-law / super-exponential S(r)",
+        "fig9" => "affinity: L_beta(n) on binary trees, beta in {-10..10}",
+        "ablate-shared" => "(extension) source-specific vs shared center-based trees",
+        "ablate-steiner" => "(extension) SPT cost vs greedy Steiner heuristic",
+        "ablate-norm" => "(extension) exponent sensitivity to the normalisation",
+        "ablate-tiebreak" => "(extension) L(m) under different tie-breaking policies",
+        "churn" => "(extension) session join/leave dynamics vs static snapshots",
+        "verdict" => "(summary) PASS/FAIL check of every DESIGN.md shape criterion",
+        _ => return None,
+    })
+}
+
+/// Run one experiment by id.
+pub fn run(id: &str, cfg: &RunConfig) -> Option<Report> {
+    Some(match id {
+        "table1" => figures::table1::run(cfg),
+        "fig1" => figures::fig1::run(cfg),
+        "fig2" => figures::fig2::run(cfg),
+        "fig3" => figures::fig3::run(cfg),
+        "fig4" => figures::fig4::run(cfg),
+        "fig5" => figures::fig5::run(cfg),
+        "fig6" => figures::fig6::run(cfg),
+        "fig7" => figures::fig7::run(cfg),
+        "fig8" => figures::fig8::run(cfg),
+        "fig9" => figures::fig9::run(cfg),
+        "ablate-shared" => figures::ablations::run_shared(cfg),
+        "ablate-steiner" => figures::ablations::run_steiner(cfg),
+        "ablate-norm" => figures::ablations::run_norm(cfg),
+        "ablate-tiebreak" => figures::ablations::run_tiebreak(cfg),
+        "churn" => figures::churn::run(cfg),
+        "verdict" => figures::verdict::run(cfg),
+        _ => return None,
+    })
+}
+
+/// Run every experiment in paper order.
+pub fn run_all(cfg: &RunConfig) -> Vec<Report> {
+    EXPERIMENT_IDS
+        .iter()
+        .map(|id| run(id, cfg).expect("registered id"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_id_is_described_and_runnable() {
+        for id in EXPERIMENT_IDS {
+            assert!(describe(id).is_some(), "{id} missing description");
+        }
+        assert!(describe("fig10").is_none());
+        assert!(run("nope", &RunConfig::fast()).is_none());
+    }
+
+    #[test]
+    fn cheap_experiments_run_and_report_their_ids() {
+        // Exact-computation experiments are fast enough for a unit test.
+        for id in ["fig2", "fig3", "fig4", "fig5", "fig8"] {
+            let r = run(id, &RunConfig::fast()).unwrap();
+            assert_eq!(r.id, id);
+            assert!(!r.datasets.is_empty(), "{id} produced no datasets");
+        }
+    }
+}

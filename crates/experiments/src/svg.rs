@@ -1,0 +1,382 @@
+//! Self-contained SVG rendering of datasets — so `mcs --out` reproduces
+//! the paper's *figures*, not just their numbers.
+//!
+//! Deliberately minimal (no plotting dependency): line charts with
+//! linear/log axes, decade or round-number ticks, a colour-cycled legend,
+//! and optional error bars. Good enough to eyeball every figure against
+//! the paper's.
+
+use crate::dataset::{DataSet, Series};
+use std::fmt::Write as _;
+
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 480.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 170.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 48.0;
+
+/// Qualitative 10-colour palette (Tableau-like).
+const PALETTE: [&str; 10] = [
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+    "#9c755f", "#bab0ac",
+];
+
+/// One axis' world→screen transform.
+struct Axis {
+    log: bool,
+    min: f64,
+    max: f64,
+    screen_lo: f64,
+    screen_hi: f64,
+}
+
+impl Axis {
+    fn project(&self, v: f64) -> Option<f64> {
+        let (v, min, max) = if self.log {
+            if v <= 0.0 {
+                return None;
+            }
+            (v.ln(), self.min.ln(), self.max.ln())
+        } else {
+            (v, self.min, self.max)
+        };
+        let span = max - min;
+        if span <= 0.0 {
+            return Some((self.screen_lo + self.screen_hi) / 2.0);
+        }
+        Some(self.screen_lo + (v - min) / span * (self.screen_hi - self.screen_lo))
+    }
+
+    /// Tick positions: decades for log axes, ~5 round steps for linear.
+    fn ticks(&self) -> Vec<f64> {
+        if self.log {
+            let lo = self.min.log10().floor() as i32;
+            let hi = self.max.log10().ceil() as i32;
+            (lo..=hi)
+                .map(|e| 10f64.powi(e))
+                .filter(|&t| t >= self.min * 0.999 && t <= self.max * 1.001)
+                .collect()
+        } else {
+            let span = self.max - self.min;
+            if span <= 0.0 {
+                return vec![self.min];
+            }
+            let raw_step = span / 5.0;
+            let mag = 10f64.powf(raw_step.log10().floor());
+            let step = [1.0, 2.0, 5.0, 10.0]
+                .iter()
+                .map(|m| m * mag)
+                .find(|&s| s >= raw_step)
+                .unwrap_or(mag * 10.0);
+            let mut t = (self.min / step).ceil() * step;
+            let mut out = Vec::new();
+            while t <= self.max + 1e-12 * span {
+                out.push(t);
+                t += step;
+            }
+            out
+        }
+    }
+}
+
+fn data_range(d: &DataSet, log: bool, pick_x: bool) -> Option<(f64, f64)> {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for s in &d.series {
+        for &(x, y) in &s.points {
+            let v = if pick_x { x } else { y };
+            if !v.is_finite() || (log && v <= 0.0) {
+                continue;
+            }
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if lo.is_finite() && hi.is_finite() {
+        if lo == hi {
+            // Degenerate: widen a hair so the transform is defined.
+            let pad = if lo == 0.0 { 1.0 } else { lo.abs() * 0.1 };
+            Some((lo - pad, hi + pad))
+        } else {
+            Some((lo, hi))
+        }
+    } else {
+        None
+    }
+}
+
+fn fmt_tick(v: f64) -> String {
+    let a = v.abs();
+    if v == 0.0 {
+        "0".into()
+    } else if !(0.01..1e5).contains(&a) {
+        format!("{v:.0e}")
+    } else if a >= 10.0 || (v - v.round()).abs() < 1e-9 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+fn polyline(series: &Series, xaxis: &Axis, yaxis: &Axis) -> String {
+    let mut pts = String::new();
+    for &(x, y) in &series.points {
+        if let (Some(px), Some(py)) = (xaxis.project(x), yaxis.project(y)) {
+            let _ = write!(pts, "{px:.1},{py:.1} ");
+        }
+    }
+    pts.trim_end().to_string()
+}
+
+/// Render a dataset as a standalone SVG document.
+///
+/// Series with no drawable points (e.g. all non-positive on a log axis)
+/// are skipped but still listed in the legend, greyed out.
+pub fn dataset_svg(d: &DataSet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+    );
+    let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    let _ = writeln!(
+        out,
+        r#"<text x="{:.0}" y="22" font-size="15" text-anchor="middle">{}</text>"#,
+        MARGIN_L + (WIDTH - MARGIN_L - MARGIN_R) / 2.0,
+        escape(&d.title)
+    );
+
+    let xr = data_range(d, d.log_x, true);
+    let yr = data_range(d, d.log_y, false);
+    let (Some((xmin, xmax)), Some((ymin, ymax))) = (xr, yr) else {
+        let _ = writeln!(
+            out,
+            r#"<text x="40" y="60" font-size="12">no drawable data</text></svg>"#
+        );
+        return out;
+    };
+    let xaxis = Axis {
+        log: d.log_x,
+        min: xmin,
+        max: xmax,
+        screen_lo: MARGIN_L,
+        screen_hi: WIDTH - MARGIN_R,
+    };
+    let yaxis = Axis {
+        log: d.log_y,
+        min: ymin,
+        max: ymax,
+        screen_lo: HEIGHT - MARGIN_B,
+        screen_hi: MARGIN_T,
+    };
+
+    // Frame + grid + ticks.
+    let _ = writeln!(
+        out,
+        r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{:.0}" height="{:.0}" fill="none" stroke="#444"/>"##,
+        WIDTH - MARGIN_L - MARGIN_R,
+        HEIGHT - MARGIN_T - MARGIN_B
+    );
+    for t in xaxis.ticks() {
+        if let Some(px) = xaxis.project(t) {
+            let _ = writeln!(
+                out,
+                r##"<line x1="{px:.1}" y1="{MARGIN_T}" x2="{px:.1}" y2="{:.1}" stroke="#ddd"/><text x="{px:.1}" y="{:.1}" font-size="11" text-anchor="middle">{}</text>"##,
+                HEIGHT - MARGIN_B,
+                HEIGHT - MARGIN_B + 16.0,
+                fmt_tick(t)
+            );
+        }
+    }
+    for t in yaxis.ticks() {
+        if let Some(py) = yaxis.project(t) {
+            let _ = writeln!(
+                out,
+                r##"<line x1="{MARGIN_L}" y1="{py:.1}" x2="{:.1}" y2="{py:.1}" stroke="#ddd"/><text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end">{}</text>"##,
+                WIDTH - MARGIN_R,
+                MARGIN_L - 6.0,
+                py + 4.0,
+                fmt_tick(t)
+            );
+        }
+    }
+    // Axis labels.
+    let _ = writeln!(
+        out,
+        r#"<text x="{:.0}" y="{:.0}" font-size="12" text-anchor="middle">{}{}</text>"#,
+        MARGIN_L + (WIDTH - MARGIN_L - MARGIN_R) / 2.0,
+        HEIGHT - 10.0,
+        escape(&d.xlabel),
+        if d.log_x { " (log)" } else { "" }
+    );
+    let _ = writeln!(
+        out,
+        r#"<text x="16" y="{:.0}" font-size="12" text-anchor="middle" transform="rotate(-90 16 {:.0})">{}{}</text>"#,
+        MARGIN_T + (HEIGHT - MARGIN_T - MARGIN_B) / 2.0,
+        MARGIN_T + (HEIGHT - MARGIN_T - MARGIN_B) / 2.0,
+        escape(&d.ylabel),
+        if d.log_y { " (log)" } else { "" }
+    );
+
+    // Series + legend.
+    for (i, s) in d.series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let pts = polyline(s, &xaxis, &yaxis);
+        let drawable = !pts.is_empty();
+        if drawable {
+            // Reference lines (labels containing '^' or '/') draw dashed.
+            let dash = if s.label.contains('^') || s.label.contains("ln") {
+                r#" stroke-dasharray="6 4""#
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                r#"<polyline points="{pts}" fill="none" stroke="{color}" stroke-width="1.6"{dash}/>"#
+            );
+            if let Some(errors) = &s.errors {
+                for (&(x, y), &e) in s.points.iter().zip(errors) {
+                    if e <= 0.0 {
+                        continue;
+                    }
+                    if let (Some(px), Some(py0), Some(py1)) = (
+                        xaxis.project(x),
+                        yaxis.project(if d.log_y {
+                            (y - e).max(f64::MIN_POSITIVE)
+                        } else {
+                            y - e
+                        }),
+                        yaxis.project(y + e),
+                    ) {
+                        let _ = writeln!(
+                            out,
+                            r#"<line x1="{px:.1}" y1="{py0:.1}" x2="{px:.1}" y2="{py1:.1}" stroke="{color}" stroke-width="1"/>"#
+                        );
+                    }
+                }
+            }
+        }
+        let ly = MARGIN_T + 14.0 + i as f64 * 16.0;
+        let lx = WIDTH - MARGIN_R + 10.0;
+        let text_color = if drawable { "#222" } else { "#aaa" };
+        let _ = writeln!(
+            out,
+            r#"<line x1="{lx:.0}" y1="{:.1}" x2="{:.0}" y2="{:.1}" stroke="{color}" stroke-width="2"/><text x="{:.0}" y="{:.1}" font-size="11" fill="{text_color}">{}</text>"#,
+            ly - 4.0,
+            lx + 18.0,
+            ly - 4.0,
+            lx + 24.0,
+            ly,
+            escape(&s.label)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> DataSet {
+        DataSet {
+            id: "demo".into(),
+            title: "A <demo> & title".into(),
+            xlabel: "m".into(),
+            ylabel: "L".into(),
+            log_x: true,
+            log_y: true,
+            series: vec![
+                Series::new("measured", vec![(1.0, 1.0), (10.0, 6.3), (100.0, 40.0)]),
+                Series::new("m^0.8", vec![(1.0, 1.0), (100.0, 39.8)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_valid_structure() {
+        let svg = dataset_svg(&demo());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        // Reference series is dashed; title is escaped.
+        assert!(svg.contains("stroke-dasharray"));
+        assert!(svg.contains("A &lt;demo&gt; &amp; title"));
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn log_axis_draws_decade_ticks() {
+        let svg = dataset_svg(&demo());
+        // x decades 1, 10, 100 all land as tick labels.
+        for label in [">1<", ">10<", ">100<"] {
+            assert!(svg.contains(label), "missing tick {label}");
+        }
+    }
+
+    #[test]
+    fn nonpositive_points_skipped_on_log_axes() {
+        let mut d = demo();
+        d.series
+            .push(Series::new("bad", vec![(0.0, -1.0), (-5.0, 2.0)]));
+        let svg = dataset_svg(&d);
+        // Still two drawable polylines; the bad series is legend-only.
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("bad"));
+        assert!(!svg.contains("NaN") && !svg.contains("inf"));
+    }
+
+    #[test]
+    fn error_bars_rendered() {
+        let mut d = demo();
+        d.log_y = false;
+        d.series = vec![Series::with_errors(
+            "with-errors",
+            vec![(1.0, 2.0), (10.0, 3.0)],
+            vec![0.5, 0.25],
+        )];
+        let svg = dataset_svg(&d);
+        // One polyline plus two error-bar lines (besides grid/legend lines).
+        assert_eq!(svg.matches("<polyline").count(), 1);
+        assert!(svg.matches("stroke-width=\"1\"/>").count() >= 2);
+    }
+
+    #[test]
+    fn empty_dataset_degrades_gracefully() {
+        let d = DataSet {
+            id: "e".into(),
+            title: "empty".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            log_x: false,
+            log_y: false,
+            series: vec![Series::new("nothing", vec![])],
+        };
+        let svg = dataset_svg(&d);
+        assert!(svg.contains("no drawable data"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn linear_ticks_are_round() {
+        let d = DataSet {
+            id: "l".into(),
+            title: "linear".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            log_x: false,
+            log_y: false,
+            series: vec![Series::new("s", vec![(0.0, 0.0), (7.3, 12.9)])],
+        };
+        let svg = dataset_svg(&d);
+        assert!(svg.contains(">2<") || svg.contains(">2.00<"));
+        assert!(svg.contains(">10<") || svg.contains(">12<") || svg.contains(">5<"));
+    }
+}

@@ -1,0 +1,97 @@
+//! End-to-end tests of the `mcs` binary.
+
+use std::process::Command;
+
+fn mcs() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mcs"))
+}
+
+#[test]
+fn list_shows_every_experiment() {
+    let out = mcs().arg("list").output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for id in mcast_experiments::suite::EXPERIMENT_IDS {
+        assert!(stdout.contains(id), "missing {id} in list output");
+    }
+}
+
+#[test]
+fn runs_an_exact_figure_and_writes_artefacts() {
+    let dir = std::env::temp_dir().join(format!("mcs-cli-test-{}", std::process::id()));
+    let out = mcs()
+        .args(["--fast", "--out", dir.to_str().unwrap(), "fig8"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("fig8"));
+    assert!(stdout.contains("S(r) = 2^r"));
+    for f in [
+        "fig8.json",
+        "fig8.csv",
+        "fig8.dat",
+        "fig8.svg",
+        "fig8-sim.csv",
+    ] {
+        assert!(dir.join(f).exists(), "missing artefact {f}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn seed_changes_measured_output() {
+    let run = |seed: &str| {
+        let out = mcs()
+            .args(["--fast", "--seed", seed, "--threads", "2", "fig2"])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success());
+        String::from_utf8(out.stdout).unwrap()
+    };
+    // fig2 is exact: identical regardless of seed (regression guard for
+    // accidental nondeterminism in exact paths).
+    assert_eq!(run("1"), run("2"));
+}
+
+#[test]
+fn measure_subcommand_works_on_an_edge_list() {
+    let dir = std::env::temp_dir();
+    let file = dir.join(format!("mcs-measure-{}.txt", std::process::id()));
+    // A 6-cycle with chords.
+    std::fs::write(&file, "0 1\n1 2\n2 3\n3 4\n4 5\n5 0\n0 3\n1 4\n").unwrap();
+    let out = mcs()
+        .args(["--fast", "measure", file.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("topology statistics"));
+    assert!(stdout.contains("exponent"));
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = mcs().output().expect("binary runs");
+    assert!(!out.status.success());
+    let out = mcs().arg("fig99").output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown experiment"));
+    let out = mcs().arg("--bogus").output().expect("binary runs");
+    assert!(!out.status.success());
+    let out = mcs()
+        .args(["measure", "/nonexistent/file"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

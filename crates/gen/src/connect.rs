@@ -1,0 +1,108 @@
+//! Connectivity helpers shared by the stochastic generators.
+//!
+//! Flat random graphs at the sparse densities the study uses are not always
+//! connected, and the paper's measurement methodology needs every receiver
+//! reachable from every source. Generators either patch connectivity by
+//! linking components ([`connect_components`]) or the experiment suite
+//! extracts the largest component — both options are provided.
+
+use mcast_topology::components::Components;
+use mcast_topology::{Graph, GraphBuilder, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Return a connected supergraph of `graph`: if it is disconnected, one
+/// extra edge per additional component is added, joining a uniformly random
+/// node of that component to a uniformly random node of the giant-so-far.
+///
+/// Adds the minimum number of edges (components − 1) and never removes any.
+pub fn connect_components<R: Rng + ?Sized>(graph: &Graph, rng: &mut R) -> Graph {
+    let comps = Components::find(graph);
+    if comps.is_connected() {
+        return graph.clone();
+    }
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); comps.count()];
+    for v in graph.nodes() {
+        members[comps.label(v) as usize].push(v);
+    }
+    let mut b = GraphBuilder::new(graph.node_count());
+    for (u, v) in graph.edges() {
+        b.add_edge(u, v);
+    }
+    // Join every later component to the accumulated connected part, which
+    // always contains component 0.
+    let mut joined: Vec<NodeId> = members[0].clone();
+    for comp in members.iter().skip(1) {
+        let a = *joined.choose(rng).expect("joined part is non-empty");
+        let c = *comp.choose(rng).expect("components are non-empty");
+        b.add_edge(a, c);
+        joined.extend_from_slice(comp);
+    }
+    b.build()
+}
+
+/// Draw a uniformly random spanning tree over `n` nodes (random attachment:
+/// node `i` attaches to a uniform previous node after a random relabelling),
+/// returning its edges. Used by generators that must be connected by
+/// construction.
+pub fn random_tree_edges<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<(NodeId, NodeId)> {
+    if n <= 1 {
+        return Vec::new();
+    }
+    let mut labels: Vec<NodeId> = (0..n as NodeId).collect();
+    labels.shuffle(rng);
+    (1..n)
+        .map(|i| {
+            let j = rng.gen_range(0..i);
+            (labels[j], labels[i])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::components::Components;
+    use mcast_topology::graph::from_edges;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn already_connected_is_unchanged() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let c = connect_components(&g, &mut rng);
+        assert_eq!(g, c);
+    }
+
+    #[test]
+    fn connects_with_minimum_extra_edges() {
+        let g = from_edges(7, &[(0, 1), (2, 3), (4, 5)]); // 4 comps (6 isolated)
+        let mut rng = SmallRng::seed_from_u64(7);
+        let c = connect_components(&g, &mut rng);
+        assert!(Components::find(&c).is_connected());
+        assert_eq!(c.edge_count(), g.edge_count() + 3);
+    }
+
+    #[test]
+    fn random_tree_is_spanning() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for n in [1usize, 2, 3, 10, 100] {
+            let edges = random_tree_edges(n, &mut rng);
+            assert_eq!(edges.len(), n.saturating_sub(1));
+            let g = from_edges(n, &edges);
+            assert!(Components::find(&g).is_connected(), "n={n}");
+            assert_eq!(g.edge_count(), n.saturating_sub(1), "tree has no dupes");
+        }
+    }
+
+    #[test]
+    fn random_tree_varies_with_seed() {
+        let a = random_tree_edges(30, &mut SmallRng::seed_from_u64(1));
+        let b = random_tree_edges(30, &mut SmallRng::seed_from_u64(2));
+        assert_ne!(a, b);
+        // Deterministic for a fixed seed.
+        let a2 = random_tree_edges(30, &mut SmallRng::seed_from_u64(1));
+        assert_eq!(a, a2);
+    }
+}

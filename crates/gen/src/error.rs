@@ -1,0 +1,62 @@
+//! Error type for generator parameter validation.
+
+use std::fmt;
+
+/// Errors produced when generator parameters are inconsistent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenError {
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable constraint description.
+        message: String,
+    },
+    /// The requested graph would exceed addressable size.
+    TooLarge {
+        /// Requested node count.
+        requested: u128,
+    },
+}
+
+impl GenError {
+    /// Convenience constructor for [`GenError::InvalidParameter`].
+    pub fn invalid(name: &'static str, message: impl Into<String>) -> Self {
+        Self::InvalidParameter {
+            name,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            Self::TooLarge { requested } => {
+                write!(f, "requested graph of {requested} nodes exceeds capacity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            GenError::invalid("k", "must be >= 2").to_string(),
+            "invalid parameter `k`: must be >= 2"
+        );
+        assert_eq!(
+            GenError::TooLarge { requested: 1 << 40 }.to_string(),
+            format!("requested graph of {} nodes exceeds capacity", 1u128 << 40)
+        );
+    }
+}

@@ -1,0 +1,288 @@
+//! N-level hierarchical graphs (GT-ITM's general hierarchical method).
+//!
+//! Beyond the two-level transit-stub special case, GT-ITM's original
+//! hierarchical construction recursively replaces every node of a
+//! top-level random graph with a lower-level random graph, resolving each
+//! top-level edge to an edge between random members of the two expanded
+//! blocks. Calvert/Doar/Zegura describe exactly this "N-level" method;
+//! we implement it for arbitrary level specifications so the suite's
+//! structural findings (exponential reachability from constrained-random
+//! construction) can be probed at deeper hierarchies.
+
+use crate::connect::random_tree_edges;
+use crate::error::GenError;
+use mcast_topology::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// One level of the hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Level {
+    /// Nodes per block at this level.
+    pub size: usize,
+    /// Extra intra-block edge probability on top of the spanning tree
+    /// that keeps each block connected.
+    pub edge_prob: f64,
+}
+
+impl Level {
+    /// Validate one level.
+    fn validate(&self) -> Result<(), GenError> {
+        if self.size == 0 {
+            return Err(GenError::invalid("size", "level size must be at least 1"));
+        }
+        if !(0.0..=1.0).contains(&self.edge_prob) || self.edge_prob.is_nan() {
+            return Err(GenError::invalid(
+                "edge_prob",
+                format!("probability {} not in [0, 1]", self.edge_prob),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Parameters: `levels[0]` is the top level; each node of a level-`i`
+/// graph expands into a level-`i+1` block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HierarchicalParams {
+    /// The level specifications, top first. Must be non-empty.
+    pub levels: Vec<Level>,
+}
+
+impl HierarchicalParams {
+    /// Total node count: the product of the level sizes.
+    pub fn node_count(&self) -> u128 {
+        self.levels.iter().map(|l| l.size as u128).product()
+    }
+
+    /// Validate all levels and the total size.
+    pub fn validate(&self) -> Result<(), GenError> {
+        if self.levels.is_empty() {
+            return Err(GenError::invalid("levels", "need at least one level"));
+        }
+        for l in &self.levels {
+            l.validate()?;
+        }
+        if self.node_count() > NodeId::MAX as u128 {
+            return Err(GenError::TooLarge {
+                requested: self.node_count(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Generate an N-level hierarchical graph; connected by construction
+/// (every block carries a spanning tree, and block interconnections
+/// mirror the parent level's connected graph).
+pub fn hierarchical<R: Rng + ?Sized>(
+    params: &HierarchicalParams,
+    rng: &mut R,
+) -> Result<Graph, GenError> {
+    params.validate()?;
+    // Recursive expansion, iterative implementation: maintain the current
+    // level's graph as an edge list over "blocks", then expand.
+    //
+    // Representation after expanding level i: nodes are dense ids, and
+    // `edges` is the full edge list so far.
+    let top = params.levels[0];
+    let mut node_count = top.size;
+    let mut edges = block_edges(top, rng)
+        .into_iter()
+        .collect::<Vec<(NodeId, NodeId)>>();
+
+    for &level in &params.levels[1..] {
+        let bs = level.size;
+        let new_count = node_count * bs;
+        let mut new_edges: Vec<(NodeId, NodeId)> =
+            Vec::with_capacity(edges.len() + node_count * (bs + 1));
+        // Each old edge becomes an edge between random members of the two
+        // expanded blocks.
+        for &(a, b) in &edges {
+            let u = (a as usize * bs + rng.gen_range(0..bs)) as NodeId;
+            let v = (b as usize * bs + rng.gen_range(0..bs)) as NodeId;
+            new_edges.push((u, v));
+        }
+        // Each old node becomes a connected random block.
+        for blk in 0..node_count {
+            let base = (blk * bs) as NodeId;
+            for (u, v) in block_edges(level, rng) {
+                new_edges.push((base + u, base + v));
+            }
+        }
+        node_count = new_count;
+        edges = new_edges;
+    }
+
+    let mut b = GraphBuilder::new(node_count);
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+/// Edges of one connected random block: spanning tree + extras.
+fn block_edges<R: Rng + ?Sized>(level: Level, rng: &mut R) -> Vec<(NodeId, NodeId)> {
+    let mut edges = random_tree_edges(level.size, rng);
+    for u in 0..level.size as NodeId {
+        for v in (u + 1)..level.size as NodeId {
+            if rng.gen::<f64>() < level.edge_prob {
+                edges.push((u, v));
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::components::Components;
+    use mcast_topology::reachability::AverageReachability;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn three_level() -> HierarchicalParams {
+        HierarchicalParams {
+            levels: vec![
+                Level {
+                    size: 4,
+                    edge_prob: 0.4,
+                },
+                Level {
+                    size: 5,
+                    edge_prob: 0.3,
+                },
+                Level {
+                    size: 10,
+                    edge_prob: 0.1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn node_count_is_product_of_levels() {
+        let p = three_level();
+        assert_eq!(p.node_count(), 200);
+        let g = hierarchical(&p, &mut SmallRng::seed_from_u64(1)).unwrap();
+        assert_eq!(g.node_count(), 200);
+    }
+
+    #[test]
+    fn always_connected() {
+        for seed in 0..10 {
+            let g = hierarchical(&three_level(), &mut SmallRng::seed_from_u64(seed)).unwrap();
+            assert!(Components::find(&g).is_connected(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn single_level_is_a_random_block() {
+        let p = HierarchicalParams {
+            levels: vec![Level {
+                size: 12,
+                edge_prob: 0.0,
+            }],
+        };
+        let g = hierarchical(&p, &mut SmallRng::seed_from_u64(3)).unwrap();
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 11); // exactly the spanning tree
+    }
+
+    #[test]
+    fn hierarchy_depth_trades_off_reachability_exponentiality() {
+        // Two-level dense hierarchies behave like the paper's transit-stub
+        // graphs (near-exponential T(r)); deep hierarchies of sparse
+        // blocks stretch paths level by level and drift sub-exponential —
+        // the same dichotomy §4 observes between ts* and ti* topologies.
+        let r2_of = |levels: Vec<Level>, seed| {
+            let g = hierarchical(
+                &HierarchicalParams { levels },
+                &mut SmallRng::seed_from_u64(seed),
+            )
+            .unwrap();
+            let n = g.node_count() as u32;
+            let sources: Vec<_> = (0..32u32).map(|i| i * (n / 32)).collect();
+            AverageReachability::over_sources(&g, &sources).exponential_fit_r2(0.9)
+        };
+        let shallow_dense = r2_of(
+            vec![
+                Level {
+                    size: 30,
+                    edge_prob: 0.2,
+                },
+                Level {
+                    size: 36,
+                    edge_prob: 0.25,
+                },
+            ],
+            7,
+        );
+        let deep_sparse = r2_of(
+            vec![
+                Level {
+                    size: 5,
+                    edge_prob: 0.5,
+                },
+                Level {
+                    size: 6,
+                    edge_prob: 0.3,
+                },
+                Level {
+                    size: 6,
+                    edge_prob: 0.3,
+                },
+                Level {
+                    size: 6,
+                    edge_prob: 0.3,
+                },
+            ],
+            7,
+        );
+        assert!(shallow_dense > 0.93, "shallow-dense R2 {shallow_dense}");
+        assert!(
+            deep_sparse < shallow_dense,
+            "deep-sparse {deep_sparse} should fit worse than shallow-dense {shallow_dense}"
+        );
+    }
+
+    #[test]
+    fn validation() {
+        assert!(HierarchicalParams { levels: vec![] }.validate().is_err());
+        assert!(HierarchicalParams {
+            levels: vec![Level {
+                size: 0,
+                edge_prob: 0.1
+            }],
+        }
+        .validate()
+        .is_err());
+        assert!(HierarchicalParams {
+            levels: vec![Level {
+                size: 3,
+                edge_prob: 1.2
+            }],
+        }
+        .validate()
+        .is_err());
+        assert!(HierarchicalParams {
+            levels: vec![
+                Level {
+                    size: 1 << 20,
+                    edge_prob: 0.1
+                };
+                2
+            ],
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = three_level();
+        let a = hierarchical(&p, &mut SmallRng::seed_from_u64(9)).unwrap();
+        let b = hierarchical(&p, &mut SmallRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,246 @@
+//! Complete k-ary trees — the tractable test case of the paper's §3.
+//!
+//! The source sits at the root; the paper's leaf-only receiver model picks
+//! among the `M = k^D` leaves, and the all-sites model (§3.4) among every
+//! non-root node.
+
+use crate::error::GenError;
+use mcast_topology::{Graph, GraphBuilder, NodeId};
+
+/// A complete k-ary tree of a given depth, with level-order node ids
+/// (root = 0; the children of node `i` are `k·i + 1 ..= k·i + k`).
+///
+/// ```
+/// use mcast_gen::kary::KaryTree;
+/// let tree = KaryTree::new(2, 3).unwrap();
+/// assert_eq!(tree.node_count(), 15);
+/// assert_eq!(tree.leaf_count(), 8);
+/// assert!(tree.is_leaf(7) && !tree.is_leaf(6));
+/// ```
+#[derive(Clone, Debug)]
+pub struct KaryTree {
+    k: u32,
+    depth: u32,
+    graph: Graph,
+    /// id of the first leaf (all later ids are leaves too).
+    first_leaf: NodeId,
+}
+
+impl KaryTree {
+    /// Build the complete `k`-ary tree of depth `depth`.
+    ///
+    /// `k = 1` degenerates to a path (useful because the paper treats `k`
+    /// as a continuous parameter in its asymptotics); `depth = 0` is a
+    /// single root node.
+    ///
+    /// # Errors
+    /// Fails if `k == 0` or the node count would overflow `NodeId`.
+    pub fn new(k: u32, depth: u32) -> Result<Self, GenError> {
+        if k == 0 {
+            return Err(GenError::invalid("k", "degree must be at least 1"));
+        }
+        let node_count = node_count_u128(k, depth);
+        if node_count > NodeId::MAX as u128 {
+            return Err(GenError::TooLarge {
+                requested: node_count,
+            });
+        }
+        let n = node_count as usize;
+        let mut b = GraphBuilder::new(n);
+        for child in 1..n as u64 {
+            let parent = (child - 1) / u64::from(k);
+            b.add_edge(parent as NodeId, child as NodeId);
+        }
+        let internal = node_count - leaf_count_u128(k, depth);
+        Ok(Self {
+            k,
+            depth,
+            graph: b.build(),
+            first_leaf: internal as NodeId,
+        })
+    }
+
+    /// Branching factor.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Depth `D` (root at level 0, leaves at level `D`).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consume into the underlying graph.
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    /// Total number of nodes, `(k^(D+1) − 1)/(k − 1)`.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of leaves, `M = k^D`.
+    pub fn leaf_count(&self) -> usize {
+        leaf_count_u128(self.k, self.depth) as usize
+    }
+
+    /// The root (the paper's source location).
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Id of the first leaf; ids `first_leaf()..node_count()` are leaves.
+    pub fn first_leaf(&self) -> NodeId {
+        self.first_leaf
+    }
+
+    /// Iterator over all leaf ids.
+    pub fn leaves(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.first_leaf..self.node_count() as NodeId
+    }
+
+    /// Whether `v` is a leaf.
+    pub fn is_leaf(&self, v: NodeId) -> bool {
+        v >= self.first_leaf
+    }
+
+    /// Level (= hop distance from the root) of node `v`.
+    pub fn level_of(&self, v: NodeId) -> u32 {
+        if self.k == 1 {
+            return v;
+        }
+        // Level l starts at id (k^l - 1)/(k - 1).
+        let mut level = 0u32;
+        let mut start = 0u128;
+        let mut width = 1u128;
+        let v = v as u128;
+        loop {
+            if v < start + width {
+                return level;
+            }
+            start += width;
+            width *= u128::from(self.k);
+            level += 1;
+        }
+    }
+
+    /// Parent of `v`, or `None` for the root.
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        if v == 0 {
+            None
+        } else {
+            Some((u64::from(v) - 1) as NodeId / self.k)
+        }
+    }
+}
+
+fn leaf_count_u128(k: u32, depth: u32) -> u128 {
+    (u128::from(k)).pow(depth)
+}
+
+fn node_count_u128(k: u32, depth: u32) -> u128 {
+    if k == 1 {
+        u128::from(depth) + 1
+    } else {
+        ((u128::from(k)).pow(depth + 1) - 1) / (u128::from(k) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::bfs::Bfs;
+
+    #[test]
+    fn binary_depth3_counts() {
+        let t = KaryTree::new(2, 3).unwrap();
+        assert_eq!(t.node_count(), 15);
+        assert_eq!(t.leaf_count(), 8);
+        assert_eq!(t.first_leaf(), 7);
+        assert_eq!(t.graph().edge_count(), 14);
+        assert_eq!(t.leaves().count(), 8);
+        assert!(t.is_leaf(7));
+        assert!(!t.is_leaf(6));
+    }
+
+    #[test]
+    fn levels_match_bfs_distance() {
+        let t = KaryTree::new(3, 4).unwrap();
+        let bfs = Bfs::new(t.graph()).run(t.root());
+        for v in t.graph().nodes() {
+            assert_eq!(t.level_of(v), bfs.distance(v).unwrap(), "node {v}");
+        }
+    }
+
+    #[test]
+    fn leaves_are_exactly_depth_d() {
+        let t = KaryTree::new(4, 3).unwrap();
+        let bfs = Bfs::new(t.graph()).run(0);
+        for v in t.graph().nodes() {
+            let is_leaf_by_distance = bfs.distance(v).unwrap() == t.depth();
+            assert_eq!(t.is_leaf(v), is_leaf_by_distance, "node {v}");
+        }
+    }
+
+    #[test]
+    fn parent_is_graph_neighbor() {
+        let t = KaryTree::new(3, 3).unwrap();
+        for v in t.graph().nodes().skip(1) {
+            let p = t.parent(v).unwrap();
+            assert!(t.graph().has_edge(p, v));
+            assert_eq!(t.level_of(p) + 1, t.level_of(v));
+        }
+        assert_eq!(t.parent(0), None);
+    }
+
+    #[test]
+    fn unary_tree_is_path() {
+        let t = KaryTree::new(1, 5).unwrap();
+        assert_eq!(t.node_count(), 6);
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.first_leaf(), 5);
+        assert_eq!(t.level_of(4), 4);
+    }
+
+    #[test]
+    fn depth_zero_is_single_node() {
+        let t = KaryTree::new(2, 0).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.first_leaf(), 0);
+        assert!(t.is_leaf(0));
+    }
+
+    #[test]
+    fn zero_degree_rejected() {
+        assert!(matches!(
+            KaryTree::new(0, 3),
+            Err(GenError::InvalidParameter { name: "k", .. })
+        ));
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        assert!(matches!(
+            KaryTree::new(2, 40),
+            Err(GenError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn paper_scale_trees_build() {
+        // The largest tree in the paper's figures: k=2, D=17 (262,143 nodes).
+        let t = KaryTree::new(2, 17).unwrap();
+        assert_eq!(t.leaf_count(), 1 << 17);
+        assert_eq!(t.node_count(), (1 << 18) - 1);
+        // k=4, D=9 (349,525 nodes).
+        let t4 = KaryTree::new(4, 9).unwrap();
+        assert_eq!(t4.leaf_count(), 4usize.pow(9));
+    }
+}

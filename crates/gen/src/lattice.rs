@@ -1,0 +1,125 @@
+//! Regular lattices: 2-D grids and tori.
+//!
+//! Lattices are the cleanest *real graphs* with polynomial reachability
+//! (`S(r) ~ r` in 2-D), so they let the §4.3 non-exponential analysis be
+//! checked against actual simulation rather than only against synthetic
+//! `S(r)` profiles — see the `fig8` experiment's empirical companion.
+
+use crate::error::GenError;
+use mcast_topology::{Graph, GraphBuilder, NodeId};
+
+fn checked_dims(width: usize, height: usize) -> Result<usize, GenError> {
+    if width == 0 || height == 0 {
+        return Err(GenError::invalid("width/height", "must be at least 1"));
+    }
+    let n = (width as u128) * (height as u128);
+    if n > NodeId::MAX as u128 {
+        return Err(GenError::TooLarge { requested: n });
+    }
+    Ok(n as usize)
+}
+
+/// A `width × height` 2-D grid (open boundaries). Node `(r, c)` has id
+/// `r·width + c`.
+pub fn grid_2d(width: usize, height: usize) -> Result<Graph, GenError> {
+    let n = checked_dims(width, height)?;
+    let mut b = GraphBuilder::new(n);
+    let id = |r: usize, c: usize| (r * width + c) as NodeId;
+    for r in 0..height {
+        for c in 0..width {
+            if c + 1 < width {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < height {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// A `width × height` 2-D torus (wrap-around boundaries): vertex-transitive,
+/// so reachability is source-independent — ideal for clean `S(r) ~ r`
+/// measurements. Degenerate dimensions (1 or 2) collapse the wrap edge.
+pub fn torus_2d(width: usize, height: usize) -> Result<Graph, GenError> {
+    let n = checked_dims(width, height)?;
+    let mut b = GraphBuilder::new(n);
+    let id = |r: usize, c: usize| (r * width + c) as NodeId;
+    for r in 0..height {
+        for c in 0..width {
+            if width > 1 {
+                b.add_edge(id(r, c), id(r, (c + 1) % width));
+            }
+            if height > 1 {
+                b.add_edge(id(r, c), id((r + 1) % height, c));
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::components::Components;
+    use mcast_topology::reachability::Reachability;
+
+    #[test]
+    fn grid_counts() {
+        let g = grid_2d(4, 3).unwrap();
+        assert_eq!(g.node_count(), 12);
+        // Edges: 3 rows × 3 horizontal + 2 × 4 vertical = 9 + 8.
+        assert_eq!(g.edge_count(), 17);
+        assert!(Components::find(&g).is_connected());
+    }
+
+    #[test]
+    fn torus_counts_and_regularity() {
+        let g = torus_2d(5, 4).unwrap();
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 40); // 2 per node
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4, "node {v}");
+        }
+    }
+
+    #[test]
+    fn torus_reachability_is_linear_in_r() {
+        // On an odd torus far from wrap, S(r) = 4r (diamond shells).
+        let g = torus_2d(31, 31).unwrap();
+        let reach = Reachability::from_source(&g, 0);
+        for r in 1..10 {
+            assert_eq!(reach.s(r), 4 * r as u64, "r={r}");
+        }
+        assert_eq!(reach.total(), 31 * 31);
+    }
+
+    #[test]
+    fn torus_is_vertex_transitive_for_reachability() {
+        let g = torus_2d(7, 9).unwrap();
+        let a = Reachability::from_source(&g, 0);
+        let b = Reachability::from_source(&g, 40);
+        assert_eq!(a.s_vec(), b.s_vec());
+    }
+
+    #[test]
+    fn degenerate_dimensions() {
+        let line = grid_2d(5, 1).unwrap();
+        assert_eq!(line.edge_count(), 4);
+        let ring = torus_2d(5, 1).unwrap();
+        assert_eq!(ring.edge_count(), 5);
+        let single = grid_2d(1, 1).unwrap();
+        assert_eq!(single.node_count(), 1);
+        assert_eq!(single.edge_count(), 0);
+        // Width 2 torus: wrap edge coincides with the grid edge.
+        let two = torus_2d(2, 1).unwrap();
+        assert_eq!(two.edge_count(), 1);
+    }
+
+    #[test]
+    fn invalid_dimensions() {
+        assert!(grid_2d(0, 4).is_err());
+        assert!(torus_2d(4, 0).is_err());
+        assert!(grid_2d(1 << 20, 1 << 20).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! Topology generators for the multicast-scaling study.
+//!
+//! The paper's experiments run over eight topologies: four *generated*
+//! (GT-ITM-style flat random "r100", GT-ITM-style transit-stub "ts1000" /
+//! "ts1008", TIERS-style "ti5000") and four *real* (ARPA, MBone, Internet
+//! router map, NLANR AS map). This crate provides from-scratch
+//! implementations of all the generator families plus stand-ins for the
+//! real maps (see `DESIGN.md` §3 for the substitution rationale):
+//!
+//! * [`kary`] — complete k-ary trees (the analytical workhorse of §3);
+//! * [`lattice`] — 2-D grids and tori: real graphs with the polynomial
+//!   reachability of §4.3's non-exponential analysis;
+//! * [`random`] — Erdős–Rényi `G(n, p)` / `G(n, m)` flat random graphs;
+//! * [`waxman`] — Waxman's distance-biased random graphs;
+//! * [`transit_stub`] — two-level transit/stub hierarchies in the GT-ITM
+//!   style;
+//! * [`hierarchical`] — GT-ITM's general N-level hierarchical method;
+//! * [`tiers`] — three-level WAN/MAN/LAN hierarchies in the TIERS style,
+//!   built from Euclidean spanning trees plus redundancy edges;
+//! * [`power_law`] — preferential-attachment graphs with power-law degrees
+//!   (stand-ins for the Internet router and AS maps);
+//! * [`overlay`] — sparse cluster-and-tunnel overlays (stand-in for the
+//!   MBone map, whose sub-exponential reachability the paper highlights);
+//! * [`arpa`] — an embedded 47-node reconstruction of the ARPANET topology.
+//!
+//! All generators are deterministic given an explicit [`rand::Rng`]; the
+//! experiment suite derives every RNG from a fixed seed so published tables
+//! regenerate exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arpa;
+pub mod connect;
+pub mod error;
+pub mod hierarchical;
+pub mod kary;
+pub mod lattice;
+pub mod overlay;
+pub mod power_law;
+pub mod random;
+pub mod tiers;
+pub mod transit_stub;
+pub mod waxman;
+
+pub use error::GenError;
+pub use kary::KaryTree;

@@ -1,0 +1,229 @@
+//! Sparse cluster-and-tunnel overlays — the MBone stand-in.
+//!
+//! The paper notes that "the MBone remains partially an overlay network,
+//! which may affect the nature of T(r)": its measured `ln T(r)` has a
+//! slight concavity (sub-exponential growth), and its `L̂(n)` fits the
+//! exponential-case prediction poorly (Figs 6b/7b). We reproduce that
+//! *shape* with a spatial overlay: dense router clusters arranged on a 2-D
+//! grid, neighbouring clusters joined by tunnel chains, plus a few random
+//! long-range tunnels. Grid locality makes the reachable ball grow
+//! polynomially (`T(r) ~ r²`) at the inter-cluster scale — mildly concave
+//! on a log plot, exactly the MBone signature.
+
+use crate::connect::random_tree_edges;
+use crate::error::GenError;
+use mcast_topology::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Parameters of the overlay generator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OverlayParams {
+    /// Clusters are arranged on a `grid_dim × grid_dim` grid.
+    pub grid_dim: usize,
+    /// Routers per cluster (internally a random connected block).
+    pub cluster_size: usize,
+    /// Extra intra-cluster edges per node beyond the spanning tree.
+    pub intra_extra_edges: usize,
+    /// Intermediate nodes on each inter-cluster tunnel chain (0 = a direct
+    /// edge between border routers).
+    pub tunnel_length: usize,
+    /// Random long-range tunnels added across the whole overlay.
+    pub long_range_tunnels: usize,
+}
+
+impl OverlayParams {
+    /// Stand-in for the paper's MBone map: ≈ 4,000 nodes, average degree
+    /// ≈ 2.8, sub-exponential reachability.
+    pub fn mbone() -> Self {
+        Self {
+            grid_dim: 10,
+            cluster_size: 38,
+            intra_extra_edges: 1,
+            tunnel_length: 1,
+            long_range_tunnels: 8,
+        }
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        let clusters = self.grid_dim * self.grid_dim;
+        let chains = 2 * self.grid_dim * (self.grid_dim.saturating_sub(1));
+        clusters * self.cluster_size + chains * self.tunnel_length
+    }
+
+    /// Validate parameter ranges.
+    pub fn validate(&self) -> Result<(), GenError> {
+        if self.grid_dim == 0 {
+            return Err(GenError::invalid("grid_dim", "must be at least 1"));
+        }
+        if self.cluster_size == 0 {
+            return Err(GenError::invalid("cluster_size", "must be at least 1"));
+        }
+        if self.node_count() > NodeId::MAX as usize {
+            return Err(GenError::TooLarge {
+                requested: self.node_count() as u128,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Generate an overlay topology; connected by construction.
+pub fn overlay<R: Rng + ?Sized>(params: OverlayParams, rng: &mut R) -> Result<Graph, GenError> {
+    params.validate()?;
+    let dim = params.grid_dim;
+    let cs = params.cluster_size;
+    let clusters = dim * dim;
+    let mut b = GraphBuilder::new(params.node_count());
+
+    // Cluster interiors: spanning tree + a few extra edges.
+    for c in 0..clusters {
+        let base = (c * cs) as NodeId;
+        for (u, v) in random_tree_edges(cs, rng) {
+            b.add_edge(base + u, base + v);
+        }
+        let extras = params.intra_extra_edges * cs / 2;
+        for _ in 0..extras {
+            let u = base + rng.gen_range(0..cs) as NodeId;
+            let v = base + rng.gen_range(0..cs) as NodeId;
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+    }
+
+    // Tunnels between grid-adjacent clusters.
+    let mut next = (clusters * cs) as NodeId;
+    let tunnel = |b: &mut GraphBuilder, ca: usize, cb: usize, rng: &mut R, next: &mut NodeId| {
+        let u = (ca * cs) as NodeId + rng.gen_range(0..cs) as NodeId;
+        let v = (cb * cs) as NodeId + rng.gen_range(0..cs) as NodeId;
+        if params.tunnel_length == 0 {
+            b.add_edge(u, v);
+            return;
+        }
+        let mut prev = u;
+        for _ in 0..params.tunnel_length {
+            let mid = *next;
+            *next += 1;
+            b.add_edge(prev, mid);
+            prev = mid;
+        }
+        b.add_edge(prev, v);
+    };
+    for row in 0..dim {
+        for col in 0..dim {
+            let c = row * dim + col;
+            if col + 1 < dim {
+                tunnel(&mut b, c, c + 1, rng, &mut next);
+            }
+            if row + 1 < dim {
+                tunnel(&mut b, c, c + dim, rng, &mut next);
+            }
+        }
+    }
+
+    // Long-range tunnels (direct edges) between random clusters.
+    for _ in 0..params.long_range_tunnels {
+        let ca = rng.gen_range(0..clusters);
+        let cb = rng.gen_range(0..clusters);
+        if ca != cb {
+            let u = (ca * cs) as NodeId + rng.gen_range(0..cs) as NodeId;
+            let v = (cb * cs) as NodeId + rng.gen_range(0..cs) as NodeId;
+            b.add_edge(u, v);
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::components::Components;
+    use mcast_topology::reachability::AverageReachability;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mbone_stand_in_shape() {
+        let p = OverlayParams::mbone();
+        assert_eq!(p.node_count(), 100 * 38 + 180);
+        let g = overlay(p, &mut SmallRng::seed_from_u64(1)).unwrap();
+        assert_eq!(g.node_count(), p.node_count());
+        assert!(Components::find(&g).is_connected());
+        let deg = g.average_degree();
+        assert!((2.2..3.4).contains(&deg), "average degree {deg}");
+    }
+
+    #[test]
+    fn reachability_is_subexponential() {
+        // The whole point of the stand-in: ln T(r) should fit a straight
+        // line *worse* than a comparable random graph.
+        let p = OverlayParams {
+            grid_dim: 8,
+            cluster_size: 20,
+            intra_extra_edges: 1,
+            tunnel_length: 1,
+            long_range_tunnels: 0,
+        };
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = overlay(p, &mut rng).unwrap();
+        let sources: Vec<_> = (0..20u32).map(|i| i * 37 % g.node_count() as u32).collect();
+        let overlay_r2 = AverageReachability::over_sources(&g, &sources).exponential_fit_r2(0.9);
+        let rnd = crate::random::random_with_degree(g.node_count(), g.average_degree(), &mut rng)
+            .unwrap();
+        let rnd_r2 = AverageReachability::over_sources(&rnd, &sources).exponential_fit_r2(0.9);
+        assert!(
+            overlay_r2 < rnd_r2,
+            "overlay r2 {overlay_r2} should be below random-graph r2 {rnd_r2}"
+        );
+    }
+
+    #[test]
+    fn single_cluster_no_tunnels() {
+        let p = OverlayParams {
+            grid_dim: 1,
+            cluster_size: 10,
+            intra_extra_edges: 0,
+            tunnel_length: 5,
+            long_range_tunnels: 0,
+        };
+        assert_eq!(p.node_count(), 10);
+        let g = overlay(p, &mut SmallRng::seed_from_u64(3)).unwrap();
+        assert!(Components::find(&g).is_connected());
+        assert_eq!(g.edge_count(), 9); // just the spanning tree
+    }
+
+    #[test]
+    fn zero_length_tunnels_are_direct_edges() {
+        let p = OverlayParams {
+            grid_dim: 2,
+            cluster_size: 5,
+            intra_extra_edges: 0,
+            tunnel_length: 0,
+            long_range_tunnels: 0,
+        };
+        assert_eq!(p.node_count(), 20);
+        let g = overlay(p, &mut SmallRng::seed_from_u64(4)).unwrap();
+        assert!(Components::find(&g).is_connected());
+        // 4 clusters × 4 tree edges + 4 grid tunnels.
+        assert_eq!(g.edge_count(), 16 + 4);
+    }
+
+    #[test]
+    fn validation() {
+        let mut p = OverlayParams::mbone();
+        p.grid_dim = 0;
+        assert!(p.validate().is_err());
+        let mut p = OverlayParams::mbone();
+        p.cluster_size = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = OverlayParams::mbone();
+        let a = overlay(p, &mut SmallRng::seed_from_u64(6)).unwrap();
+        let b = overlay(p, &mut SmallRng::seed_from_u64(6)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,215 @@
+//! Flat random graphs (the GT-ITM "r" topology style).
+//!
+//! The paper's `r100` topology is a 100-node flat random graph. We provide
+//! the two classical models: `G(n, p)` (each pair an edge independently
+//! with probability `p`) and `G(n, m)` (exactly `m` distinct edges chosen
+//! uniformly), plus connected variants that patch components together.
+
+use crate::connect::connect_components;
+use crate::error::GenError;
+use mcast_topology::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Erdős–Rényi `G(n, p)`.
+///
+/// Uses geometric skipping so the cost is `O(n + E)` rather than `O(n²)`
+/// for sparse graphs.
+///
+/// # Errors
+/// Fails unless `0 ≤ p ≤ 1`.
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph, GenError> {
+    if !(0.0..=1.0).contains(&p) || p.is_nan() {
+        return Err(GenError::invalid(
+            "p",
+            format!("probability {p} not in [0, 1]"),
+        ));
+    }
+    let mut b = GraphBuilder::new(n);
+    if p == 0.0 || n < 2 {
+        return Ok(b.build());
+    }
+    if p == 1.0 {
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                b.add_edge(u, v);
+            }
+        }
+        return Ok(b.build());
+    }
+    // Enumerate candidate pairs in lexicographic order, skipping a
+    // Geometric(p) number of pairs between successive edges.
+    let total_pairs = n as u64 * (n as u64 - 1) / 2;
+    let log1mp = (-p).ln_1p();
+    let mut idx: u64 = 0;
+    loop {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let skip = (u.ln() / log1mp).floor() as u64;
+        idx = match idx.checked_add(skip) {
+            Some(i) => i,
+            None => break,
+        };
+        if idx >= total_pairs {
+            break;
+        }
+        let (a, bnode) = pair_from_index(n as u64, idx);
+        b.add_edge(a as NodeId, bnode as NodeId);
+        idx += 1;
+    }
+    Ok(b.build())
+}
+
+/// Map a lexicographic pair index to the pair `(u, v)`, `u < v`, over `n`
+/// nodes: index 0 → (0,1), 1 → (0,2), …
+fn pair_from_index(n: u64, idx: u64) -> (u64, u64) {
+    // Pairs preceding row u: f(u) = u·(2n − u − 1)/2. Invert with the
+    // quadratic formula, then nudge to absorb floating-point error.
+    let before = |u: u64| u * (2 * n - u - 1) / 2;
+    let disc = ((2 * n - 1) as f64).powi(2) - 8.0 * idx as f64;
+    let mut u = (((2 * n - 1) as f64 - disc.max(0.0).sqrt()) / 2.0).floor() as u64;
+    while u > 0 && before(u) > idx {
+        u -= 1;
+    }
+    while before(u + 1) <= idx {
+        u += 1;
+    }
+    let v = u + 1 + (idx - before(u));
+    (u, v)
+}
+
+/// `G(n, m)`: exactly `m` distinct edges drawn uniformly (rejection
+/// sampling; suitable for the sparse graphs this study uses).
+///
+/// # Errors
+/// Fails if `m` exceeds the number of distinct pairs.
+pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Graph, GenError> {
+    let total = n as u128 * (n as u128 - 1) / 2;
+    if (m as u128) > total {
+        return Err(GenError::invalid(
+            "m",
+            format!("{m} edges requested but only {total} pairs exist"),
+        ));
+    }
+    let mut b = GraphBuilder::new(n);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n as NodeId);
+        let v = rng.gen_range(0..n as NodeId);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            b.add_edge(key.0, key.1);
+        }
+    }
+    Ok(b.build())
+}
+
+/// `G(n, p)` patched to be connected (minimum extra edges between
+/// components, chosen at random).
+pub fn gnp_connected<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph, GenError> {
+    let g = gnp(n, p, rng)?;
+    Ok(connect_components(&g, rng))
+}
+
+/// Random graph targeting an average degree: `G(n, m)` with
+/// `m = round(n·degree/2)`, patched to be connected.
+pub fn random_with_degree<R: Rng + ?Sized>(
+    n: usize,
+    average_degree: f64,
+    rng: &mut R,
+) -> Result<Graph, GenError> {
+    if average_degree < 0.0 || average_degree.is_nan() {
+        return Err(GenError::invalid("average_degree", "must be non-negative"));
+    }
+    let m = ((n as f64) * average_degree / 2.0).round() as usize;
+    let g = gnm(n, m, rng)?;
+    Ok(connect_components(&g, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::components::Components;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let empty = gnp(10, 0.0, &mut rng).unwrap();
+        assert_eq!(empty.edge_count(), 0);
+        let full = gnp(10, 1.0, &mut rng).unwrap();
+        assert_eq!(full.edge_count(), 45);
+    }
+
+    #[test]
+    fn gnp_invalid_probability() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(gnp(5, -0.1, &mut rng).is_err());
+        assert!(gnp(5, 1.5, &mut rng).is_err());
+        assert!(gnp(5, f64::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let n = 400;
+        let p = 0.05;
+        let g = gnp(n, p, &mut rng).unwrap();
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let sd = (expected * (1.0 - p)).sqrt();
+        let got = g.edge_count() as f64;
+        assert!(
+            (got - expected).abs() < 5.0 * sd,
+            "edges {got} vs expected {expected} ± {sd}"
+        );
+    }
+
+    #[test]
+    fn pair_from_index_enumerates_lexicographically() {
+        let n = 6u64;
+        let mut idx = 0u64;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                assert_eq!(pair_from_index(n, idx), (u, v), "idx {idx}");
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn gnm_exact_count_and_validity() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = gnm(20, 30, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 30);
+        assert!(gnm(4, 7, &mut rng).is_err()); // only 6 pairs
+        let full = gnm(4, 6, &mut rng).unwrap();
+        assert_eq!(full.edge_count(), 6);
+    }
+
+    #[test]
+    fn connected_variants_are_connected() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = gnp_connected(120, 0.01, &mut rng).unwrap();
+        assert!(Components::find(&g).is_connected());
+        let h = random_with_degree(200, 3.0, &mut rng).unwrap();
+        assert!(Components::find(&h).is_connected());
+        // Average degree close to the target (connectivity patching adds a
+        // few extra edges at this density).
+        assert!(
+            (h.average_degree() - 3.0).abs() < 0.5,
+            "{}",
+            h.average_degree()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = gnp(50, 0.08, &mut SmallRng::seed_from_u64(3)).unwrap();
+        let b = gnp(50, 0.08, &mut SmallRng::seed_from_u64(3)).unwrap();
+        assert_eq!(a, b);
+        let c = gnp(50, 0.08, &mut SmallRng::seed_from_u64(4)).unwrap();
+        assert_ne!(a, c);
+    }
+}

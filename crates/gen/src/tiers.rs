@@ -1,0 +1,294 @@
+//! Three-level WAN/MAN/LAN hierarchies in the TIERS style
+//! (Doar, GLOBECOM '96 — reference \[7\] of the paper).
+//!
+//! TIERS lays each network's nodes out in the plane, connects them with a
+//! Euclidean minimum spanning tree, and adds a configurable number of
+//! redundant links from each node to its nearest non-neighbours. LANs are
+//! star-shaped host clusters hanging off MAN nodes; MAN gateways hang off
+//! WAN nodes. The resulting `ti5000`-style topologies have long spatial
+//! paths, which is exactly why the paper finds their reachability function
+//! `T(r)` *sub-exponential* (Fig 7) and their `L̂(n)` fit to the
+//! exponential-case prediction poor (Fig 6).
+
+use crate::error::GenError;
+use mcast_topology::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Parameters of the TIERS-style generator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TiersParams {
+    /// Nodes in the single WAN.
+    pub wan_nodes: usize,
+    /// Number of MANs (each attached to a random WAN node).
+    pub man_count: usize,
+    /// Nodes per MAN.
+    pub man_nodes: usize,
+    /// LANs per MAN (each attached to a random MAN node).
+    pub lans_per_man: usize,
+    /// Hosts per LAN (a star: one hub + hosts−1 leaves).
+    pub lan_hosts: usize,
+    /// Redundant extra links per WAN node (to nearest non-neighbours).
+    pub wan_redundancy: usize,
+    /// Redundant extra links per MAN node.
+    pub man_redundancy: usize,
+}
+
+impl TiersParams {
+    /// Parameters reproducing the paper's `ti5000`: 5000 nodes.
+    pub fn ti5000() -> Self {
+        Self {
+            wan_nodes: 50,
+            man_count: 15,
+            man_nodes: 30,
+            lans_per_man: 10,
+            lan_hosts: 30,
+            wan_redundancy: 1,
+            man_redundancy: 1,
+        }
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.wan_nodes
+            + self.man_count * self.man_nodes
+            + self.man_count * self.lans_per_man * self.lan_hosts
+    }
+
+    /// Validate parameter ranges.
+    pub fn validate(&self) -> Result<(), GenError> {
+        if self.wan_nodes == 0 {
+            return Err(GenError::invalid("wan_nodes", "must be at least 1"));
+        }
+        if self.man_count > 0 && self.man_nodes == 0 {
+            return Err(GenError::invalid("man_nodes", "must be at least 1"));
+        }
+        if self.man_count > 0 && self.lans_per_man > 0 && self.lan_hosts == 0 {
+            return Err(GenError::invalid("lan_hosts", "must be at least 1"));
+        }
+        if self.node_count() > NodeId::MAX as usize {
+            return Err(GenError::TooLarge {
+                requested: self.node_count() as u128,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Generate a TIERS-style topology; connected by construction.
+pub fn tiers<R: Rng + ?Sized>(params: TiersParams, rng: &mut R) -> Result<Graph, GenError> {
+    params.validate()?;
+    let mut b = GraphBuilder::new(params.node_count());
+
+    // WAN: spatial MST + redundancy over ids 0..wan_nodes.
+    let wan_points = random_points(params.wan_nodes, rng);
+    spatial_network(&mut b, 0, &wan_points, params.wan_redundancy);
+
+    let mut next = params.wan_nodes as NodeId;
+    for _ in 0..params.man_count {
+        // MAN interior.
+        let man_base = next;
+        let man_points = random_points(params.man_nodes, rng);
+        spatial_network(&mut b, man_base, &man_points, params.man_redundancy);
+        next += params.man_nodes as NodeId;
+        // MAN gateway (its node 0) to a random WAN node.
+        let wan_attach = rng.gen_range(0..params.wan_nodes) as NodeId;
+        b.add_edge(man_base, wan_attach);
+
+        // LANs: star hubs on random MAN nodes.
+        for _ in 0..params.lans_per_man {
+            let hub = next;
+            next += params.lan_hosts as NodeId;
+            let man_attach = man_base + rng.gen_range(0..params.man_nodes) as NodeId;
+            b.add_edge(hub, man_attach);
+            for host in (hub + 1)..next {
+                b.add_edge(hub, host);
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+fn random_points<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect()
+}
+
+/// Add a Euclidean-MST-plus-redundancy network over ids
+/// `base..base+points.len()`.
+fn spatial_network(b: &mut GraphBuilder, base: NodeId, points: &[(f64, f64)], redundancy: usize) {
+    let n = points.len();
+    if n <= 1 {
+        return;
+    }
+    let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (u, v) in euclidean_mst(points) {
+        b.add_edge(base + u as NodeId, base + v as NodeId);
+        adjacency[u].push(v);
+        adjacency[v].push(u);
+    }
+    // Redundancy: each node links to its `redundancy` nearest
+    // not-yet-adjacent nodes (deterministic given the point set).
+    for u in 0..n {
+        let mut candidates: Vec<(f64, usize)> = (0..n)
+            .filter(|&v| v != u && !adjacency[u].contains(&v))
+            .map(|v| (dist2(points[u], points[v]), v))
+            .collect();
+        candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("distances are finite"));
+        for &(_, v) in candidates.iter().take(redundancy) {
+            b.add_edge(base + u as NodeId, base + v as NodeId);
+            adjacency[u].push(v);
+            adjacency[v].push(u);
+        }
+    }
+}
+
+#[inline]
+fn dist2(a: (f64, f64), b: (f64, f64)) -> f64 {
+    (a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)
+}
+
+/// Euclidean minimum spanning tree by Prim's algorithm, O(n²).
+pub fn euclidean_mst(points: &[(f64, f64)]) -> Vec<(usize, usize)> {
+    let n = points.len();
+    if n <= 1 {
+        return Vec::new();
+    }
+    let mut in_tree = vec![false; n];
+    let mut best = vec![f64::INFINITY; n];
+    let mut best_from = vec![0usize; n];
+    let mut edges = Vec::with_capacity(n - 1);
+    in_tree[0] = true;
+    for v in 1..n {
+        best[v] = dist2(points[0], points[v]);
+    }
+    for _ in 1..n {
+        let u = (0..n)
+            .filter(|&v| !in_tree[v])
+            .min_by(|&a, &b| best[a].partial_cmp(&best[b]).expect("finite"))
+            .expect("some node remains");
+        in_tree[u] = true;
+        edges.push((best_from[u], u));
+        for v in 0..n {
+            if !in_tree[v] {
+                let d = dist2(points[u], points[v]);
+                if d < best[v] {
+                    best[v] = d;
+                    best_from[v] = u;
+                }
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::components::Components;
+    use mcast_topology::graph::from_edges;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mst_is_spanning_tree() {
+        let pts = [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (2.0, 2.0), (0.5, 0.5)];
+        let edges = euclidean_mst(&pts);
+        assert_eq!(edges.len(), 4);
+        let g = from_edges(
+            5,
+            &edges
+                .iter()
+                .map(|&(u, v)| (u as NodeId, v as NodeId))
+                .collect::<Vec<_>>(),
+        );
+        assert!(Components::find(&g).is_connected());
+    }
+
+    #[test]
+    fn mst_on_collinear_points_is_the_chain() {
+        let pts: Vec<(f64, f64)> = (0..6).map(|i| (i as f64, 0.0)).collect();
+        let mut edges = euclidean_mst(&pts);
+        for e in &mut edges {
+            if e.0 > e.1 {
+                *e = (e.1, e.0);
+            }
+        }
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+    }
+
+    #[test]
+    fn mst_trivial_inputs() {
+        assert!(euclidean_mst(&[]).is_empty());
+        assert!(euclidean_mst(&[(0.3, 0.4)]).is_empty());
+    }
+
+    #[test]
+    fn ti5000_matches_paper_shape() {
+        let params = TiersParams::ti5000();
+        assert_eq!(params.node_count(), 5000);
+        let g = tiers(params, &mut SmallRng::seed_from_u64(1)).unwrap();
+        assert_eq!(g.node_count(), 5000);
+        assert!(Components::find(&g).is_connected());
+        // TIERS graphs are sparse (hosts are leaves).
+        let deg = g.average_degree();
+        assert!((1.8..3.5).contains(&deg), "average degree {deg}");
+    }
+
+    #[test]
+    fn small_tiers_layout_is_connected() {
+        let params = TiersParams {
+            wan_nodes: 5,
+            man_count: 2,
+            man_nodes: 4,
+            lans_per_man: 2,
+            lan_hosts: 3,
+            wan_redundancy: 1,
+            man_redundancy: 0,
+        };
+        assert_eq!(params.node_count(), 5 + 8 + 12);
+        let g = tiers(params, &mut SmallRng::seed_from_u64(2)).unwrap();
+        assert!(Components::find(&g).is_connected());
+    }
+
+    #[test]
+    fn lan_hosts_are_leaves() {
+        let params = TiersParams {
+            wan_nodes: 3,
+            man_count: 1,
+            man_nodes: 3,
+            lans_per_man: 1,
+            lan_hosts: 4,
+            wan_redundancy: 0,
+            man_redundancy: 0,
+        };
+        let g = tiers(params, &mut SmallRng::seed_from_u64(3)).unwrap();
+        // Last lan_hosts-1 nodes are star leaves with degree 1.
+        let n = g.node_count();
+        for v in (n - 3)..n {
+            assert_eq!(g.degree(v as NodeId), 1, "node {v}");
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_params() {
+        let mut p = TiersParams::ti5000();
+        p.wan_nodes = 0;
+        assert!(p.validate().is_err());
+        let mut p = TiersParams::ti5000();
+        p.man_nodes = 0;
+        assert!(p.validate().is_err());
+        let mut p = TiersParams::ti5000();
+        p.lan_hosts = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = TiersParams::ti5000();
+        let a = tiers(p, &mut SmallRng::seed_from_u64(7)).unwrap();
+        let b = tiers(p, &mut SmallRng::seed_from_u64(7)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,319 @@
+//! Two-level transit-stub hierarchies in the GT-ITM style
+//! (Calvert/Doar/Zegura, IEEE Comm. Mag. '97 — reference \[1\] of the paper).
+//!
+//! The Internet's domain structure is modelled as a connected graph of
+//! *transit domains*; every transit node anchors several *stub domains*;
+//! extra transit–stub and stub–stub edges add the multihoming the real
+//! network exhibits. The paper's `ts1000` (1000 nodes, average degree 3.6)
+//! and `ts1008` (1008 nodes, average degree 7.5) topologies are produced by
+//! [`TransitStubParams::ts1000`] and [`TransitStubParams::ts1008`].
+//!
+//! As the paper notes (§4.2), GT-ITM "constructs portions of the graph
+//! randomly while constraining the gross structure", which is why
+//! transit-stub reachability functions look exponential despite very
+//! different average degrees.
+
+use crate::connect::random_tree_edges;
+use crate::error::GenError;
+use mcast_topology::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Parameters of the transit-stub generator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TransitStubParams {
+    /// Number of transit domains.
+    pub transit_domains: usize,
+    /// Nodes per transit domain.
+    pub transit_domain_size: usize,
+    /// Stub domains attached to each transit node.
+    pub stubs_per_transit_node: usize,
+    /// Nodes per stub domain.
+    pub stub_domain_size: usize,
+    /// Extra intra-domain edge probability for transit domains (on top of
+    /// the spanning tree that guarantees connectivity).
+    pub transit_edge_prob: f64,
+    /// Extra intra-domain edge probability for stub domains.
+    pub stub_edge_prob: f64,
+    /// Additional random transit–stub edges (multihoming).
+    pub extra_transit_stub_edges: usize,
+    /// Additional random stub–stub edges (peering).
+    pub extra_stub_stub_edges: usize,
+}
+
+impl TransitStubParams {
+    /// Parameters reproducing the paper's `ts1000`: 1000 nodes,
+    /// average degree ≈ 3.6.
+    pub fn ts1000() -> Self {
+        Self {
+            transit_domains: 4,
+            transit_domain_size: 5,
+            stubs_per_transit_node: 7,
+            stub_domain_size: 7,
+            transit_edge_prob: 0.6,
+            stub_edge_prob: 0.42,
+            extra_transit_stub_edges: 30,
+            extra_stub_stub_edges: 30,
+        }
+    }
+
+    /// Parameters reproducing the paper's `ts1008`: 1008 nodes,
+    /// average degree ≈ 7.5.
+    pub fn ts1008() -> Self {
+        Self {
+            transit_domains: 6,
+            transit_domain_size: 8,
+            stubs_per_transit_node: 4,
+            stub_domain_size: 5,
+            transit_edge_prob: 0.8,
+            stub_edge_prob: 0.55,
+            extra_transit_stub_edges: 850,
+            extra_stub_stub_edges: 850,
+        }
+    }
+
+    /// Total node count of the generated topology.
+    pub fn node_count(&self) -> usize {
+        let transit = self.transit_domains * self.transit_domain_size;
+        transit + transit * self.stubs_per_transit_node * self.stub_domain_size
+    }
+
+    /// Validate the parameter ranges.
+    pub fn validate(&self) -> Result<(), GenError> {
+        if self.transit_domains == 0 {
+            return Err(GenError::invalid("transit_domains", "must be at least 1"));
+        }
+        if self.transit_domain_size == 0 {
+            return Err(GenError::invalid(
+                "transit_domain_size",
+                "must be at least 1",
+            ));
+        }
+        if self.stub_domain_size == 0 && self.stubs_per_transit_node > 0 {
+            return Err(GenError::invalid("stub_domain_size", "must be at least 1"));
+        }
+        for (name, p) in [
+            ("transit_edge_prob", self.transit_edge_prob),
+            ("stub_edge_prob", self.stub_edge_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(GenError::invalid(
+                    name,
+                    format!("probability {p} not in [0, 1]"),
+                ));
+            }
+        }
+        if self.node_count() > NodeId::MAX as usize {
+            return Err(GenError::TooLarge {
+                requested: self.node_count() as u128,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Node-id layout of a generated transit-stub topology, for tests and
+/// structured receiver placement: transit nodes come first
+/// (domain-major), then stub nodes grouped by owning transit node.
+#[derive(Clone, Debug)]
+pub struct TransitStubLayout {
+    /// Number of transit nodes (ids `0..transit_count`).
+    pub transit_count: usize,
+    /// `stub_ranges[i]` = id range of the i-th stub domain.
+    pub stub_ranges: Vec<std::ops::Range<NodeId>>,
+}
+
+/// Generate a transit-stub topology; connected by construction.
+pub fn transit_stub<R: Rng + ?Sized>(
+    params: TransitStubParams,
+    rng: &mut R,
+) -> Result<Graph, GenError> {
+    Ok(transit_stub_with_layout(params, rng)?.0)
+}
+
+/// As [`transit_stub`], also returning the id layout.
+pub fn transit_stub_with_layout<R: Rng + ?Sized>(
+    params: TransitStubParams,
+    rng: &mut R,
+) -> Result<(Graph, TransitStubLayout), GenError> {
+    params.validate()?;
+    let t_domains = params.transit_domains;
+    let t_size = params.transit_domain_size;
+    let transit_count = t_domains * t_size;
+    let mut b = GraphBuilder::new(params.node_count());
+
+    // Transit domain interiors: spanning tree + random extra edges.
+    for d in 0..t_domains {
+        let base = (d * t_size) as NodeId;
+        connected_random_block(&mut b, base, t_size, params.transit_edge_prob, rng);
+    }
+    // Top-level domain graph: random tree over domains plus one extra
+    // random inter-domain edge per domain pair with modest probability,
+    // each realised as an edge between random member nodes.
+    for (da, db) in random_tree_edges(t_domains, rng) {
+        let u = (da as usize * t_size) as NodeId + rng.gen_range(0..t_size) as NodeId;
+        let v = (db as usize * t_size) as NodeId + rng.gen_range(0..t_size) as NodeId;
+        b.add_edge(u, v);
+    }
+    for da in 0..t_domains {
+        for db in (da + 1)..t_domains {
+            if rng.gen::<f64>() < 0.25 {
+                let u = (da * t_size + rng.gen_range(0..t_size)) as NodeId;
+                let v = (db * t_size + rng.gen_range(0..t_size)) as NodeId;
+                b.add_edge(u, v);
+            }
+        }
+    }
+
+    // Stub domains, each anchored to its transit node by one edge.
+    let s_size = params.stub_domain_size;
+    let mut next = transit_count as NodeId;
+    let mut stub_ranges = Vec::new();
+    for transit_node in 0..transit_count as NodeId {
+        for _ in 0..params.stubs_per_transit_node {
+            let base = next;
+            connected_random_block(&mut b, base, s_size, params.stub_edge_prob, rng);
+            let anchor = base + rng.gen_range(0..s_size) as NodeId;
+            b.add_edge(transit_node, anchor);
+            stub_ranges.push(base..base + s_size as NodeId);
+            next += s_size as NodeId;
+        }
+    }
+
+    // Multihoming and peering extras.
+    let stub_total = params.node_count() - transit_count;
+    if stub_total > 0 {
+        for _ in 0..params.extra_transit_stub_edges {
+            let t = rng.gen_range(0..transit_count) as NodeId;
+            let s = transit_count as NodeId + rng.gen_range(0..stub_total) as NodeId;
+            b.add_edge(t, s);
+        }
+        for _ in 0..params.extra_stub_stub_edges {
+            let s1 = transit_count as NodeId + rng.gen_range(0..stub_total) as NodeId;
+            let s2 = transit_count as NodeId + rng.gen_range(0..stub_total) as NodeId;
+            if s1 != s2 {
+                b.add_edge(s1, s2);
+            }
+        }
+    }
+
+    Ok((
+        b.build(),
+        TransitStubLayout {
+            transit_count,
+            stub_ranges,
+        },
+    ))
+}
+
+/// Add a connected random block over ids `base..base+size`: a random
+/// spanning tree plus each remaining pair independently with probability
+/// `extra_prob`.
+fn connected_random_block<R: Rng + ?Sized>(
+    b: &mut GraphBuilder,
+    base: NodeId,
+    size: usize,
+    extra_prob: f64,
+    rng: &mut R,
+) {
+    for (u, v) in random_tree_edges(size, rng) {
+        b.add_edge(base + u, base + v);
+    }
+    for u in 0..size as NodeId {
+        for v in (u + 1)..size as NodeId {
+            if rng.gen::<f64>() < extra_prob {
+                b.add_edge(base + u, base + v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::components::Components;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ts1000_matches_paper_shape() {
+        let params = TransitStubParams::ts1000();
+        assert_eq!(params.node_count(), 1000);
+        let g = transit_stub(params, &mut SmallRng::seed_from_u64(1)).unwrap();
+        assert_eq!(g.node_count(), 1000);
+        assert!(Components::find(&g).is_connected());
+        let deg = g.average_degree();
+        assert!((3.0..4.2).contains(&deg), "average degree {deg}");
+    }
+
+    #[test]
+    fn ts1008_matches_paper_shape() {
+        let params = TransitStubParams::ts1008();
+        assert_eq!(params.node_count(), 1008);
+        let g = transit_stub(params, &mut SmallRng::seed_from_u64(1)).unwrap();
+        assert_eq!(g.node_count(), 1008);
+        assert!(Components::find(&g).is_connected());
+        let deg = g.average_degree();
+        assert!((6.5..8.5).contains(&deg), "average degree {deg}");
+    }
+
+    #[test]
+    fn layout_partitions_nodes() {
+        let params = TransitStubParams {
+            transit_domains: 2,
+            transit_domain_size: 3,
+            stubs_per_transit_node: 2,
+            stub_domain_size: 4,
+            transit_edge_prob: 0.5,
+            stub_edge_prob: 0.5,
+            extra_transit_stub_edges: 3,
+            extra_stub_stub_edges: 3,
+        };
+        let (g, layout) =
+            transit_stub_with_layout(params, &mut SmallRng::seed_from_u64(5)).unwrap();
+        assert_eq!(layout.transit_count, 6);
+        assert_eq!(layout.stub_ranges.len(), 12);
+        let covered: usize = layout.stub_ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(layout.transit_count + covered, g.node_count());
+        // Ranges are disjoint and ordered.
+        for w in layout.stub_ranges.windows(2) {
+            assert!(w[0].end <= w[1].start);
+        }
+        assert!(Components::find(&g).is_connected());
+    }
+
+    #[test]
+    fn stub_anchoring_gives_every_stub_domain_outside_access() {
+        let params = TransitStubParams::ts1000();
+        let (g, layout) =
+            transit_stub_with_layout(params, &mut SmallRng::seed_from_u64(9)).unwrap();
+        for range in &layout.stub_ranges {
+            let has_external = range.clone().any(|v| {
+                g.neighbors(v)
+                    .iter()
+                    .any(|&u| u < range.start || u >= range.end)
+            });
+            assert!(has_external, "stub domain {range:?} is isolated");
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_params() {
+        let mut p = TransitStubParams::ts1000();
+        p.transit_domains = 0;
+        assert!(p.validate().is_err());
+        let mut p = TransitStubParams::ts1000();
+        p.stub_edge_prob = 1.7;
+        assert!(p.validate().is_err());
+        let mut p = TransitStubParams::ts1000();
+        p.transit_domain_size = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = TransitStubParams::ts1000();
+        let a = transit_stub(p, &mut SmallRng::seed_from_u64(3)).unwrap();
+        let b = transit_stub(p, &mut SmallRng::seed_from_u64(3)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,186 @@
+//! Waxman random graphs (Waxman, JSAC '88 — reference \[10\] of the paper).
+//!
+//! Nodes are placed uniformly in the unit square and each pair `(u, v)` is
+//! linked with probability `α · exp(−d(u, v) / (β · L))`, where `d` is the
+//! Euclidean distance and `L = √2` the maximal distance. This is the edge
+//! model GT-ITM uses inside its domains; we also expose it standalone.
+
+use crate::connect::connect_components;
+use crate::error::GenError;
+use mcast_topology::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Parameters of the Waxman model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WaxmanParams {
+    /// Overall edge density, `0 < α ≤ 1`.
+    pub alpha: f64,
+    /// Distance decay: larger β ⇒ long edges more likely, `β > 0`.
+    pub beta: f64,
+}
+
+impl WaxmanParams {
+    /// Validate the parameter ranges.
+    pub fn validate(&self) -> Result<(), GenError> {
+        if self.alpha.is_nan() || self.alpha <= 0.0 || self.alpha > 1.0 {
+            return Err(GenError::invalid("alpha", "must be in (0, 1]"));
+        }
+        if self.beta.is_nan() || self.beta <= 0.0 {
+            return Err(GenError::invalid("beta", "must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// Generate a Waxman graph over `n` uniformly placed nodes.
+pub fn waxman<R: Rng + ?Sized>(
+    n: usize,
+    params: WaxmanParams,
+    rng: &mut R,
+) -> Result<Graph, GenError> {
+    params.validate()?;
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    Ok(waxman_over_points(&points, params, rng))
+}
+
+/// Waxman edges over caller-provided points (used by the hierarchy
+/// generators, which lay points out per-domain).
+pub fn waxman_over_points<R: Rng + ?Sized>(
+    points: &[(f64, f64)],
+    params: WaxmanParams,
+    rng: &mut R,
+) -> Graph {
+    let n = points.len();
+    let l = std::f64::consts::SQRT_2;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let dx = points[u].0 - points[v].0;
+            let dy = points[u].1 - points[v].1;
+            let d = (dx * dx + dy * dy).sqrt();
+            let p = params.alpha * (-d / (params.beta * l)).exp();
+            if rng.gen::<f64>() < p {
+                b.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Connected Waxman graph (components patched with minimal extra edges).
+pub fn waxman_connected<R: Rng + ?Sized>(
+    n: usize,
+    params: WaxmanParams,
+    rng: &mut R,
+) -> Result<Graph, GenError> {
+    let g = waxman(n, params, rng)?;
+    Ok(connect_components(&g, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::components::Components;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    const P: WaxmanParams = WaxmanParams {
+        alpha: 0.25,
+        beta: 0.2,
+    };
+
+    #[test]
+    fn parameter_validation() {
+        assert!(WaxmanParams {
+            alpha: 0.0,
+            beta: 0.1
+        }
+        .validate()
+        .is_err());
+        assert!(WaxmanParams {
+            alpha: 1.5,
+            beta: 0.1
+        }
+        .validate()
+        .is_err());
+        assert!(WaxmanParams {
+            alpha: 0.5,
+            beta: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(WaxmanParams {
+            alpha: 0.5,
+            beta: -1.0
+        }
+        .validate()
+        .is_err());
+        assert!(P.validate().is_ok());
+    }
+
+    #[test]
+    fn denser_alpha_means_more_edges() {
+        let sparse = waxman(
+            150,
+            WaxmanParams {
+                alpha: 0.1,
+                beta: 0.2,
+            },
+            &mut SmallRng::seed_from_u64(2),
+        )
+        .unwrap();
+        let dense = waxman(
+            150,
+            WaxmanParams {
+                alpha: 0.9,
+                beta: 0.2,
+            },
+            &mut SmallRng::seed_from_u64(2),
+        )
+        .unwrap();
+        assert!(dense.edge_count() > sparse.edge_count());
+    }
+
+    #[test]
+    fn short_edges_dominate_for_small_beta() {
+        // With a tiny beta, edges should connect mostly nearby points:
+        // compare mean edge length against the all-pairs mean (~0.52).
+        let n = 200;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+        let g = waxman_over_points(
+            &points,
+            WaxmanParams {
+                alpha: 1.0,
+                beta: 0.05,
+            },
+            &mut rng,
+        );
+        assert!(g.edge_count() > 20, "need enough edges to average");
+        let mean_len: f64 = g
+            .edges()
+            .map(|(u, v)| {
+                let (a, b) = (points[u as usize], points[v as usize]);
+                ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+            })
+            .sum::<f64>()
+            / g.edge_count() as f64;
+        assert!(mean_len < 0.25, "mean edge length {mean_len}");
+    }
+
+    #[test]
+    fn connected_variant_is_connected() {
+        let g = waxman_connected(120, P, &mut SmallRng::seed_from_u64(4)).unwrap();
+        assert!(Components::find(&g).is_connected());
+        assert_eq!(g.node_count(), 120);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = waxman(60, P, &mut SmallRng::seed_from_u64(9)).unwrap();
+        let b = waxman(60, P, &mut SmallRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests for the topology generators.
+
+use mcast_gen::hierarchical::{hierarchical, HierarchicalParams, Level};
+use mcast_gen::kary::KaryTree;
+use mcast_gen::lattice::{grid_2d, torus_2d};
+use mcast_gen::overlay::{overlay, OverlayParams};
+use mcast_gen::power_law::{power_law, PowerLawParams};
+use mcast_gen::random::{gnm, gnp};
+use mcast_gen::tiers::{euclidean_mst, tiers, TiersParams};
+use mcast_gen::transit_stub::{transit_stub_with_layout, TransitStubParams};
+use mcast_gen::waxman::{waxman, WaxmanParams};
+use mcast_topology::bfs::Bfs;
+use mcast_topology::components::Components;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn kary_structure_invariants(k in 1u32..6, depth in 0u32..8) {
+        let t = KaryTree::new(k, depth).unwrap();
+        let g = t.graph();
+        // A tree: E = V − 1, connected.
+        prop_assert_eq!(g.edge_count() + 1, g.node_count());
+        prop_assert!(Components::find(g).is_connected());
+        // Leaf count and layout.
+        prop_assert_eq!(t.leaves().count(), t.leaf_count());
+        prop_assert_eq!(t.leaf_count() as u128, (k as u128).pow(depth));
+        // Every node's level equals its BFS distance from the root.
+        let bfs = Bfs::new(g).run(t.root());
+        for v in g.nodes() {
+            prop_assert_eq!(t.level_of(v), bfs.distance(v).unwrap());
+        }
+    }
+
+    #[test]
+    fn gnm_produces_exactly_m_edges(n in 2usize..60, seed in any::<u64>()) {
+        let max_edges = n * (n - 1) / 2;
+        let m = max_edges / 2;
+        let g = gnm(n, m, &mut SmallRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(g.edge_count(), m);
+        prop_assert_eq!(g.node_count(), n);
+    }
+
+    #[test]
+    fn gnp_monotone_in_p_on_average(n in 20usize..80, seed in any::<u64>()) {
+        let mut rng1 = SmallRng::seed_from_u64(seed);
+        let mut rng2 = SmallRng::seed_from_u64(seed.wrapping_add(1));
+        let sparse = gnp(n, 0.05, &mut rng1).unwrap();
+        let dense = gnp(n, 0.5, &mut rng2).unwrap();
+        // Not guaranteed pointwise, but the densities are far enough
+        // apart that a violation means a broken sampler.
+        prop_assert!(dense.edge_count() > sparse.edge_count());
+    }
+
+    #[test]
+    fn transit_stub_layout_is_a_partition(
+        domains in 1usize..4,
+        dsize in 1usize..5,
+        stubs in 0usize..4,
+        ssize in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let params = TransitStubParams {
+            transit_domains: domains,
+            transit_domain_size: dsize,
+            stubs_per_transit_node: stubs,
+            stub_domain_size: ssize,
+            transit_edge_prob: 0.4,
+            stub_edge_prob: 0.4,
+            extra_transit_stub_edges: 2,
+            extra_stub_stub_edges: 2,
+        };
+        let (g, layout) = transit_stub_with_layout(params, &mut SmallRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(g.node_count(), params.node_count());
+        prop_assert!(Components::find(&g).is_connected());
+        let covered: usize = layout.stub_ranges.iter().map(|r| r.len()).sum();
+        prop_assert_eq!(layout.transit_count + covered, g.node_count());
+    }
+
+    #[test]
+    fn tiers_counts_and_connectivity(
+        wan in 2usize..8,
+        mans in 0usize..4,
+        msize in 1usize..6,
+        lans in 0usize..3,
+        hosts in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let params = TiersParams {
+            wan_nodes: wan,
+            man_count: mans,
+            man_nodes: msize,
+            lans_per_man: lans,
+            lan_hosts: hosts,
+            wan_redundancy: 1,
+            man_redundancy: 1,
+        };
+        let g = tiers(params, &mut SmallRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(g.node_count(), params.node_count());
+        prop_assert!(Components::find(&g).is_connected());
+    }
+
+    #[test]
+    fn euclidean_mst_is_minimal_under_edge_swap(seed in any::<u64>()) {
+        // Cut property spot check: every MST edge is no longer than the
+        // direct distance between any pair it separates… cheap version:
+        // total MST length <= total length of the star from node 0.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        use rand::Rng;
+        let pts: Vec<(f64, f64)> = (0..12).map(|_| (rng.gen(), rng.gen())).collect();
+        let dist = |a: usize, b: usize| {
+            let (p, q) = (pts[a], pts[b]);
+            ((p.0 - q.0).powi(2) + (p.1 - q.1).powi(2)).sqrt()
+        };
+        let mst = euclidean_mst(&pts);
+        prop_assert_eq!(mst.len(), pts.len() - 1);
+        let mst_len: f64 = mst.iter().map(|&(a, b)| dist(a, b)).sum();
+        let star_len: f64 = (1..pts.len()).map(|v| dist(0, v)).sum();
+        prop_assert!(mst_len <= star_len + 1e-12);
+    }
+
+    #[test]
+    fn power_law_connected_and_sized(n in 2usize..300, epn in 1.0f64..2.5, seed in any::<u64>()) {
+        let g = power_law(
+            PowerLawParams { nodes: n, edges_per_node: epn },
+            &mut SmallRng::seed_from_u64(seed),
+        ).unwrap();
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(Components::find(&g).is_connected());
+        // Every arriving node adds >= 1 edge: E >= n − 1.
+        prop_assert!(g.edge_count() >= n - 1);
+    }
+
+    #[test]
+    fn overlay_connected(dim in 1usize..5, cs in 1usize..10, tl in 0usize..3, seed in any::<u64>()) {
+        let p = OverlayParams {
+            grid_dim: dim,
+            cluster_size: cs,
+            intra_extra_edges: 1,
+            tunnel_length: tl,
+            long_range_tunnels: 2,
+        };
+        let g = overlay(p, &mut SmallRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(g.node_count(), p.node_count());
+        prop_assert!(Components::find(&g).is_connected());
+    }
+
+    #[test]
+    fn lattice_counts(w in 1usize..12, h in 1usize..12) {
+        let grid = grid_2d(w, h).unwrap();
+        prop_assert_eq!(grid.node_count(), w * h);
+        prop_assert_eq!(grid.edge_count(), (w - 1) * h + w * (h - 1));
+        prop_assert!(Components::find(&grid).is_connected());
+        let torus = torus_2d(w, h).unwrap();
+        prop_assert!(Components::find(&torus).is_connected());
+        // Torus has at least as many edges as the grid.
+        prop_assert!(torus.edge_count() >= grid.edge_count());
+    }
+
+    #[test]
+    fn hierarchical_counts(l1 in 1usize..5, l2 in 1usize..6, l3 in 1usize..6, seed in any::<u64>()) {
+        let p = HierarchicalParams {
+            levels: vec![
+                Level { size: l1, edge_prob: 0.3 },
+                Level { size: l2, edge_prob: 0.3 },
+                Level { size: l3, edge_prob: 0.3 },
+            ],
+        };
+        let g = hierarchical(&p, &mut SmallRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(g.node_count() as u128, p.node_count());
+        prop_assert!(Components::find(&g).is_connected());
+    }
+
+    #[test]
+    fn waxman_respects_density_ordering(seed in any::<u64>()) {
+        let lo = waxman(80, WaxmanParams { alpha: 0.05, beta: 0.15 }, &mut SmallRng::seed_from_u64(seed)).unwrap();
+        let hi = waxman(80, WaxmanParams { alpha: 0.95, beta: 0.5 }, &mut SmallRng::seed_from_u64(seed)).unwrap();
+        prop_assert!(hi.edge_count() > lo.edge_count());
+    }
+}

@@ -1,0 +1,4 @@
+//! Shell crate: integration tests live in /tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

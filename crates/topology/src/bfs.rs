@@ -1,0 +1,295 @@
+//! Breadth-first shortest paths and shortest-path trees.
+//!
+//! Everything in the paper is hop-count based, so BFS is the single
+//! shortest-path engine of the workspace. [`Bfs`] owns reusable scratch
+//! buffers so repeated traversals (hundreds of thousands per experiment)
+//! allocate nothing after the first run.
+
+use crate::graph::{Graph, NodeId};
+
+/// Sentinel distance for unreached nodes.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// A completed single-source shortest-path tree.
+///
+/// `parent[source] == source`; unreachable nodes have `parent == UNREACHED`
+/// (as a `NodeId`) and `dist == UNREACHED`.
+#[derive(Clone, Debug)]
+pub struct SpTree {
+    source: NodeId,
+    dist: Vec<u32>,
+    parent: Vec<NodeId>,
+    /// Nodes in BFS discovery order (source first); only reached nodes.
+    order: Vec<NodeId>,
+}
+
+impl SpTree {
+    /// The source this tree is rooted at.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Hop distance from the source, or `None` if unreachable.
+    #[inline]
+    pub fn distance(&self, v: NodeId) -> Option<u32> {
+        match self.dist[v as usize] {
+            UNREACHED => None,
+            d => Some(d),
+        }
+    }
+
+    /// Raw distance slice (`UNREACHED` marks unreachable nodes).
+    #[inline]
+    pub fn distances(&self) -> &[u32] {
+        &self.dist
+    }
+
+    /// BFS parent of `v` (deterministic: the lowest-id node at distance
+    /// `d-1` adjacent to `v`, because adjacency lists are sorted and the
+    /// queue is FIFO). `None` for the source itself and unreachable nodes.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        if v == self.source {
+            return None;
+        }
+        match self.parent[v as usize] {
+            UNREACHED => None,
+            p => Some(p),
+        }
+    }
+
+    /// Nodes in discovery order (source first). Excludes unreachable nodes.
+    #[inline]
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Number of nodes reached (including the source).
+    #[inline]
+    pub fn reached_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether every node of the graph was reached.
+    #[inline]
+    pub fn all_reached(&self) -> bool {
+        self.order.len() == self.dist.len()
+    }
+
+    /// Maximum finite distance (the source's eccentricity within its
+    /// component). Zero for a single-node component.
+    pub fn eccentricity(&self) -> u32 {
+        self.order
+            .iter()
+            .map(|&v| self.dist[v as usize])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum of finite distances from the source to every reached node —
+    /// the numerator of the average unicast path length.
+    pub fn total_distance(&self) -> u64 {
+        self.order
+            .iter()
+            .map(|&v| u64::from(self.dist[v as usize]))
+            .sum()
+    }
+
+    /// The unicast path from the source to `v` (inclusive of both ends),
+    /// following BFS parents. `None` if `v` is unreachable.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        self.distance(v)?;
+        let mut path = vec![v];
+        let mut cur = v;
+        while cur != self.source {
+            cur = self.parent[cur as usize];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Reusable BFS engine over one graph.
+pub struct Bfs<'g> {
+    graph: &'g Graph,
+    dist: Vec<u32>,
+    parent: Vec<NodeId>,
+    queue: Vec<NodeId>,
+}
+
+impl<'g> Bfs<'g> {
+    /// New engine for `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        let n = graph.node_count();
+        Self {
+            graph,
+            dist: vec![UNREACHED; n],
+            parent: vec![UNREACHED; n],
+            queue: Vec::with_capacity(n),
+        }
+    }
+
+    /// The graph this engine traverses.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Run BFS from `source`, producing an owned [`SpTree`].
+    ///
+    /// # Panics
+    /// Panics if `source` is out of range.
+    pub fn run(&mut self, source: NodeId) -> SpTree {
+        self.run_scratch(source);
+        SpTree {
+            source,
+            dist: self.dist.clone(),
+            parent: self.parent.clone(),
+            order: self.queue.clone(),
+        }
+    }
+
+    /// Run BFS from `source` into the internal scratch buffers, avoiding
+    /// the copy that [`run`](Self::run) makes. Accessors below read the
+    /// scratch state until the next call.
+    pub fn run_scratch(&mut self, source: NodeId) {
+        assert!(
+            (source as usize) < self.graph.node_count(),
+            "source {source} out of range"
+        );
+        self.dist.fill(UNREACHED);
+        self.parent.fill(UNREACHED);
+        self.queue.clear();
+
+        self.dist[source as usize] = 0;
+        self.parent[source as usize] = source;
+        self.queue.push(source);
+        let mut head = 0usize;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let du = self.dist[u as usize];
+            for &w in self.graph.neighbors(u) {
+                if self.dist[w as usize] == UNREACHED {
+                    self.dist[w as usize] = du + 1;
+                    self.parent[w as usize] = u;
+                    self.queue.push(w);
+                }
+            }
+        }
+    }
+
+    /// Scratch distances from the last [`run_scratch`](Self::run_scratch).
+    #[inline]
+    pub fn scratch_distances(&self) -> &[u32] {
+        &self.dist
+    }
+
+    /// Scratch parents from the last [`run_scratch`](Self::run_scratch).
+    #[inline]
+    pub fn scratch_parents(&self) -> &[NodeId] {
+        &self.parent
+    }
+
+    /// Scratch discovery order from the last [`run_scratch`](Self::run_scratch).
+    #[inline]
+    pub fn scratch_order(&self) -> &[NodeId] {
+        &self.queue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::from_edges;
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n - 1).map(|i| (i as NodeId, i as NodeId + 1)).collect();
+        from_edges(n, &edges)
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = path_graph(5);
+        let t = Bfs::new(&g).run(0);
+        for v in 0..5 {
+            assert_eq!(t.distance(v), Some(v));
+        }
+        assert_eq!(t.eccentricity(), 4);
+        assert_eq!(t.total_distance(), 10); // 0+1+2+3+4
+    }
+
+    #[test]
+    fn parent_chain_on_path() {
+        let g = path_graph(4);
+        let t = Bfs::new(&g).run(0);
+        assert_eq!(t.parent(0), None);
+        assert_eq!(t.parent(1), Some(0));
+        assert_eq!(t.parent(3), Some(2));
+        assert_eq!(t.path_to(3), Some(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let g = from_edges(4, &[(0, 1)]); // 2, 3 isolated
+        let t = Bfs::new(&g).run(0);
+        assert_eq!(t.distance(2), None);
+        assert_eq!(t.parent(2), None);
+        assert_eq!(t.path_to(3), None);
+        assert_eq!(t.reached_count(), 2);
+        assert!(!t.all_reached());
+    }
+
+    #[test]
+    fn tie_break_prefers_lowest_id_parent() {
+        // Both 1 and 2 are at distance 1; node 3 is adjacent to both.
+        let g = from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let t = Bfs::new(&g).run(0);
+        assert_eq!(t.distance(3), Some(2));
+        assert_eq!(t.parent(3), Some(1)); // 1 dequeued before 2
+    }
+
+    #[test]
+    fn discovery_order_is_source_first_and_monotone_in_distance() {
+        let g = from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 5)]);
+        let t = Bfs::new(&g).run(0);
+        assert_eq!(t.order()[0], 0);
+        let ds: Vec<u32> = t.order().iter().map(|&v| t.distance(v).unwrap()).collect();
+        assert!(ds.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_owned_run() {
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let mut bfs = Bfs::new(&g);
+        let owned = bfs.run(2);
+        bfs.run_scratch(2);
+        assert_eq!(bfs.scratch_distances(), owned.distances());
+        // Re-running from another source fully resets state.
+        bfs.run_scratch(0);
+        assert_eq!(bfs.scratch_distances()[2], 2);
+    }
+
+    #[test]
+    fn source_is_its_own_root() {
+        let g = path_graph(3);
+        let t = Bfs::new(&g).run(1);
+        assert_eq!(t.source(), 1);
+        assert_eq!(t.distance(1), Some(0));
+        assert_eq!(t.parent(1), None);
+        assert_eq!(t.path_to(1), Some(vec![1]));
+    }
+
+    #[test]
+    fn cycle_distances_wrap_both_ways() {
+        let edges: Vec<_> = (0..6)
+            .map(|i| (i as NodeId, ((i + 1) % 6) as NodeId))
+            .collect();
+        let g = from_edges(6, &edges);
+        let t = Bfs::new(&g).run(0);
+        assert_eq!(t.distance(3), Some(3));
+        assert_eq!(t.distance(5), Some(1));
+        assert_eq!(t.eccentricity(), 3);
+    }
+}

@@ -1,0 +1,176 @@
+//! Connected components and largest-component extraction.
+//!
+//! Generated topologies (flat random graphs in particular) are not always
+//! connected; the paper's measurement methodology implicitly assumes every
+//! receiver is reachable from every source, so the experiment suite extracts
+//! the largest connected component before measuring.
+
+use crate::bfs::{Bfs, UNREACHED};
+use crate::graph::{Graph, GraphBuilder, NodeId};
+
+/// A labelling of every node with its component index.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// `labels[v]` = component index of node `v`, dense in `0..count`.
+    labels: Vec<u32>,
+    /// `sizes[c]` = number of nodes in component `c`.
+    sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Compute components of `graph` by repeated BFS.
+    pub fn find(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let mut labels = vec![UNREACHED; n];
+        let mut sizes = Vec::new();
+        let mut bfs = Bfs::new(graph);
+        for v in graph.nodes() {
+            if labels[v as usize] != UNREACHED {
+                continue;
+            }
+            let label = sizes.len() as u32;
+            bfs.run_scratch(v);
+            let mut size = 0usize;
+            for &u in bfs.scratch_order() {
+                labels[u as usize] = label;
+                size += 1;
+            }
+            sizes.push(size);
+        }
+        Self { labels, sizes }
+    }
+
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Component label of node `v`.
+    pub fn label(&self, v: NodeId) -> u32 {
+        self.labels[v as usize]
+    }
+
+    /// Size of component `c`.
+    pub fn size(&self, c: u32) -> usize {
+        self.sizes[c as usize]
+    }
+
+    /// Label of the largest component (lowest label wins ties).
+    pub fn largest(&self) -> Option<u32> {
+        (0..self.sizes.len() as u32).max_by_key(|&c| (self.sizes[c as usize], std::cmp::Reverse(c)))
+    }
+
+    /// Whether the whole graph is one component (empty graphs count as
+    /// connected).
+    pub fn is_connected(&self) -> bool {
+        self.sizes.len() <= 1
+    }
+}
+
+/// Result of extracting an induced subgraph: the subgraph plus the mapping
+/// from new ids back to the original graph's ids.
+#[derive(Clone, Debug)]
+pub struct Extracted {
+    /// The induced subgraph, with dense ids `0..kept`.
+    pub graph: Graph,
+    /// `original[new_id]` = node id in the source graph.
+    pub original: Vec<NodeId>,
+}
+
+/// Extract the subgraph induced by the largest connected component.
+///
+/// Returns the input unchanged (with an identity mapping) when it is already
+/// connected.
+pub fn largest_component(graph: &Graph) -> Extracted {
+    let comps = Components::find(graph);
+    if comps.is_connected() {
+        return Extracted {
+            graph: graph.clone(),
+            original: graph.nodes().collect(),
+        };
+    }
+    let target = comps.largest().expect("non-empty graph has a component");
+    let mut new_id = vec![UNREACHED; graph.node_count()];
+    let mut original = Vec::new();
+    for v in graph.nodes() {
+        if comps.label(v) == target {
+            new_id[v as usize] = original.len() as NodeId;
+            original.push(v);
+        }
+    }
+    let mut b = GraphBuilder::new(original.len());
+    for (u, v) in graph.edges() {
+        if comps.label(u) == target && comps.label(v) == target {
+            b.add_edge(new_id[u as usize], new_id[v as usize]);
+        }
+    }
+    Extracted {
+        graph: b.build(),
+        original,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::from_edges;
+
+    #[test]
+    fn single_component() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        let c = Components::find(&g);
+        assert_eq!(c.count(), 1);
+        assert!(c.is_connected());
+        assert_eq!(c.largest(), Some(0));
+        assert_eq!(c.size(0), 3);
+    }
+
+    #[test]
+    fn two_components_and_isolate() {
+        let g = from_edges(6, &[(0, 1), (2, 3), (3, 4)]); // node 5 isolated
+        let c = Components::find(&g);
+        assert_eq!(c.count(), 3);
+        assert!(!c.is_connected());
+        let largest = c.largest().unwrap();
+        assert_eq!(c.size(largest), 3);
+        assert_eq!(c.label(2), c.label(4));
+        assert_ne!(c.label(0), c.label(2));
+    }
+
+    #[test]
+    fn largest_component_extraction_remaps_ids() {
+        let g = from_edges(6, &[(0, 1), (2, 3), (3, 4), (2, 4)]);
+        let ex = largest_component(&g);
+        assert_eq!(ex.graph.node_count(), 3);
+        assert_eq!(ex.graph.edge_count(), 3);
+        assert_eq!(ex.original, vec![2, 3, 4]);
+        // Triangle preserved under relabelling.
+        assert!(ex.graph.has_edge(0, 1));
+        assert!(ex.graph.has_edge(1, 2));
+        assert!(ex.graph.has_edge(0, 2));
+    }
+
+    #[test]
+    fn connected_input_returned_intact() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let ex = largest_component(&g);
+        assert_eq!(ex.graph, g);
+        assert_eq!(ex.original, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn largest_tie_prefers_lowest_label() {
+        let g = from_edges(4, &[(0, 1), (2, 3)]);
+        let c = Components::find(&g);
+        assert_eq!(c.largest(), Some(0));
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = GraphBuilder::new(0).build();
+        let c = Components::find(&g);
+        assert_eq!(c.count(), 0);
+        assert!(c.is_connected());
+        assert_eq!(c.largest(), None);
+    }
+}

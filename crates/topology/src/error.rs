@@ -1,0 +1,77 @@
+//! Error type for fallible topology operations (parsing, validation).
+
+use std::fmt;
+
+/// Errors produced by this crate's fallible operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// An edge-list line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// A node id referenced a node outside the declared range.
+    NodeOutOfRange {
+        /// The offending id.
+        id: u64,
+        /// Number of nodes available.
+        node_count: usize,
+    },
+    /// The operation requires a connected graph but the input was not.
+    Disconnected,
+    /// The operation requires a non-empty graph.
+    Empty,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            Self::NodeOutOfRange { id, node_count } => {
+                write!(
+                    f,
+                    "node id {id} out of range (graph has {node_count} nodes)"
+                )
+            }
+            Self::Disconnected => write!(f, "graph is not connected"),
+            Self::Empty => write!(f, "graph is empty"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TopologyError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert_eq!(e.to_string(), "parse error on line 3: bad token");
+        assert_eq!(
+            TopologyError::NodeOutOfRange {
+                id: 9,
+                node_count: 4
+            }
+            .to_string(),
+            "node id 9 out of range (graph has 4 nodes)"
+        );
+        assert_eq!(
+            TopologyError::Disconnected.to_string(),
+            "graph is not connected"
+        );
+        assert_eq!(TopologyError::Empty.to_string(), "graph is empty");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&TopologyError::Empty);
+    }
+}

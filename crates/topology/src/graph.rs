@@ -1,0 +1,310 @@
+//! Compact immutable undirected graph in CSR (compressed sparse row) form.
+
+use std::fmt;
+
+/// Identifier of a node: a dense index in `0..node_count`.
+///
+/// `u32` keeps adjacency arrays half the size of `usize` on 64-bit targets;
+/// the largest topology in the study (the Internet router map stand-in,
+/// 56,317 nodes) fits comfortably.
+pub type NodeId = u32;
+
+/// An immutable undirected graph.
+///
+/// Construction goes through [`GraphBuilder`], which performs the paper's
+/// topology "cleaning": self-loops and duplicate (parallel) edges are
+/// removed and all edges are treated as bidirectional. Adjacency lists are
+/// sorted, so iteration order — and therefore every BFS tie-break in the
+/// workspace — is deterministic.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors` for node `v`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted adjacency lists; each undirected edge appears twice.
+    neighbors: Vec<NodeId>,
+    /// Number of undirected edges (half the directed arc count).
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Number of nodes (including isolated ones declared to the builder).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges after cleaning.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted neighbours of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether the undirected edge `{u, v}` exists (binary search).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.node_count() as NodeId
+    }
+
+    /// Iterator over each undirected edge exactly once, as `(u, v)` with
+    /// `u < v` (self-loops never exist post-cleaning).
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Average degree `2E / N`. Returns 0.0 for the empty graph.
+    pub fn average_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            0.0
+        } else {
+            2.0 * self.edge_count as f64 / self.node_count() as f64
+        }
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.node_count())
+            .field("edges", &self.edge_count())
+            .finish()
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Collects raw edges (duplicates and self-loops welcome — they are cleaned
+/// at [`build`](GraphBuilder::build) time, mirroring the paper's treatment of
+/// the TIERS topologies, which "were cleaned by removing duplicate edges"
+/// with "all remaining edges … assumed to be bi-directional").
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    node_count: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// New builder for a graph with `node_count` nodes (ids `0..node_count`).
+    pub fn new(node_count: usize) -> Self {
+        assert!(
+            node_count <= NodeId::MAX as usize,
+            "node count {node_count} exceeds NodeId capacity"
+        );
+        Self {
+            node_count,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of raw (uncleaned) edges added so far.
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Grow the node set to at least `n` nodes.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        assert!(n <= NodeId::MAX as usize);
+        self.node_count = self.node_count.max(n);
+    }
+
+    /// Add a fresh node and return its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = self.node_count as NodeId;
+        self.node_count += 1;
+        id
+    }
+
+    /// Add an undirected edge. Direction, duplication and self-loops are
+    /// all normalised away at build time.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is `>= node_count`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(
+            (u as usize) < self.node_count && (v as usize) < self.node_count,
+            "edge ({u}, {v}) out of range for {} nodes",
+            self.node_count
+        );
+        self.edges.push((u, v));
+    }
+
+    /// Clean and freeze into an immutable [`Graph`].
+    pub fn build(mut self) -> Graph {
+        // Normalise to (min, max), drop self-loops, dedupe.
+        for e in &mut self.edges {
+            if e.0 > e.1 {
+                *e = (e.1, e.0);
+            }
+        }
+        self.edges.retain(|&(u, v)| u != v);
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let n = self.node_count;
+        let mut degrees = vec![0usize; n];
+        for &(u, v) in &self.edges {
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut acc = 0usize;
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0 as NodeId; acc];
+        for &(u, v) in &self.edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Edges were processed in sorted order, but per-node lists still need
+        // sorting because a node sees edges both as `min` and as `max` side.
+        for v in 0..n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph {
+            offsets,
+            neighbors,
+            edge_count: self.edges.len(),
+        }
+    }
+}
+
+/// Build a graph directly from an edge list over `node_count` nodes.
+pub fn from_edges(node_count: usize, edges: &[(NodeId, NodeId)]) -> Graph {
+    let mut b = GraphBuilder::new(node_count);
+    for &(u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let g = GraphBuilder::new(5).build();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 0);
+        }
+    }
+
+    #[test]
+    fn dedupes_and_drops_self_loops() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0); // duplicate, reversed
+        b.add_edge(0, 1); // duplicate, same direction
+        b.add_edge(2, 2); // self-loop
+        b.add_edge(1, 2);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(2), 1);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn adjacency_is_sorted() {
+        let mut b = GraphBuilder::new(6);
+        for v in [5, 3, 1, 4, 2] {
+            b.add_edge(0, v);
+        }
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1), (0, 2), (0, 3), (1, 2), (2, 3)]);
+        assert_eq!(es.len(), g.edge_count());
+    }
+
+    #[test]
+    fn average_degree_cycle() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ensure_nodes_and_add_node() {
+        let mut b = GraphBuilder::new(2);
+        b.ensure_nodes(4);
+        let v = b.add_node();
+        assert_eq!(v, 4);
+        b.add_edge(0, v);
+        let g = b.build();
+        assert_eq!(g.node_count(), 5);
+        assert!(g.has_edge(0, 4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        let g = from_edges(2, &[(0, 1)]);
+        let s = format!("{g:?}");
+        assert!(s.contains("nodes: 2"));
+        assert!(s.contains("edges: 1"));
+    }
+}

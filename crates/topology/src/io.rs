@@ -1,0 +1,218 @@
+//! A tiny edge-list text format.
+//!
+//! One edge per line as two whitespace-separated integer node ids; blank
+//! lines and `#` comments are ignored. The node count is one more than the
+//! largest id seen (or can be forced with a `nodes <n>` header line). This
+//! is the format the embedded ARPA dataset ships in and the format the
+//! `mcs` CLI accepts for user-supplied topologies.
+
+use crate::error::TopologyError;
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use std::fmt::Write as _;
+
+/// Parse an edge list from text.
+///
+/// ```
+/// let g = mcast_topology::io::parse_edge_list("# triangle\n0 1\n1 2\n2 0\n").unwrap();
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 3);
+/// ```
+pub fn parse_edge_list(text: &str) -> Result<Graph, TopologyError> {
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut declared_nodes: Option<usize> = None;
+    let mut max_id: u64 = 0;
+    let mut any = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let first = parts.next().expect("non-empty line has a token");
+        if first == "nodes" {
+            let n: u64 = parts
+                .next()
+                .ok_or_else(|| TopologyError::Parse {
+                    line: line_no,
+                    message: "`nodes` header missing a count".into(),
+                })?
+                .parse()
+                .map_err(|_| TopologyError::Parse {
+                    line: line_no,
+                    message: "`nodes` count is not an integer".into(),
+                })?;
+            if n > NodeId::MAX as u64 {
+                return Err(TopologyError::NodeOutOfRange {
+                    id: n,
+                    node_count: NodeId::MAX as usize,
+                });
+            }
+            declared_nodes = Some(n as usize);
+            continue;
+        }
+        let u: u64 = first.parse().map_err(|_| TopologyError::Parse {
+            line: line_no,
+            message: format!("expected integer node id, got `{first}`"),
+        })?;
+        let second = parts.next().ok_or_else(|| TopologyError::Parse {
+            line: line_no,
+            message: "edge line needs two node ids".into(),
+        })?;
+        let v: u64 = second.parse().map_err(|_| TopologyError::Parse {
+            line: line_no,
+            message: format!("expected integer node id, got `{second}`"),
+        })?;
+        if parts.next().is_some() {
+            return Err(TopologyError::Parse {
+                line: line_no,
+                message: "trailing tokens after edge".into(),
+            });
+        }
+        max_id = max_id.max(u).max(v);
+        if max_id > NodeId::MAX as u64 {
+            return Err(TopologyError::NodeOutOfRange {
+                id: max_id,
+                node_count: NodeId::MAX as usize,
+            });
+        }
+        edges.push((u as NodeId, v as NodeId));
+        any = true;
+    }
+
+    let inferred = if any { max_id as usize + 1 } else { 0 };
+    let node_count = match declared_nodes {
+        Some(n) => {
+            if inferred > n {
+                return Err(TopologyError::NodeOutOfRange {
+                    id: max_id,
+                    node_count: n,
+                });
+            }
+            n
+        }
+        None => inferred,
+    };
+    let mut b = GraphBuilder::new(node_count);
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+/// Serialise a graph to GraphViz DOT (undirected), for visual inspection
+/// of small topologies.
+pub fn write_dot(graph: &Graph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    let _ = writeln!(out, "  node [shape=circle];");
+    for v in graph.nodes() {
+        if graph.degree(v) == 0 {
+            let _ = writeln!(out, "  {v};");
+        }
+    }
+    for (u, v) in graph.edges() {
+        let _ = writeln!(out, "  {u} -- {v};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Serialise a graph to the edge-list format (with a `nodes` header so
+/// isolated trailing nodes survive a round trip).
+pub fn write_edge_list(graph: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "nodes {}", graph.node_count());
+    for (u, v) in graph.edges() {
+        let _ = writeln!(out, "{u} {v}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::from_edges;
+
+    #[test]
+    fn parses_comments_and_blanks() {
+        let g = parse_edge_list("# header\n\n0 1 # inline\n1 2\n").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn nodes_header_allows_isolated_tail() {
+        let g = parse_edge_list("nodes 5\n0 1\n").unwrap();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.degree(4), 0);
+    }
+
+    #[test]
+    fn nodes_header_too_small_is_error() {
+        let e = parse_edge_list("nodes 2\n0 5\n").unwrap_err();
+        assert!(matches!(
+            e,
+            TopologyError::NodeOutOfRange {
+                id: 5,
+                node_count: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn bad_tokens_are_parse_errors() {
+        assert!(matches!(
+            parse_edge_list("0 x\n").unwrap_err(),
+            TopologyError::Parse { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse_edge_list("0\n").unwrap_err(),
+            TopologyError::Parse { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse_edge_list("0 1 2\n").unwrap_err(),
+            TopologyError::Parse { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse_edge_list("nodes\n").unwrap_err(),
+            TopologyError::Parse { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = parse_edge_list("").unwrap();
+        assert_eq!(g.node_count(), 0);
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let text = write_edge_list(&g);
+        let g2 = parse_edge_list(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn round_trip_preserves_isolated_nodes() {
+        let g = from_edges(4, &[(0, 1)]);
+        let g2 = parse_edge_list(&write_edge_list(&g)).unwrap();
+        assert_eq!(g2.node_count(), 4);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn dot_output_shape() {
+        let g = from_edges(4, &[(0, 1), (1, 2)]); // node 3 isolated
+        let dot = write_dot(&g, "demo");
+        assert!(dot.starts_with("graph demo {"));
+        assert!(dot.contains("0 -- 1;"));
+        assert!(dot.contains("1 -- 2;"));
+        assert!(dot.contains("  3;"), "isolated node listed");
+        assert!(dot.trim_end().ends_with('}'));
+        // Each undirected edge appears exactly once.
+        assert_eq!(dot.matches(" -- ").count(), 2);
+    }
+}

@@ -1,0 +1,51 @@
+//! Graph substrate for the multicast-scaling study.
+//!
+//! This crate provides the foundation every experiment in the workspace sits
+//! on: a compact immutable undirected [`Graph`] (CSR adjacency), breadth-first
+//! shortest paths ([`bfs`]), connected components ([`components`]), topology
+//! metrics such as average unicast path length and diameter ([`metrics`]),
+//! the paper's reachability functions `S(r)` / `T(r)` ([`reachability`]), and
+//! a tiny edge-list text format ([`io`]).
+//!
+//! The paper ("Scaling of Multicast Trees", SIGCOMM '99) works exclusively
+//! with hop counts on cleaned, bidirectional topologies: duplicate edges are
+//! removed and every remaining edge is treated as undirected, and links are
+//! counted without length or bandwidth weights. [`GraphBuilder`] performs
+//! exactly that cleaning.
+//!
+//! # Example
+//!
+//! ```
+//! use mcast_topology::{GraphBuilder, bfs::Bfs};
+//!
+//! // A 4-cycle with a chord.
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(0, 1);
+//! b.add_edge(1, 2);
+//! b.add_edge(2, 3);
+//! b.add_edge(3, 0);
+//! b.add_edge(0, 2);
+//! b.add_edge(2, 0); // duplicate: cleaned away
+//! let g = b.build();
+//! assert_eq!(g.node_count(), 4);
+//! assert_eq!(g.edge_count(), 5);
+//!
+//! let tree = Bfs::new(&g).run(0);
+//! assert_eq!(tree.distance(2), Some(1)); // via the chord
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod bridges;
+pub mod components;
+pub mod error;
+pub mod graph;
+pub mod io;
+pub mod metrics;
+pub mod reachability;
+pub mod spdag;
+
+pub use error::TopologyError;
+pub use graph::{Graph, GraphBuilder, NodeId};

@@ -1,0 +1,259 @@
+//! The paper's reachability functions.
+//!
+//! For a graph and a chosen source, `S(r)` is the number of distinct sites
+//! exactly `r` hops from the source and `T(r) = Σ_{j<=r} S(j)` the number
+//! within `r` hops (the source itself is `S(0) = 1`). Section 4 of the paper
+//! shows the asymptotic form of the multicast tree size is controlled by
+//! whether `S(r)` grows exponentially; Figure 7 plots `ln T(r)` versus `r`
+//! averaged over random sources.
+
+use crate::bfs::Bfs;
+use crate::graph::{Graph, NodeId};
+
+/// Per-source reachability profile.
+///
+/// ```
+/// use mcast_topology::graph::from_edges;
+/// use mcast_topology::reachability::Reachability;
+///
+/// // A path graph seen from one end: S(r) = 1 at every hop.
+/// let g = from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+/// let reach = Reachability::from_source(&g, 0);
+/// assert_eq!(reach.s_vec(), &[1, 1, 1, 1]);
+/// assert_eq!(reach.t(2), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reachability {
+    s: Vec<u64>,
+}
+
+impl Reachability {
+    /// Compute the profile of `graph` seen from `source`.
+    pub fn from_source(graph: &Graph, source: NodeId) -> Self {
+        let mut bfs = Bfs::new(graph);
+        bfs.run_scratch(source);
+        Self::from_distances(bfs.scratch_distances(), bfs.scratch_order())
+    }
+
+    /// Build from precomputed BFS scratch state (distances + reached order).
+    pub fn from_distances(dist: &[u32], order: &[NodeId]) -> Self {
+        let ecc = order.iter().map(|&v| dist[v as usize]).max().unwrap_or(0);
+        let mut s = vec![0u64; ecc as usize + 1];
+        for &v in order {
+            s[dist[v as usize] as usize] += 1;
+        }
+        Self { s }
+    }
+
+    /// `S(r)`: sites exactly `r` hops away. Zero beyond the eccentricity.
+    pub fn s(&self, r: usize) -> u64 {
+        self.s.get(r).copied().unwrap_or(0)
+    }
+
+    /// `T(r)`: sites within `r` hops (inclusive; `T(0) = 1`).
+    pub fn t(&self, r: usize) -> u64 {
+        self.s.iter().take(r + 1).sum()
+    }
+
+    /// Full `S` vector, index = hop count.
+    pub fn s_vec(&self) -> &[u64] {
+        &self.s
+    }
+
+    /// Full cumulative `T` vector.
+    pub fn t_vec(&self) -> Vec<u64> {
+        let mut acc = 0u64;
+        self.s
+            .iter()
+            .map(|&x| {
+                acc += x;
+                acc
+            })
+            .collect()
+    }
+
+    /// Eccentricity of the source (largest `r` with `S(r) > 0`).
+    pub fn eccentricity(&self) -> usize {
+        self.s.len() - 1
+    }
+
+    /// Total sites reached, `T(eccentricity)`.
+    pub fn total(&self) -> u64 {
+        self.s.iter().sum()
+    }
+}
+
+/// `T(r)` averaged over several sources (the paper averages over its
+/// `N_source` random source choices). Entries beyond a source's
+/// eccentricity contribute that source's saturated total.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AverageReachability {
+    t: Vec<f64>,
+}
+
+impl AverageReachability {
+    /// Average the profiles of the given `sources` on `graph`.
+    ///
+    /// # Panics
+    /// Panics if `sources` is empty.
+    pub fn over_sources(graph: &Graph, sources: &[NodeId]) -> Self {
+        assert!(!sources.is_empty(), "need at least one source");
+        let mut bfs = Bfs::new(graph);
+        let mut profiles = Vec::with_capacity(sources.len());
+        let mut max_ecc = 0usize;
+        for &s in sources {
+            bfs.run_scratch(s);
+            let p = Reachability::from_distances(bfs.scratch_distances(), bfs.scratch_order());
+            max_ecc = max_ecc.max(p.eccentricity());
+            profiles.push(p);
+        }
+        let mut t = vec![0.0f64; max_ecc + 1];
+        for p in &profiles {
+            let tv = p.t_vec();
+            for (r, slot) in t.iter_mut().enumerate() {
+                let val = if r < tv.len() {
+                    tv[r]
+                } else {
+                    *tv.last().unwrap()
+                };
+                *slot += val as f64;
+            }
+        }
+        for slot in &mut t {
+            *slot /= sources.len() as f64;
+        }
+        Self { t }
+    }
+
+    /// Averaged `T(r)`; saturates at the mean reached count beyond the
+    /// largest eccentricity.
+    pub fn t(&self, r: usize) -> f64 {
+        let idx = r.min(self.t.len() - 1);
+        self.t[idx]
+    }
+
+    /// Full averaged vector, index = hop count.
+    pub fn t_vec(&self) -> &[f64] {
+        &self.t
+    }
+
+    /// Largest eccentricity across the averaged sources.
+    pub fn max_radius(&self) -> usize {
+        self.t.len() - 1
+    }
+
+    /// Crude exponentiality score: the coefficient of determination (R²) of
+    /// a least-squares line fit to `ln T(r)` over the pre-saturation range
+    /// (`T(r) <= fraction * total`). The paper's dichotomy — exponential vs
+    /// sub-exponential reachability — shows up as high vs low R² here.
+    pub fn exponential_fit_r2(&self, fraction: f64) -> f64 {
+        let total = *self.t.last().unwrap();
+        let cutoff = fraction * total;
+        let pts: Vec<(f64, f64)> = self
+            .t
+            .iter()
+            .enumerate()
+            .skip(1) // T(0) = 1 carries no growth information
+            .take_while(|&(_, &tv)| tv <= cutoff)
+            .map(|(r, &tv)| (r as f64, tv.ln()))
+            .collect();
+        if pts.len() < 3 {
+            return f64::NAN;
+        }
+        let n = pts.len() as f64;
+        let mx = pts.iter().map(|p| p.0).sum::<f64>() / n;
+        let my = pts.iter().map(|p| p.1).sum::<f64>() / n;
+        let sxy: f64 = pts.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+        let sxx: f64 = pts.iter().map(|p| (p.0 - mx).powi(2)).sum();
+        let syy: f64 = pts.iter().map(|p| (p.1 - my).powi(2)).sum();
+        if sxx == 0.0 || syy == 0.0 {
+            return f64::NAN;
+        }
+        (sxy * sxy) / (sxx * syy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::from_edges;
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n - 1).map(|i| (i as NodeId, i as NodeId + 1)).collect();
+        from_edges(n, &edges)
+    }
+
+    #[test]
+    fn path_reachability_from_end() {
+        let g = path_graph(5);
+        let r = Reachability::from_source(&g, 0);
+        assert_eq!(r.s_vec(), &[1, 1, 1, 1, 1]);
+        assert_eq!(r.t(0), 1);
+        assert_eq!(r.t(2), 3);
+        assert_eq!(r.t(10), 5);
+        assert_eq!(r.eccentricity(), 4);
+        assert_eq!(r.total(), 5);
+    }
+
+    #[test]
+    fn path_reachability_from_middle() {
+        let g = path_graph(5);
+        let r = Reachability::from_source(&g, 2);
+        assert_eq!(r.s_vec(), &[1, 2, 2]);
+        assert_eq!(r.t_vec(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn binary_tree_reachability_is_powers_of_two() {
+        // Depth-3 complete binary tree, nodes 0..15 with parent (i-1)/2.
+        let edges: Vec<_> = (1..15u32).map(|i| ((i - 1) / 2, i)).collect();
+        let g = from_edges(15, &edges);
+        let r = Reachability::from_source(&g, 0);
+        assert_eq!(r.s_vec(), &[1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn disconnected_source_sees_only_component() {
+        let g = from_edges(4, &[(0, 1)]);
+        let r = Reachability::from_source(&g, 0);
+        assert_eq!(r.total(), 2);
+        assert_eq!(r.s(1), 1);
+        assert_eq!(r.s(2), 0);
+    }
+
+    #[test]
+    fn average_reachability_mixes_sources() {
+        let g = path_graph(5);
+        // From 0: T = [1,2,3,4,5]; from 2: T = [1,3,5] saturating at 5.
+        let avg = AverageReachability::over_sources(&g, &[0, 2]);
+        assert_eq!(avg.max_radius(), 4);
+        let expect = [1.0, 2.5, 4.0, 4.5, 5.0];
+        for (r, e) in expect.iter().enumerate() {
+            assert!((avg.t(r) - e).abs() < 1e-12, "r={r}");
+        }
+        assert!((avg.t(99) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_tree_scores_higher_r2_than_path() {
+        // Complete binary tree depth 9 vs path: tree T(r) is exponential,
+        // path T(r) is linear, so ln T is concave for the path.
+        let n = (1u32 << 10) - 1;
+        let tree_edges: Vec<_> = (1..n).map(|i| ((i - 1) / 2, i)).collect();
+        let tree = from_edges(n as usize, &tree_edges);
+        let path = path_graph(1023);
+        let tr = AverageReachability::over_sources(&tree, &[0]);
+        let pr = AverageReachability::over_sources(&path, &[0]);
+        let tree_r2 = tr.exponential_fit_r2(0.9);
+        let path_r2 = pr.exponential_fit_r2(0.9);
+        assert!(tree_r2 > 0.98, "tree r2 = {tree_r2}");
+        assert!(path_r2 < tree_r2, "path r2 = {path_r2}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn average_requires_sources() {
+        let g = path_graph(3);
+        AverageReachability::over_sources(&g, &[]);
+    }
+}

@@ -1,0 +1,219 @@
+//! The all-shortest-paths DAG.
+//!
+//! BFS gives *one* shortest-path tree per source, with a fixed
+//! (lowest-id-first) tie-break. Real routers break ties differently —
+//! hash-based ECMP, highest interface, vendor quirks — and the paper's
+//! `L(m)` implicitly depends on that choice. [`SpDag`] records *every*
+//! shortest-path predecessor of every node, so delivery trees can be
+//! built under any tie-breaking policy (see `mcast-tree`'s policy
+//! sizer and the `ablate-tiebreak` experiment).
+
+use crate::bfs::UNREACHED;
+use crate::graph::{Graph, NodeId};
+
+/// All shortest-path predecessors from one source, in CSR layout.
+///
+/// ```
+/// use mcast_topology::graph::from_edges;
+/// use mcast_topology::spdag::SpDag;
+///
+/// // A 4-cycle: two equal-length paths from 0 to the far corner.
+/// let g = from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// let dag = SpDag::new(&g, 0);
+/// assert_eq!(dag.predecessors(2), &[1, 3]);
+/// assert_eq!(dag.path_count(2), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SpDag {
+    source: NodeId,
+    dist: Vec<u32>,
+    /// `offsets[v]..offsets[v+1]` indexes `preds` for node `v`.
+    offsets: Vec<usize>,
+    /// Concatenated predecessor lists (each one hop closer to the source).
+    preds: Vec<NodeId>,
+}
+
+impl SpDag {
+    /// Build the DAG by BFS from `source`.
+    ///
+    /// # Panics
+    /// Panics if `source` is out of range.
+    pub fn new(graph: &Graph, source: NodeId) -> Self {
+        let n = graph.node_count();
+        assert!((source as usize) < n, "source {source} out of range");
+        let mut dist = vec![UNREACHED; n];
+        let mut queue = Vec::with_capacity(n);
+        dist[source as usize] = 0;
+        queue.push(source);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            let du = dist[u as usize];
+            for &w in graph.neighbors(u) {
+                if dist[w as usize] == UNREACHED {
+                    dist[w as usize] = du + 1;
+                    queue.push(w);
+                }
+            }
+        }
+        // Predecessors: neighbours exactly one hop closer.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut preds = Vec::new();
+        offsets.push(0);
+        for v in 0..n as NodeId {
+            if dist[v as usize] != UNREACHED && v != source {
+                let dv = dist[v as usize];
+                for &u in graph.neighbors(v) {
+                    if dist[u as usize] != UNREACHED && dist[u as usize] + 1 == dv {
+                        preds.push(u);
+                    }
+                }
+            }
+            offsets.push(preds.len());
+        }
+        Self {
+            source,
+            dist,
+            offsets,
+            preds,
+        }
+    }
+
+    /// The source node.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Hop distance from the source, or `None` if unreachable.
+    pub fn distance(&self, v: NodeId) -> Option<u32> {
+        match self.dist[v as usize] {
+            UNREACHED => None,
+            d => Some(d),
+        }
+    }
+
+    /// All shortest-path predecessors of `v` (empty for the source and
+    /// unreachable nodes), sorted by node id.
+    pub fn predecessors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.preds[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Number of distinct shortest paths from the source to `v`
+    /// (saturating; 0 if unreachable, 1 for the source itself).
+    pub fn path_count(&self, v: NodeId) -> u64 {
+        if self.dist[v as usize] == UNREACHED {
+            return 0;
+        }
+        // Dynamic programming in distance order.
+        let n = self.dist.len();
+        let mut order: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&u| self.dist[u as usize] != UNREACHED)
+            .collect();
+        order.sort_by_key(|&u| self.dist[u as usize]);
+        let mut count = vec![0u64; n];
+        count[self.source as usize] = 1;
+        for &u in &order {
+            if u == self.source {
+                continue;
+            }
+            let mut c = 0u64;
+            for &p in self.predecessors(u) {
+                c = c.saturating_add(count[p as usize]);
+            }
+            count[u as usize] = c;
+        }
+        count[v as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::from_edges;
+
+    /// A 4-cycle: two equal paths from 0 to 2.
+    fn square() -> Graph {
+        from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])
+    }
+
+    #[test]
+    fn records_all_ties() {
+        let g = square();
+        let dag = SpDag::new(&g, 0);
+        assert_eq!(dag.predecessors(2), &[1, 3]);
+        assert_eq!(dag.predecessors(1), &[0]);
+        assert_eq!(dag.predecessors(0), &[] as &[NodeId]);
+        assert_eq!(dag.path_count(2), 2);
+        assert_eq!(dag.path_count(1), 1);
+        assert_eq!(dag.path_count(0), 1);
+    }
+
+    #[test]
+    fn grid_path_counts_are_binomials() {
+        // 3x3 grid: paths from corner to corner = C(4,2) = 6.
+        let mut edges = Vec::new();
+        let id = |r: u32, c: u32| r * 3 + c;
+        for r in 0..3 {
+            for c in 0..3 {
+                if c + 1 < 3 {
+                    edges.push((id(r, c), id(r, c + 1)));
+                }
+                if r + 1 < 3 {
+                    edges.push((id(r, c), id(r + 1, c)));
+                }
+            }
+        }
+        let g = from_edges(9, &edges);
+        let dag = SpDag::new(&g, 0);
+        assert_eq!(dag.path_count(8), 6);
+        assert_eq!(dag.distance(8), Some(4));
+        // Centre: C(2,1) = 2 paths.
+        assert_eq!(dag.path_count(4), 2);
+    }
+
+    #[test]
+    fn predecessors_are_one_hop_closer() {
+        let g = from_edges(
+            7,
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (2, 5),
+                (5, 4),
+                (4, 6),
+            ],
+        );
+        let dag = SpDag::new(&g, 0);
+        for v in g.nodes() {
+            for &p in dag.predecessors(v) {
+                assert_eq!(dag.distance(p).unwrap() + 1, dag.distance(v).unwrap());
+                assert!(g.has_edge(p, v));
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let g = from_edges(4, &[(0, 1)]);
+        let dag = SpDag::new(&g, 0);
+        assert_eq!(dag.distance(2), None);
+        assert_eq!(dag.predecessors(2), &[] as &[NodeId]);
+        assert_eq!(dag.path_count(2), 0);
+    }
+
+    #[test]
+    fn tree_graph_has_unique_predecessors() {
+        let edges: Vec<_> = (1..15u32).map(|i| ((i - 1) / 2, i)).collect();
+        let g = from_edges(15, &edges);
+        let dag = SpDag::new(&g, 0);
+        for v in 1..15u32 {
+            assert_eq!(dag.predecessors(v).len(), 1, "node {v}");
+            assert_eq!(dag.path_count(v), 1);
+        }
+    }
+}

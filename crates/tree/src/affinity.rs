@@ -1,0 +1,493 @@
+//! Receiver affinity and disaffinity (§5 of the paper).
+//!
+//! Receiver configurations `α` (n sites, with replacement, anywhere but the
+//! root) are weighted `W_α(β) ∝ exp(−β·d̄(α))`, where `d̄(α)` is the mean
+//! pairwise hop distance between receivers: `β > 0` clusters receivers
+//! (affinity), `β < 0` spreads them out (disaffinity), `β = 0` recovers the
+//! uniform model. The paper simulates intermediate `β` on binary trees of
+//! depth 10 and 12 (Fig 9); we sample the weighted ensemble with a
+//! Metropolis chain whose moves relocate one receiver at a time.
+//!
+//! Two tree identities make each move O(depth):
+//!
+//! * the pairwise distance sum equals `Σ_{v≠root} c_v·(n − c_v)` where
+//!   `c_v` counts receivers in the subtree under `v` (each edge separates
+//!   exactly `c_v·(n−c_v)` pairs);
+//! * the delivery-tree size `L` equals the number of edges with `c_v > 0`.
+//!
+//! Relocating a receiver only changes `c_v` along two root paths.
+
+use crate::stats::RunningStats;
+use mcast_topology::bfs::Bfs;
+use mcast_topology::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A rooted tree (parent pointers + depths) extracted from a tree-shaped
+/// graph.
+#[derive(Clone, Debug)]
+pub struct RootedTree {
+    root: NodeId,
+    parent: Vec<NodeId>,
+    depth: Vec<u32>,
+}
+
+impl RootedTree {
+    /// Root `graph` at `root`.
+    ///
+    /// # Panics
+    /// Panics if `graph` is not a connected tree (edge count must be
+    /// `nodes − 1` and every node reachable) or `root` is out of range.
+    pub fn from_graph(graph: &Graph, root: NodeId) -> Self {
+        assert_eq!(
+            graph.edge_count() + 1,
+            graph.node_count(),
+            "graph is not a tree"
+        );
+        let mut bfs = Bfs::new(graph);
+        bfs.run_scratch(root);
+        assert_eq!(
+            bfs.scratch_order().len(),
+            graph.node_count(),
+            "graph is not connected"
+        );
+        Self {
+            root,
+            parent: bfs.scratch_parents().to_vec(),
+            depth: bfs.scratch_distances().to_vec(),
+        }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Number of receiver-eligible sites (everything but the root).
+    pub fn site_count(&self) -> usize {
+        self.node_count() - 1
+    }
+
+    /// Depth of `v` (root = 0).
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v as usize]
+    }
+
+    /// Parent of `v` (the root is its own parent).
+    pub fn parent(&self, v: NodeId) -> NodeId {
+        self.parent[v as usize]
+    }
+
+    /// Hop distance between two nodes via their lowest common ancestor.
+    pub fn distance(&self, mut a: NodeId, mut b: NodeId) -> u32 {
+        let mut hops = 0;
+        while self.depth[a as usize] > self.depth[b as usize] {
+            a = self.parent[a as usize];
+            hops += 1;
+        }
+        while self.depth[b as usize] > self.depth[a as usize] {
+            b = self.parent[b as usize];
+            hops += 1;
+        }
+        while a != b {
+            a = self.parent[a as usize];
+            b = self.parent[b as usize];
+            hops += 2;
+        }
+        hops
+    }
+}
+
+/// Metropolis chain configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AffinityConfig {
+    /// Inverse-temperature-like parameter: `> 0` affinity, `< 0`
+    /// disaffinity, `0` uniform.
+    pub beta: f64,
+    /// Sweeps (n proposed moves each) discarded before sampling.
+    pub burn_in_sweeps: usize,
+    /// Sweeps sampled after burn-in (one `L` observation per sweep).
+    pub sample_sweeps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AffinityConfig {
+    fn default() -> Self {
+        Self {
+            beta: 0.0,
+            burn_in_sweeps: 50,
+            sample_sweeps: 200,
+            seed: 0xaff1_7e57,
+        }
+    }
+}
+
+/// Metropolis sampler over receiver configurations on a rooted tree.
+pub struct AffinitySampler<'t> {
+    tree: &'t RootedTree,
+    beta: f64,
+    receivers: Vec<NodeId>,
+    /// Receivers at-or-below each node.
+    count: Vec<u32>,
+    /// `Σ_{v≠root} c_v (n − c_v)` — the pairwise distance sum.
+    pair_sum: i64,
+    /// Number of edges with `c_v > 0` — the delivery-tree size `L`.
+    occupied: u32,
+    rng: StdRng,
+}
+
+impl<'t> AffinitySampler<'t> {
+    /// Start a chain with `n` receivers placed uniformly at random.
+    ///
+    /// # Panics
+    /// Panics if the tree has no eligible sites or `n == 0`.
+    pub fn new(tree: &'t RootedTree, n: usize, beta: f64, seed: u64) -> Self {
+        assert!(n > 0, "need at least one receiver");
+        assert!(tree.site_count() > 0, "tree has no receiver sites");
+        let rng = StdRng::seed_from_u64(seed);
+        let mut s = Self {
+            tree,
+            beta,
+            receivers: Vec::with_capacity(n),
+            count: vec![0; tree.node_count()],
+            pair_sum: 0,
+            occupied: 0,
+            rng,
+        };
+        for _ in 0..n {
+            let site = s.random_site();
+            s.receivers.push(site);
+        }
+        // Build counts from scratch, then derive the invariants.
+        for i in 0..n {
+            let mut v = s.receivers[i];
+            while v != tree.root {
+                s.count[v as usize] += 1;
+                v = tree.parent(v);
+            }
+        }
+        let n_i = n as i64;
+        for v in 0..tree.node_count() as NodeId {
+            if v == tree.root {
+                continue;
+            }
+            let c = i64::from(s.count[v as usize]);
+            s.pair_sum += c * (n_i - c);
+            if c > 0 {
+                s.occupied += 1;
+            }
+        }
+        s
+    }
+
+    fn random_site(&mut self) -> NodeId {
+        loop {
+            let v = self.rng.gen_range(0..self.tree.node_count() as NodeId);
+            if v != self.tree.root {
+                return v;
+            }
+        }
+    }
+
+    /// Number of receivers `n`.
+    pub fn receiver_count(&self) -> usize {
+        self.receivers.len()
+    }
+
+    /// Current delivery-tree size `L` (links).
+    pub fn tree_links(&self) -> u32 {
+        self.occupied
+    }
+
+    /// Current mean pairwise receiver distance `d̄` (0 for n = 1).
+    pub fn mean_pairwise_distance(&self) -> f64 {
+        let n = self.receivers.len() as f64;
+        if n < 2.0 {
+            return 0.0;
+        }
+        self.pair_sum as f64 / (n * (n - 1.0) / 2.0)
+    }
+
+    /// Current receiver placement.
+    pub fn receivers(&self) -> &[NodeId] {
+        &self.receivers
+    }
+
+    /// Propose and maybe accept one relocation; returns whether it was
+    /// accepted.
+    pub fn step(&mut self) -> bool {
+        let n = self.receivers.len();
+        let idx = self.rng.gen_range(0..n);
+        let old = self.receivers[idx];
+        let new = self.random_site();
+        if new == old {
+            return true; // identity move always accepted
+        }
+        let (dsum, docc) = self.apply_move(old, new);
+        let pairs = n as f64 * (n as f64 - 1.0) / 2.0;
+        let delta_dbar = if pairs > 0.0 {
+            dsum as f64 / pairs
+        } else {
+            0.0
+        };
+        let accept = if self.beta * delta_dbar <= 0.0 {
+            true
+        } else {
+            self.rng.gen::<f64>() < (-self.beta * delta_dbar).exp()
+        };
+        if accept {
+            self.receivers[idx] = new;
+            self.pair_sum += dsum;
+            self.occupied = (self.occupied as i64 + docc) as u32;
+            true
+        } else {
+            // Undo.
+            let _ = self.apply_move(new, old);
+            false
+        }
+    }
+
+    /// Move one receiver from `from` to `to` in the count array, returning
+    /// the (pair_sum delta, occupied delta). Call a second time with the
+    /// arguments swapped to undo.
+    fn apply_move(&mut self, from: NodeId, to: NodeId) -> (i64, i64) {
+        let n = self.receivers.len() as i64;
+        let root = self.tree.root;
+        let mut dsum = 0i64;
+        let mut docc = 0i64;
+        let mut v = from;
+        while v != root {
+            let c = i64::from(self.count[v as usize]);
+            // c → c−1: Δ[c(n−c)] = (c−1)(n−c+1) − c(n−c) = 2c − n − 1.
+            dsum += 2 * c - n - 1;
+            self.count[v as usize] -= 1;
+            if c == 1 {
+                docc -= 1;
+            }
+            v = self.tree.parent(v);
+        }
+        let mut v = to;
+        while v != root {
+            let c = i64::from(self.count[v as usize]);
+            // c → c+1: Δ = n − 2c − 1.
+            dsum += n - 2 * c - 1;
+            self.count[v as usize] += 1;
+            if c == 0 {
+                docc += 1;
+            }
+            v = self.tree.parent(v);
+        }
+        (dsum, docc)
+    }
+
+    /// Run one sweep (`n` proposals); returns the acceptance fraction.
+    pub fn sweep(&mut self) -> f64 {
+        let n = self.receivers.len();
+        let mut accepted = 0usize;
+        for _ in 0..n {
+            if self.step() {
+                accepted += 1;
+            }
+        }
+        accepted as f64 / n as f64
+    }
+}
+
+/// Estimate `E_β[L̂(n)]` on a rooted tree: burn in, then record `L` once
+/// per sweep.
+pub fn mean_tree_size(tree: &RootedTree, n: usize, cfg: &AffinityConfig) -> RunningStats {
+    let mut sampler = AffinitySampler::new(tree, n, cfg.beta, cfg.seed);
+    for _ in 0..cfg.burn_in_sweeps {
+        sampler.sweep();
+    }
+    let mut stats = RunningStats::new();
+    for _ in 0..cfg.sample_sweeps {
+        sampler.sweep();
+        stats.push(f64::from(sampler.tree_links()));
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::graph::from_edges;
+
+    fn binary_tree(depth: u32) -> Graph {
+        let n = (1u32 << (depth + 1)) - 1;
+        let edges: Vec<_> = (1..n).map(|i| ((i - 1) / 2, i)).collect();
+        from_edges(n as usize, &edges)
+    }
+
+    fn brute_pair_sum(tree: &RootedTree, receivers: &[NodeId]) -> i64 {
+        let mut sum = 0i64;
+        for i in 0..receivers.len() {
+            for j in (i + 1)..receivers.len() {
+                sum += i64::from(tree.distance(receivers[i], receivers[j]));
+            }
+        }
+        sum
+    }
+
+    fn brute_tree_links(tree: &RootedTree, receivers: &[NodeId]) -> u32 {
+        let mut edges = std::collections::HashSet::new();
+        for &r in receivers {
+            let mut v = r;
+            while v != tree.root() {
+                edges.insert(v);
+                v = tree.parent(v);
+            }
+        }
+        edges.len() as u32
+    }
+
+    #[test]
+    fn rooted_tree_distances() {
+        let g = binary_tree(3);
+        let t = RootedTree::from_graph(&g, 0);
+        assert_eq!(t.distance(7, 8), 2); // siblings
+        assert_eq!(t.distance(7, 0), 3);
+        assert_eq!(t.distance(7, 14), 6); // opposite leaves
+        assert_eq!(t.distance(5, 5), 0);
+        assert_eq!(t.site_count(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a tree")]
+    fn non_tree_rejected() {
+        let g = from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        RootedTree::from_graph(&g, 0);
+    }
+
+    #[test]
+    fn invariants_match_brute_force_through_moves() {
+        let g = binary_tree(4);
+        let t = RootedTree::from_graph(&g, 0);
+        let mut s = AffinitySampler::new(&t, 9, 0.5, 11);
+        for step in 0..300 {
+            s.step();
+            let brute_sum = brute_pair_sum(&t, s.receivers());
+            assert_eq!(s.pair_sum, brute_sum, "step {step}");
+            let brute_links = brute_tree_links(&t, s.receivers());
+            assert_eq!(s.tree_links(), brute_links, "step {step}");
+        }
+    }
+
+    #[test]
+    fn beta_zero_matches_uniform_expectation() {
+        // With β = 0 every move is accepted and the chain samples the
+        // uniform with-replacement ensemble, so E[L] must match a direct
+        // Monte-Carlo estimate.
+        let g = binary_tree(6);
+        let t = RootedTree::from_graph(&g, 0);
+        let n = 20;
+        let cfg = AffinityConfig {
+            beta: 0.0,
+            burn_in_sweeps: 20,
+            sample_sweeps: 600,
+            seed: 7,
+        };
+        let mcmc = mean_tree_size(&t, n, &cfg);
+
+        let mut direct = RunningStats::new();
+        let mut sizer = crate::delivery::DeliverySizer::from_graph(&g, 0);
+        let pool = crate::sampling::ReceiverPool::AllExceptSource {
+            nodes: g.node_count(),
+            source: 0,
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut buf = Vec::new();
+        for _ in 0..2000 {
+            crate::sampling::with_replacement(&pool, n, &mut rng, &mut buf);
+            direct.push(sizer.tree_links(&buf) as f64);
+        }
+        let diff = (mcmc.mean() - direct.mean()).abs();
+        let tol = 3.0 * (mcmc.std_err() + direct.std_err()) + 0.5;
+        assert!(
+            diff < tol,
+            "mcmc {} vs direct {}",
+            mcmc.mean(),
+            direct.mean()
+        );
+    }
+
+    #[test]
+    fn affinity_shrinks_and_disaffinity_grows_the_tree() {
+        let g = binary_tree(7);
+        let t = RootedTree::from_graph(&g, 0);
+        let n = 30;
+        let l = |beta: f64| {
+            mean_tree_size(
+                &t,
+                n,
+                &AffinityConfig {
+                    beta,
+                    burn_in_sweeps: 80,
+                    sample_sweeps: 150,
+                    seed: 21,
+                },
+            )
+            .mean()
+        };
+        let clustered = l(5.0);
+        let uniform = l(0.0);
+        let spread = l(-5.0);
+        assert!(
+            clustered < uniform && uniform < spread,
+            "L: affinity {clustered}, uniform {uniform}, disaffinity {spread}"
+        );
+    }
+
+    #[test]
+    fn extreme_affinity_approaches_depth() {
+        // β → ∞: all receivers collapse to one site; L → depth of that
+        // site (≤ D). With strong β the mean should sit well below the
+        // uniform value and near D.
+        let g = binary_tree(6);
+        let t = RootedTree::from_graph(&g, 0);
+        let stats = mean_tree_size(
+            &t,
+            40,
+            &AffinityConfig {
+                beta: 50.0,
+                burn_in_sweeps: 400,
+                sample_sweeps: 100,
+                seed: 3,
+            },
+        );
+        assert!(stats.mean() < 15.0, "mean {}", stats.mean());
+    }
+
+    #[test]
+    fn single_receiver_chain_runs() {
+        let g = binary_tree(4);
+        let t = RootedTree::from_graph(&g, 0);
+        let stats = mean_tree_size(
+            &t,
+            1,
+            &AffinityConfig {
+                beta: 2.0,
+                burn_in_sweeps: 5,
+                sample_sweeps: 50,
+                seed: 9,
+            },
+        );
+        // One receiver: L is its depth, between 1 and D.
+        assert!(stats.mean() >= 1.0 && stats.mean() <= 4.0);
+    }
+
+    #[test]
+    fn mean_pairwise_distance_is_consistent() {
+        let g = binary_tree(5);
+        let t = RootedTree::from_graph(&g, 0);
+        let s = AffinitySampler::new(&t, 12, 0.0, 31);
+        let brute = brute_pair_sum(&t, s.receivers()) as f64 / (12.0 * 11.0 / 2.0);
+        assert!((s.mean_pairwise_distance() - brute).abs() < 1e-9);
+    }
+}

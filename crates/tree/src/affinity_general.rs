@@ -1,0 +1,345 @@
+//! Receiver affinity on general graphs.
+//!
+//! §5 defines the weighting `W_α(β) ∝ exp(−β·d̄(α))` for *any* network —
+//! "for convenience, we measure the distance d between two receivers in
+//! terms of the number of hops in the shortest path between them" — but
+//! the paper only simulates k-ary trees (§5.4). This module lifts the
+//! Metropolis sampler to arbitrary connected graphs using a precomputed
+//! all-pairs distance matrix, so the affinity question can be asked of
+//! ARPA, r100, or any other suite member (see the `fig9` experiment's
+//! general-graph companion).
+//!
+//! Memory is O(V²) u16 distances — fine for the ≤ ~5000-node graphs this
+//! is meant for; the tree-specialised [`crate::affinity`] sampler stays
+//! the right tool for the paper's big binary trees.
+
+use crate::delivery::DeliverySizer;
+use crate::stats::RunningStats;
+use mcast_topology::bfs::Bfs;
+use mcast_topology::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// All-pairs hop distances, row-major `u16`.
+pub struct DistanceMatrix {
+    n: usize,
+    d: Vec<u16>,
+}
+
+impl DistanceMatrix {
+    /// Compute by BFS from every node. `O(V·(V+E))` time, `O(V²)` space.
+    ///
+    /// # Panics
+    /// Panics if the graph is disconnected (pairwise distances would be
+    /// undefined) or a distance exceeds `u16::MAX`.
+    pub fn new(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let mut d = vec![0u16; n * n];
+        let mut bfs = Bfs::new(graph);
+        for v in 0..n as NodeId {
+            bfs.run_scratch(v);
+            assert_eq!(
+                bfs.scratch_order().len(),
+                n,
+                "distance matrix requires a connected graph"
+            );
+            let row = &mut d[v as usize * n..(v as usize + 1) * n];
+            for (u, slot) in row.iter_mut().enumerate() {
+                let dist = bfs.scratch_distances()[u];
+                assert!(dist <= u16::MAX as u32, "distance overflow");
+                *slot = dist as u16;
+            }
+        }
+        Self { n, d }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Hop distance between `a` and `b`.
+    #[inline]
+    pub fn get(&self, a: NodeId, b: NodeId) -> u32 {
+        u32::from(self.d[a as usize * self.n + b as usize])
+    }
+}
+
+/// Metropolis sampler over receiver configurations on a general graph.
+pub struct GraphAffinitySampler<'g> {
+    distances: &'g DistanceMatrix,
+    sizer: DeliverySizer,
+    source: NodeId,
+    beta: f64,
+    receivers: Vec<NodeId>,
+    /// Σ distances from receiver i to all other receivers.
+    row_sums: Vec<i64>,
+    pair_sum: i64,
+    rng: StdRng,
+}
+
+impl<'g> GraphAffinitySampler<'g> {
+    /// Start a chain of `n` receivers placed uniformly over all non-source
+    /// nodes.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or the graph has fewer than two nodes.
+    pub fn new(
+        graph: &Graph,
+        distances: &'g DistanceMatrix,
+        source: NodeId,
+        n: usize,
+        beta: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(n > 0, "need at least one receiver");
+        assert!(graph.node_count() >= 2, "need at least two nodes");
+        assert_eq!(graph.node_count(), distances.len(), "matrix mismatch");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_nodes = graph.node_count() as NodeId;
+        let receivers: Vec<NodeId> = (0..n)
+            .map(|_| loop {
+                let v = rng.gen_range(0..n_nodes);
+                if v != source {
+                    break v;
+                }
+            })
+            .collect();
+        let mut row_sums = vec![0i64; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    row_sums[i] += i64::from(distances.get(receivers[i], receivers[j]));
+                }
+            }
+        }
+        let pair_sum = row_sums.iter().sum::<i64>() / 2;
+        Self {
+            distances,
+            sizer: DeliverySizer::from_graph(graph, source),
+            source,
+            beta,
+            receivers,
+            row_sums,
+            pair_sum,
+            rng,
+        }
+    }
+
+    /// Current receiver placement.
+    pub fn receivers(&self) -> &[NodeId] {
+        &self.receivers
+    }
+
+    /// Current mean pairwise distance (0 for one receiver).
+    pub fn mean_pairwise_distance(&self) -> f64 {
+        let n = self.receivers.len() as f64;
+        if n < 2.0 {
+            return 0.0;
+        }
+        self.pair_sum as f64 / (n * (n - 1.0) / 2.0)
+    }
+
+    /// Current delivery-tree size (recomputed; `O(tree links)`).
+    pub fn tree_links(&mut self) -> u64 {
+        self.sizer.tree_links(&self.receivers)
+    }
+
+    /// Propose and maybe accept one relocation; returns acceptance.
+    pub fn step(&mut self) -> bool {
+        let n = self.receivers.len();
+        let idx = self.rng.gen_range(0..n);
+        let old = self.receivers[idx];
+        let new = loop {
+            let v = self.rng.gen_range(0..self.distances.len() as NodeId);
+            if v != self.source {
+                break v;
+            }
+        };
+        if new == old {
+            return true;
+        }
+        // New row sum for idx if moved.
+        let mut new_row = 0i64;
+        for (j, &r) in self.receivers.iter().enumerate() {
+            if j != idx {
+                new_row += i64::from(self.distances.get(new, r));
+            }
+        }
+        let dsum = new_row - self.row_sums[idx];
+        let pairs = n as f64 * (n as f64 - 1.0) / 2.0;
+        let delta_dbar = if pairs > 0.0 {
+            dsum as f64 / pairs
+        } else {
+            0.0
+        };
+        let accept = self.beta * delta_dbar <= 0.0
+            || self.rng.gen::<f64>() < (-self.beta * delta_dbar).exp();
+        if accept {
+            // Update all row sums for the swap old → new.
+            for (j, &r) in self.receivers.iter().enumerate() {
+                if j != idx {
+                    self.row_sums[j] += i64::from(self.distances.get(new, r))
+                        - i64::from(self.distances.get(old, r));
+                }
+            }
+            self.row_sums[idx] = new_row;
+            self.pair_sum += dsum;
+            self.receivers[idx] = new;
+        }
+        accept
+    }
+
+    /// One sweep (`n` proposals); returns the acceptance fraction.
+    pub fn sweep(&mut self) -> f64 {
+        let n = self.receivers.len();
+        let mut accepted = 0;
+        for _ in 0..n {
+            if self.step() {
+                accepted += 1;
+            }
+        }
+        accepted as f64 / n as f64
+    }
+}
+
+/// Estimate `E_β[L̂(n)]` on a general graph (burn-in, then one `L`
+/// observation per sweep).
+#[allow(clippy::too_many_arguments)]
+pub fn mean_tree_size_general(
+    graph: &Graph,
+    distances: &DistanceMatrix,
+    source: NodeId,
+    n: usize,
+    beta: f64,
+    burn_in_sweeps: usize,
+    sample_sweeps: usize,
+    seed: u64,
+) -> RunningStats {
+    let mut sampler = GraphAffinitySampler::new(graph, distances, source, n, beta, seed);
+    for _ in 0..burn_in_sweeps {
+        sampler.sweep();
+    }
+    let mut stats = RunningStats::new();
+    for _ in 0..sample_sweeps {
+        sampler.sweep();
+        stats.push(sampler.tree_links() as f64);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::graph::from_edges;
+
+    fn ring_with_chords() -> Graph {
+        let mut edges: Vec<(NodeId, NodeId)> = (0..12).map(|i| (i, (i + 1) % 12)).collect();
+        edges.push((0, 6));
+        edges.push((3, 9));
+        from_edges(12, &edges)
+    }
+
+    fn binary_tree(depth: u32) -> Graph {
+        let n = (1u32 << (depth + 1)) - 1;
+        let edges: Vec<_> = (1..n).map(|i| ((i - 1) / 2, i)).collect();
+        from_edges(n as usize, &edges)
+    }
+
+    #[test]
+    fn distance_matrix_matches_bfs() {
+        let g = ring_with_chords();
+        let m = DistanceMatrix::new(&g);
+        let bfs = Bfs::new(&g).run(4);
+        for v in g.nodes() {
+            assert_eq!(m.get(4, v), bfs.distance(v).unwrap());
+            assert_eq!(m.get(v, 4), bfs.distance(v).unwrap(), "symmetry");
+        }
+        assert_eq!(m.get(7, 7), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_rejected() {
+        let g = from_edges(4, &[(0, 1), (2, 3)]);
+        DistanceMatrix::new(&g);
+    }
+
+    #[test]
+    fn invariants_survive_many_steps() {
+        let g = ring_with_chords();
+        let m = DistanceMatrix::new(&g);
+        let mut s = GraphAffinitySampler::new(&g, &m, 0, 6, 1.0, 9);
+        for step in 0..200 {
+            s.step();
+            // Brute-force pair sum.
+            let rs = s.receivers();
+            let mut brute = 0i64;
+            for i in 0..rs.len() {
+                for j in (i + 1)..rs.len() {
+                    brute += i64::from(m.get(rs[i], rs[j]));
+                }
+            }
+            assert_eq!(s.pair_sum, brute, "step {step}");
+        }
+    }
+
+    #[test]
+    fn matches_tree_sampler_on_trees() {
+        // On a tree the general sampler and the subtree-count sampler
+        // target the same distribution: compare E[L] at β = 1.
+        let g = binary_tree(5);
+        let m = DistanceMatrix::new(&g);
+        let general = mean_tree_size_general(&g, &m, 0, 15, 1.0, 150, 400, 21);
+
+        let rooted = crate::affinity::RootedTree::from_graph(&g, 0);
+        let tree = crate::affinity::mean_tree_size(
+            &rooted,
+            15,
+            &crate::affinity::AffinityConfig {
+                beta: 1.0,
+                burn_in_sweeps: 150,
+                sample_sweeps: 400,
+                seed: 22,
+            },
+        );
+        let diff = (general.mean() - tree.mean()).abs();
+        let tol = 4.0 * (general.std_err() + tree.std_err()) + 1.0;
+        assert!(
+            diff < tol,
+            "general {} vs tree {}",
+            general.mean(),
+            tree.mean()
+        );
+    }
+
+    #[test]
+    fn affinity_ordering_on_a_real_mesh() {
+        let g = mcast_gen_like_arpa();
+        let m = DistanceMatrix::new(&g);
+        let l = |beta: f64| mean_tree_size_general(&g, &m, 0, 8, beta, 120, 200, 5).mean();
+        let clustered = l(6.0);
+        let uniform = l(0.0);
+        let spread = l(-6.0);
+        assert!(
+            clustered < uniform && uniform < spread,
+            "{clustered} < {uniform} < {spread}"
+        );
+    }
+
+    /// A small ARPA-like mesh (ring of rings) without depending on
+    /// mcast-gen from this crate.
+    fn mcast_gen_like_arpa() -> Graph {
+        let mut edges: Vec<(NodeId, NodeId)> = (0..20).map(|i| (i, (i + 1) % 20)).collect();
+        for i in 0..5 {
+            edges.push((i * 4, 20 + i));
+            edges.push((20 + i, 20 + (i + 1) % 5));
+        }
+        from_edges(25, &edges)
+    }
+}

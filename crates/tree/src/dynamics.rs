@@ -1,0 +1,476 @@
+//! Membership churn: joins and leaves with incremental tree maintenance.
+//!
+//! The paper measures static snapshots, but the pricing application that
+//! motivated Chuang–Sirbu bills *sessions*, whose membership evolves.
+//! This module simulates an M/G/∞ group: receivers arrive as a Poisson
+//! process at rate `λ` at uniform sites and stay for i.i.d. lifetimes
+//! ([`LifetimeShape`]: exponential, heavy-tailed Pareto, or fixed). The
+//! stationary group size is Poisson(λ·E[S]) *whatever the lifetime
+//! distribution* (M/G/∞ insensitivity), so the stationary tree size must
+//! match the static with-replacement expectation at a Poisson-mixed `n` —
+//! verified in the tests, which is a strong end-to-end check of both
+//! machineries.
+//!
+//! The maintained tree mirrors real protocol behaviour: a join grafts the
+//! member's rootward path until it meets the tree (link refcount 0→1 =
+//! graft message), a leave prunes refcounts back (1→0 = prune).
+
+use crate::stats::RunningStats;
+use mcast_topology::bfs::{Bfs, UNREACHED};
+use mcast_topology::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A refcounted source-specific delivery tree supporting joins/leaves.
+pub struct MemberTree {
+    source: NodeId,
+    parent: Vec<NodeId>,
+    dist: Vec<u32>,
+    /// Members whose path crosses the link above this node.
+    refcount: Vec<u32>,
+    links: u64,
+}
+
+impl MemberTree {
+    /// Build for `(graph, source)` with no members.
+    ///
+    /// # Panics
+    /// Panics if `source` is out of range.
+    pub fn new(graph: &Graph, source: NodeId) -> Self {
+        let mut bfs = Bfs::new(graph);
+        bfs.run_scratch(source);
+        Self {
+            source,
+            parent: bfs.scratch_parents().to_vec(),
+            dist: bfs.scratch_distances().to_vec(),
+            refcount: vec![0; graph.node_count()],
+            links: 0,
+        }
+    }
+
+    /// Current number of links in the tree.
+    pub fn links(&self) -> u64 {
+        self.links
+    }
+
+    /// Add a member at `site`; returns the number of links grafted.
+    /// Unreachable sites join for free (no path exists).
+    pub fn join(&mut self, site: NodeId) -> u64 {
+        if self.dist[site as usize] == UNREACHED {
+            return 0;
+        }
+        let mut grafted = 0;
+        let mut v = site;
+        while v != self.source {
+            let rc = &mut self.refcount[v as usize];
+            *rc += 1;
+            if *rc == 1 {
+                grafted += 1;
+            }
+            v = self.parent[v as usize];
+        }
+        self.links += grafted;
+        grafted
+    }
+
+    /// Remove a member previously added at `site`; returns the number of
+    /// links pruned.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if no member was joined at `site` — the
+    /// refcounts would underflow.
+    pub fn leave(&mut self, site: NodeId) -> u64 {
+        if self.dist[site as usize] == UNREACHED {
+            return 0;
+        }
+        let mut pruned = 0;
+        let mut v = site;
+        while v != self.source {
+            let rc = &mut self.refcount[v as usize];
+            debug_assert!(*rc > 0, "leave without matching join at {v}");
+            *rc -= 1;
+            if *rc == 0 {
+                pruned += 1;
+            }
+            v = self.parent[v as usize];
+        }
+        self.links -= pruned;
+        pruned
+    }
+}
+
+/// Shape of the membership-lifetime distribution (the mean is always
+/// [`ChurnConfig::mean_lifetime`]).
+///
+/// By M/G/∞ insensitivity, the *stationary* group-size law — and hence
+/// the stationary tree size — depends on the lifetime distribution only
+/// through its mean; the tests verify that an exponential, a heavy-tailed
+/// Pareto, and a deterministic lifetime all give the same `E[L]`.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum LifetimeShape {
+    /// Memoryless lifetimes (the M/M/∞ special case).
+    #[default]
+    Exponential,
+    /// Heavy-tailed Pareto lifetimes with shape `alpha > 1`
+    /// (`x_min = mean·(α−1)/α`).
+    Pareto {
+        /// Tail exponent, must exceed 1 for the mean to exist.
+        alpha: f64,
+    },
+    /// Every member stays exactly the mean lifetime.
+    Fixed,
+}
+
+/// Churn process configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnConfig {
+    /// Poisson arrival rate λ (members per unit time).
+    pub arrival_rate: f64,
+    /// Mean membership lifetime `E[S]`.
+    pub mean_lifetime: f64,
+    /// Lifetime distribution shape (mean fixed by `mean_lifetime`).
+    pub lifetime_shape: LifetimeShape,
+    /// Events discarded before measuring.
+    pub warmup_events: usize,
+    /// Events measured (time-weighted).
+    pub sample_events: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ChurnConfig {
+    /// The stationary mean group size `λ·E[S]` (M/G/∞).
+    pub fn mean_group_size(&self) -> f64 {
+        self.arrival_rate * self.mean_lifetime
+    }
+
+    /// Draw one lifetime.
+    fn sample_lifetime<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let mean = self.mean_lifetime;
+        match self.lifetime_shape {
+            LifetimeShape::Exponential => -rng.gen_range(f64::MIN_POSITIVE..1.0f64).ln() * mean,
+            LifetimeShape::Pareto { alpha } => {
+                assert!(alpha > 1.0, "Pareto mean needs alpha > 1");
+                let x_min = mean * (alpha - 1.0) / alpha;
+                x_min * rng.gen_range(f64::MIN_POSITIVE..1.0f64).powf(-1.0 / alpha)
+            }
+            LifetimeShape::Fixed => mean,
+        }
+    }
+}
+
+/// Result of a churn simulation: time-weighted statistics.
+#[derive(Clone, Debug)]
+pub struct ChurnOutcome {
+    /// Time-averaged tree size.
+    pub mean_links: f64,
+    /// Time-averaged group size.
+    pub mean_members: f64,
+    /// Total grafts observed during the measurement phase.
+    pub grafts: u64,
+    /// Total prunes observed during the measurement phase.
+    pub prunes: u64,
+    /// Per-event tree-size samples (unweighted, for error estimation).
+    pub link_samples: RunningStats,
+}
+
+/// `f64` event-time key for the departure heap (no NaNs by
+/// construction).
+#[derive(PartialEq)]
+struct TimeKey(f64, NodeId);
+
+impl Eq for TimeKey {}
+impl PartialOrd for TimeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .0
+            .total_cmp(&self.0)
+            .then_with(|| other.1.cmp(&self.1))
+    }
+}
+
+/// Run the churn process on `(graph, source)` — an event-driven M/G/∞
+/// simulation with per-member departure times.
+///
+/// # Panics
+/// Panics if the rates are not positive or the graph has fewer than two
+/// nodes.
+pub fn simulate_churn(graph: &Graph, source: NodeId, cfg: &ChurnConfig) -> ChurnOutcome {
+    assert!(cfg.arrival_rate > 0.0, "arrival rate must be positive");
+    assert!(cfg.mean_lifetime > 0.0, "lifetime must be positive");
+    assert!(graph.node_count() >= 2, "need at least two nodes");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut tree = MemberTree::new(graph, source);
+    let mut departures: std::collections::BinaryHeap<TimeKey> = std::collections::BinaryHeap::new();
+    let n_nodes = graph.node_count() as NodeId;
+
+    let mut now = 0.0f64;
+    let exp_sample = |rng: &mut StdRng, rate: f64| -> f64 {
+        -rng.gen_range(f64::MIN_POSITIVE..1.0f64).ln() / rate
+    };
+    let mut next_arrival = exp_sample(&mut rng, cfg.arrival_rate);
+
+    let mut weighted_links = 0.0;
+    let mut weighted_members = 0.0;
+    let mut total_time = 0.0;
+    let mut grafts = 0u64;
+    let mut prunes = 0u64;
+    let mut link_samples = RunningStats::new();
+
+    let total_events = cfg.warmup_events + cfg.sample_events;
+    for event in 0..total_events {
+        let next_departure = departures.peek().map(|k| k.0).unwrap_or(f64::INFINITY);
+        let t_next = next_arrival.min(next_departure);
+        let dt = t_next - now;
+        let measuring = event >= cfg.warmup_events;
+        if measuring {
+            weighted_links += tree.links() as f64 * dt;
+            weighted_members += departures.len() as f64 * dt;
+            total_time += dt;
+            link_samples.push(tree.links() as f64);
+        }
+        now = t_next;
+        if next_arrival <= next_departure {
+            // Arrival at a uniform non-source site.
+            let site = loop {
+                let v = rng.gen_range(0..n_nodes);
+                if v != source {
+                    break v;
+                }
+            };
+            let g = tree.join(site);
+            if measuring {
+                grafts += g;
+            }
+            departures.push(TimeKey(now + cfg.sample_lifetime(&mut rng), site));
+            next_arrival = now + exp_sample(&mut rng, cfg.arrival_rate);
+        } else {
+            let TimeKey(_, site) = departures.pop().expect("a departure was due");
+            let p = tree.leave(site);
+            if measuring {
+                prunes += p;
+            }
+        }
+    }
+    ChurnOutcome {
+        mean_links: weighted_links / total_time,
+        mean_members: weighted_members / total_time,
+        grafts,
+        prunes,
+        link_samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delivery::DeliverySizer;
+    use crate::sampling::{self, ReceiverPool};
+    use mcast_topology::graph::from_edges;
+
+    fn binary_tree(depth: u32) -> Graph {
+        let n = (1u32 << (depth + 1)) - 1;
+        let edges: Vec<_> = (1..n).map(|i| ((i - 1) / 2, i)).collect();
+        from_edges(n as usize, &edges)
+    }
+
+    #[test]
+    fn member_tree_join_leave_round_trip() {
+        let g = binary_tree(3);
+        let mut t = MemberTree::new(&g, 0);
+        assert_eq!(t.links(), 0);
+        assert_eq!(t.join(7), 3);
+        assert_eq!(t.join(8), 1); // shares 0-1-3
+        assert_eq!(t.links(), 4);
+        assert_eq!(t.join(8), 0); // second member at the same site
+        assert_eq!(t.leave(8), 0); // one still there
+        assert_eq!(t.leave(8), 1); // now the 3-8 link prunes
+        assert_eq!(t.leave(7), 3);
+        assert_eq!(t.links(), 0);
+    }
+
+    #[test]
+    fn join_matches_delivery_sizer() {
+        let g = binary_tree(5);
+        let mut t = MemberTree::new(&g, 0);
+        let mut sizer = DeliverySizer::from_graph(&g, 0);
+        let receivers = [9u32, 23, 44, 44, 61, 12];
+        for &r in &receivers {
+            t.join(r);
+        }
+        assert_eq!(t.links(), sizer.tree_links(&receivers));
+    }
+
+    #[test]
+    fn stationary_group_size_is_lambda_over_mu() {
+        let g = binary_tree(6);
+        let cfg = ChurnConfig {
+            arrival_rate: 5.0,
+            mean_lifetime: 4.0,
+            lifetime_shape: LifetimeShape::Exponential,
+            warmup_events: 2_000,
+            sample_events: 30_000,
+            seed: 42,
+        };
+        let out = simulate_churn(&g, 0, &cfg);
+        let expect = cfg.mean_group_size();
+        assert!(
+            (out.mean_members - expect).abs() / expect < 0.08,
+            "members {} vs {expect}",
+            out.mean_members
+        );
+    }
+
+    #[test]
+    fn stationary_tree_size_matches_static_expectation() {
+        // E[L] under churn = E_n~Poisson(ν)[L̂(n)] — cross-checked by a
+        // direct static Monte-Carlo with Poisson-drawn n.
+        let g = binary_tree(6);
+        let cfg = ChurnConfig {
+            arrival_rate: 6.0,
+            mean_lifetime: 3.0,
+            lifetime_shape: LifetimeShape::Exponential,
+            warmup_events: 2_000,
+            sample_events: 40_000,
+            seed: 7,
+        };
+        let churn = simulate_churn(&g, 0, &cfg);
+
+        let mut sizer = DeliverySizer::from_graph(&g, 0);
+        let pool = ReceiverPool::AllExceptSource {
+            nodes: g.node_count(),
+            source: 0,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut buf = Vec::new();
+        let nu = cfg.mean_group_size();
+        let mut direct = RunningStats::new();
+        for _ in 0..8_000 {
+            // Poisson(ν) via Knuth (ν = 18, fine).
+            let mut k = 0usize;
+            let mut p = 1.0f64;
+            let l = (-nu).exp();
+            loop {
+                p *= rng.gen::<f64>();
+                if p <= l {
+                    break;
+                }
+                k += 1;
+            }
+            if k == 0 {
+                direct.push(0.0);
+                continue;
+            }
+            sampling::with_replacement(&pool, k, &mut rng, &mut buf);
+            direct.push(sizer.tree_links(&buf) as f64);
+        }
+        let diff = (churn.mean_links - direct.mean()).abs();
+        let tol = 4.0 * (churn.link_samples.std_err() + direct.std_err()) + 0.02 * direct.mean();
+        assert!(
+            diff < tol,
+            "churn {} vs static {} (tol {tol})",
+            churn.mean_links,
+            direct.mean()
+        );
+    }
+
+    #[test]
+    fn grafts_balance_prunes_in_steady_state() {
+        let g = binary_tree(5);
+        let cfg = ChurnConfig {
+            arrival_rate: 3.0,
+            mean_lifetime: 2.0,
+            lifetime_shape: LifetimeShape::Exponential,
+            warmup_events: 1_000,
+            sample_events: 20_000,
+            seed: 3,
+        };
+        let out = simulate_churn(&g, 0, &cfg);
+        let ratio = out.grafts as f64 / out.prunes as f64;
+        assert!((ratio - 1.0).abs() < 0.1, "grafts/prunes {ratio}");
+        assert!(out.grafts > 1_000, "some churn happened");
+    }
+
+    #[test]
+    fn lifetime_distribution_is_insensitive_in_steady_state() {
+        // M/G/∞ insensitivity: the stationary group-size law — and hence
+        // E[L] — depends on the lifetime distribution only through its
+        // mean. Exponential, heavy-tailed Pareto, and deterministic
+        // lifetimes with the same mean must agree.
+        let g = binary_tree(6);
+        let run = |shape: LifetimeShape, seed: u64| {
+            simulate_churn(
+                &g,
+                0,
+                &ChurnConfig {
+                    arrival_rate: 8.0,
+                    mean_lifetime: 2.5,
+                    lifetime_shape: shape,
+                    warmup_events: 4_000,
+                    sample_events: 60_000,
+                    seed,
+                },
+            )
+        };
+        let exp = run(LifetimeShape::Exponential, 1);
+        let pareto = run(LifetimeShape::Pareto { alpha: 2.5 }, 2);
+        let fixed = run(LifetimeShape::Fixed, 3);
+        for out in [&exp, &pareto, &fixed] {
+            assert!(
+                (out.mean_members - 20.0).abs() / 20.0 < 0.1,
+                "members {}",
+                out.mean_members
+            );
+        }
+        let lref = exp.mean_links;
+        for (name, out) in [("pareto", &pareto), ("fixed", &fixed)] {
+            assert!(
+                (out.mean_links - lref).abs() / lref < 0.06,
+                "{name}: {} vs exponential {lref}",
+                out.mean_links
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_lifetimes_have_the_requested_mean() {
+        let cfg = ChurnConfig {
+            arrival_rate: 1.0,
+            mean_lifetime: 4.0,
+            lifetime_shape: LifetimeShape::Pareto { alpha: 3.0 },
+            warmup_events: 0,
+            sample_events: 1,
+            seed: 0,
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let mean: f64 = (0..200_000)
+            .map(|_| cfg.sample_lifetime(&mut rng))
+            .sum::<f64>()
+            / 200_000.0;
+        assert!((mean - 4.0).abs() < 0.15, "sampled mean {mean}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_rejected() {
+        let g = binary_tree(2);
+        simulate_churn(
+            &g,
+            0,
+            &ChurnConfig {
+                arrival_rate: 0.0,
+                mean_lifetime: 1.0,
+                lifetime_shape: LifetimeShape::Exponential,
+                warmup_events: 0,
+                sample_events: 1,
+                seed: 0,
+            },
+        );
+    }
+}

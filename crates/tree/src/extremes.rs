@@ -1,0 +1,230 @@
+//! Closed forms for extreme affinity and disaffinity on k-ary trees
+//! (§5.2 / §5.3 of the paper).
+//!
+//! With `β = −∞` receivers spread out maximally: each new receiver is
+//! placed to add as many links as possible, giving the increment sequence
+//! `ΔL_{−∞}(j) = D − ⌊log_k j⌋` (and `D` for the first receiver). With
+//! `β = +∞` receivers pack as tightly as possible: `m = k^l` receivers
+//! fill the leaves of one depth-`l` subtree, giving
+//! `ΔL_{+∞}(m) = ν_k(m) + 1` where `ν_k` is the k-adic valuation. For
+//! with-replacement counts, `L_{+∞}(n) = D` for every `n` (all receivers
+//! stack on one site) and `L_{−∞}(n) = L_{−∞}(min(n, M))` (receivers only
+//! share a site when forced).
+
+/// `L_{−∞}(m)`: delivery-tree size with `m` maximally spread *distinct*
+/// leaf receivers on a k-ary tree of depth `depth`.
+///
+/// # Panics
+/// Panics if `k == 0`, or `m` exceeds the leaf count `M = k^depth`.
+pub fn disaffinity_distinct(k: u64, depth: u32, m: u64) -> u64 {
+    assert!(k >= 1, "k must be at least 1");
+    let leaves = k.checked_pow(depth).expect("leaf count overflows");
+    assert!(m <= leaves, "{m} receivers exceed {leaves} leaves");
+    if m == 0 {
+        return 0;
+    }
+    let d = u64::from(depth);
+    // First receiver: D links. Receiver j (1-based index j >= 1, i.e. the
+    // 2nd onward) adds D − ⌊log_k j⌋ links; the count of j with
+    // ⌊log_k j⌋ = l is k^l (k − 1) for l ≥ 0 ... clipped to m − 1 entries.
+    let mut total = d; // receiver 0
+    let mut remaining = m - 1;
+    let mut level = 0u32;
+    let mut block_start = 1u64; // smallest j with ⌊log_k j⌋ = level
+    while remaining > 0 {
+        let block_len = if k == 1 { 1 } else { block_start * (k - 1) };
+        let take = remaining.min(block_len);
+        total += take * (d - u64::from(level.min(depth)));
+        remaining -= take;
+        level += 1;
+        block_start *= k;
+        if k == 1 {
+            block_start = u64::from(level) + 1;
+        }
+    }
+    total
+}
+
+/// `L_{+∞}(m)`: delivery-tree size with `m` maximally clustered *distinct*
+/// leaf receivers.
+///
+/// # Panics
+/// Panics if `k == 0` or `m` exceeds the leaf count.
+pub fn affinity_distinct(k: u64, depth: u32, m: u64) -> u64 {
+    assert!(k >= 1, "k must be at least 1");
+    let leaves = k.checked_pow(depth).expect("leaf count overflows");
+    assert!(m <= leaves, "{m} receivers exceed {leaves} leaves");
+    if m == 0 {
+        return 0;
+    }
+    let d = u64::from(depth);
+    // Receiver 0 costs D; receiver j (j ≥ 1, filling leaves left-to-right
+    // under one subtree) costs ν_k(j) + 1.
+    let mut total = d;
+    for j in 1..m {
+        total += u64::from(k_adic_valuation(k, j)) + 1;
+    }
+    total
+}
+
+/// `L_{+∞}(k^l)` in closed form (Eq 38): `(D − l) + (k^{l+1} − k)/(k − 1)`.
+pub fn affinity_power_closed_form(k: u64, depth: u32, l: u32) -> u64 {
+    assert!(l <= depth);
+    let d = u64::from(depth);
+    if k == 1 {
+        return d; // a path: the single leaf chain
+    }
+    (d - u64::from(l)) + (k.pow(l + 1) - k) / (k - 1)
+}
+
+/// `L_{−∞}(k^l)` in closed form (Eq 36):
+/// `D + Σ_{i=0}^{l−1} k^i (k − 1)(D − i)`.
+pub fn disaffinity_power_closed_form(k: u64, depth: u32, l: u32) -> u64 {
+    assert!(l <= depth);
+    let d = u64::from(depth);
+    if k == 1 {
+        return d;
+    }
+    let mut total = d;
+    for i in 0..l {
+        total += k.pow(i) * (k - 1) * (d - u64::from(i));
+    }
+    total
+}
+
+/// `L_{−∞}(n)` for `n` with-replacement receivers: receivers only double
+/// up once every leaf is occupied.
+pub fn disaffinity_with_replacement(k: u64, depth: u32, n: u64) -> u64 {
+    let leaves = k.checked_pow(depth).expect("leaf count overflows");
+    disaffinity_distinct(k, depth, n.min(leaves))
+}
+
+/// `L_{+∞}(n)` for `n ≥ 1` with-replacement receivers: everyone stacks on
+/// one leaf, so the tree is a single root-to-leaf path.
+pub fn affinity_with_replacement(depth: u32, n: u64) -> u64 {
+    if n == 0 {
+        0
+    } else {
+        u64::from(depth)
+    }
+}
+
+/// Largest power of `k` dividing `j` (the k-adic valuation); 0 for `k = 1`.
+fn k_adic_valuation(k: u64, mut j: u64) -> u32 {
+    debug_assert!(j >= 1);
+    if k == 1 {
+        return 0;
+    }
+    let mut v = 0;
+    while j.is_multiple_of(k) {
+        j /= k;
+        v += 1;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sequence_binary_disaffinity() {
+        // §5.2 sequence for k = 2: ΔL = D, D, D−1, D−1, D−2 (×4), …
+        let d = 5;
+        let deltas: Vec<u64> = (1..=16u64)
+            .map(|m| disaffinity_distinct(2, d, m) - disaffinity_distinct(2, d, m - 1))
+            .collect();
+        assert_eq!(deltas, vec![5, 5, 4, 4, 3, 3, 3, 3, 2, 2, 2, 2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn paper_sequence_binary_affinity() {
+        // §5.3 sequence for a binary tree: ΔL = D, 1, 2, 1, 3, 1, 2, 1, …
+        let d = 6;
+        let deltas: Vec<u64> = (1..=8u64)
+            .map(|m| affinity_distinct(2, d, m) - affinity_distinct(2, d, m - 1))
+            .collect();
+        assert_eq!(deltas, vec![6, 1, 2, 1, 3, 1, 2, 1]);
+    }
+
+    #[test]
+    fn closed_forms_match_sequences() {
+        for k in [2u64, 3, 4] {
+            for depth in [3u32, 5] {
+                for l in 0..=depth.min(4) {
+                    let m = k.pow(l);
+                    assert_eq!(
+                        disaffinity_distinct(k, depth, m),
+                        disaffinity_power_closed_form(k, depth, l),
+                        "disaffinity k={k} D={depth} l={l}"
+                    );
+                    assert_eq!(
+                        affinity_distinct(k, depth, m),
+                        affinity_power_closed_form(k, depth, l),
+                        "affinity k={k} D={depth} l={l}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_occupancy_is_the_whole_tree() {
+        // All M leaves selected: both extremes give every link of the tree,
+        // (k^{D+1} − k)/(k − 1).
+        for (k, d) in [(2u64, 4u32), (3, 3)] {
+            let m = k.pow(d);
+            let all_links = (k.pow(d + 1) - k) / (k - 1);
+            assert_eq!(disaffinity_distinct(k, d, m), all_links);
+            assert_eq!(affinity_distinct(k, d, m), all_links);
+        }
+    }
+
+    #[test]
+    fn disaffinity_dominates_affinity() {
+        for m in 1..=27u64 {
+            let spread = disaffinity_distinct(3, 3, m);
+            let packed = affinity_distinct(3, 3, m);
+            assert!(spread >= packed, "m={m}: {spread} < {packed}");
+        }
+    }
+
+    #[test]
+    fn with_replacement_variants() {
+        assert_eq!(affinity_with_replacement(7, 0), 0);
+        assert_eq!(affinity_with_replacement(7, 1), 7);
+        assert_eq!(affinity_with_replacement(7, 1000), 7);
+        // Disaffinity saturates at full occupancy.
+        let full = disaffinity_distinct(2, 4, 16);
+        assert_eq!(disaffinity_with_replacement(2, 4, 16), full);
+        assert_eq!(disaffinity_with_replacement(2, 4, 1_000_000), full);
+        assert_eq!(
+            disaffinity_with_replacement(2, 4, 5),
+            disaffinity_distinct(2, 4, 5)
+        );
+    }
+
+    #[test]
+    fn degenerate_path_tree() {
+        // k = 1: a path with a single leaf.
+        assert_eq!(disaffinity_distinct(1, 9, 1), 9);
+        assert_eq!(affinity_distinct(1, 9, 1), 9);
+        assert_eq!(affinity_power_closed_form(1, 9, 0), 9);
+        assert_eq!(disaffinity_power_closed_form(1, 9, 0), 9);
+    }
+
+    #[test]
+    fn valuation() {
+        assert_eq!(k_adic_valuation(2, 8), 3);
+        assert_eq!(k_adic_valuation(2, 12), 2);
+        assert_eq!(k_adic_valuation(3, 9), 2);
+        assert_eq!(k_adic_valuation(3, 7), 0);
+        assert_eq!(k_adic_valuation(1, 5), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overdraw_panics() {
+        disaffinity_distinct(2, 3, 9);
+    }
+}

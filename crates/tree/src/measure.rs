@@ -1,0 +1,314 @@
+//! The paper's §2 measurement methodology.
+//!
+//! "For each network we pick a source at random. For each m, we pick
+//! `N_rcvr` random sets of m distinct receiver locations chosen uniformly
+//! over the network. For each random set … we compute the size of the
+//! delivery tree `L(m)`; we also compute the sum of the unicast paths …
+//! and average those to determine the average unicast path length `ū(m)`
+//! for this sample … For each such sample we compute the ratio … We repeat
+//! this for `N_source` random choices of the sources [picked with
+//! replacement] … then average this quantity."
+//!
+//! [`SourceMeasurer`] produces the per-(source, receiver-set) samples;
+//! [`ratio_curve`] / [`lhat_curve`] run the full
+//! `N_source × N_rcvr` average. These drivers are single-threaded — the
+//! experiment crate parallelises by sharding sources and merging
+//! [`RunningStats`].
+
+use crate::delivery::DeliverySizer;
+use crate::sampling::{self, ReceiverPool};
+use crate::stats::RunningStats;
+use mcast_topology::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sample-count configuration (paper defaults: 100 × 100).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MeasureConfig {
+    /// `N_source`: random sources, drawn with replacement.
+    pub sources: usize,
+    /// `N_rcvr`: receiver sets per (source, group-size) pair.
+    pub receiver_sets: usize,
+    /// Root seed; every (source index, point) derives from it.
+    pub seed: u64,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        Self {
+            sources: 100,
+            receiver_sets: 100,
+            seed: 0x6d63_6173_7431,
+        }
+    }
+}
+
+/// One point of a measured curve.
+#[derive(Clone, Copy, Debug)]
+pub struct CurvePoint {
+    /// Group size (the paper's `m` or `n`).
+    pub x: usize,
+    /// Accumulated samples at this size.
+    pub stats: RunningStats,
+}
+
+/// Per-source measurement engine: one BFS, then cheap repeated sampling.
+pub struct SourceMeasurer {
+    sizer: DeliverySizer,
+    pool: ReceiverPool,
+    mean_dist: f64,
+    buf: Vec<NodeId>,
+}
+
+impl SourceMeasurer {
+    /// Measurer whose receivers range over every node except `source`
+    /// (the paper's general-network model).
+    pub fn new(graph: &Graph, source: NodeId) -> Self {
+        let pool = ReceiverPool::AllExceptSource {
+            nodes: graph.node_count(),
+            source,
+        };
+        Self::with_pool(graph, source, pool)
+    }
+
+    /// Measurer with an explicit receiver pool (e.g. k-ary tree leaves).
+    pub fn with_pool(graph: &Graph, source: NodeId, pool: ReceiverPool) -> Self {
+        let sizer = DeliverySizer::from_graph(graph, source);
+        let mut total = 0u64;
+        let mut reachable = 0u64;
+        for i in 0..pool.len() {
+            if let Some(d) = sizer.distance(pool.site(i)) {
+                total += u64::from(d);
+                reachable += 1;
+            }
+        }
+        let mean_dist = if reachable == 0 {
+            0.0
+        } else {
+            total as f64 / reachable as f64
+        };
+        Self {
+            sizer,
+            pool,
+            mean_dist,
+            buf: Vec::new(),
+        }
+    }
+
+    /// This source's average unicast path length over the pool (`ū`).
+    pub fn mean_distance(&self) -> f64 {
+        self.mean_dist
+    }
+
+    /// The receiver pool size (`M`).
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// §2 sample: `m` distinct receivers; returns `L / ū_sample` where
+    /// `ū_sample` is the mean unicast path of *this* receiver set.
+    ///
+    /// # Panics
+    /// Panics if `m` is zero or exceeds the pool.
+    pub fn ratio_sample<R: Rng + ?Sized>(&mut self, m: usize, rng: &mut R) -> f64 {
+        assert!(m > 0, "need at least one receiver");
+        sampling::distinct(&self.pool, m, rng, &mut self.buf);
+        let (tree, unicast) = self.sizer.sample(&self.buf);
+        debug_assert!(unicast > 0, "receivers at distance zero?");
+        tree as f64 * m as f64 / unicast as f64
+    }
+
+    /// §3 sample: `n` with-replacement receivers; returns the raw tree
+    /// size `L̂`.
+    pub fn tree_sample<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) -> u64 {
+        sampling::with_replacement(&self.pool, n, rng, &mut self.buf);
+        self.sizer.tree_links(&self.buf)
+    }
+
+    /// §4 sample: `L̂ / (n · ū)` with `ū` this source's mean unicast path
+    /// length — the normalisation of the paper's Fig 6.
+    pub fn normalized_tree_sample<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) -> f64 {
+        assert!(n > 0, "need at least one receiver");
+        let l = self.tree_sample(n, rng);
+        l as f64 / (n as f64 * self.mean_dist)
+    }
+}
+
+/// Derive the RNG for a given (seed, source index) pair, so shards can be
+/// distributed across threads while reproducing the sequential result
+/// structure.
+pub fn source_rng(seed: u64, source_index: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (source_index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Pick the source node for `source_index` (paper: uniform, with
+/// replacement).
+pub fn pick_source(graph: &Graph, seed: u64, source_index: usize) -> NodeId {
+    let mut rng = source_rng(seed ^ 0x5eed, source_index);
+    rng.gen_range(0..graph.node_count() as NodeId)
+}
+
+/// Measure the §2 ratio curve `E[L(m)/ū(m)]` at each `m`.
+pub fn ratio_curve(graph: &Graph, ms: &[usize], cfg: &MeasureConfig) -> Vec<CurvePoint> {
+    let mut points: Vec<CurvePoint> = ms
+        .iter()
+        .map(|&m| CurvePoint {
+            x: m,
+            stats: RunningStats::new(),
+        })
+        .collect();
+    for s in 0..cfg.sources {
+        let source = pick_source(graph, cfg.seed, s);
+        let mut measurer = SourceMeasurer::new(graph, source);
+        let mut rng = source_rng(cfg.seed, s);
+        for p in &mut points {
+            for _ in 0..cfg.receiver_sets {
+                p.stats.push(measurer.ratio_sample(p.x, &mut rng));
+            }
+        }
+    }
+    points
+}
+
+/// Measure the §4 normalised curve `E[L̂(n)/(n·ū)]` at each `n`.
+pub fn lhat_curve(graph: &Graph, ns: &[usize], cfg: &MeasureConfig) -> Vec<CurvePoint> {
+    let mut points: Vec<CurvePoint> = ns
+        .iter()
+        .map(|&n| CurvePoint {
+            x: n,
+            stats: RunningStats::new(),
+        })
+        .collect();
+    for s in 0..cfg.sources {
+        let source = pick_source(graph, cfg.seed, s);
+        let mut measurer = SourceMeasurer::new(graph, source);
+        let mut rng = source_rng(cfg.seed, s);
+        for p in &mut points {
+            for _ in 0..cfg.receiver_sets {
+                p.stats.push(measurer.normalized_tree_sample(p.x, &mut rng));
+            }
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::graph::from_edges;
+
+    fn binary_tree(depth: u32) -> Graph {
+        let n = (1u32 << (depth + 1)) - 1;
+        let edges: Vec<_> = (1..n).map(|i| ((i - 1) / 2, i)).collect();
+        from_edges(n as usize, &edges)
+    }
+
+    #[test]
+    fn single_receiver_ratio_is_one() {
+        let g = binary_tree(4);
+        let mut m = SourceMeasurer::new(&g, 0);
+        let mut rng = source_rng(1, 0);
+        for _ in 0..50 {
+            let r = m.ratio_sample(1, &mut rng);
+            assert!((r - 1.0).abs() < 1e-12, "ratio {r}");
+        }
+    }
+
+    #[test]
+    fn normalized_single_receiver_is_one_on_average() {
+        let g = binary_tree(5);
+        let mut m = SourceMeasurer::new(&g, 0);
+        let mut rng = source_rng(2, 0);
+        let mut stats = RunningStats::new();
+        for _ in 0..4000 {
+            stats.push(m.normalized_tree_sample(1, &mut rng));
+        }
+        assert!((stats.mean() - 1.0).abs() < 0.05, "mean {}", stats.mean());
+    }
+
+    #[test]
+    fn ratio_grows_sublinearly() {
+        // Multicast efficiency: E[L(m)/ū] must fall below m and above 1.
+        let g = binary_tree(6);
+        let cfg = MeasureConfig {
+            sources: 5,
+            receiver_sets: 20,
+            seed: 3,
+        };
+        let pts = ratio_curve(&g, &[2, 8, 32], &cfg);
+        for p in &pts {
+            let mean = p.stats.mean();
+            assert!(mean > 1.0, "m={} mean={mean}", p.x);
+            assert!(mean < p.x as f64, "m={} mean={mean}", p.x);
+        }
+        // Monotone in m.
+        assert!(pts[0].stats.mean() < pts[1].stats.mean());
+        assert!(pts[1].stats.mean() < pts[2].stats.mean());
+    }
+
+    #[test]
+    fn lhat_normalised_decreases_with_n() {
+        let g = binary_tree(7);
+        let cfg = MeasureConfig {
+            sources: 4,
+            receiver_sets: 20,
+            seed: 4,
+        };
+        let pts = lhat_curve(&g, &[1, 16, 128], &cfg);
+        // Per-receiver efficiency improves with group size.
+        assert!(pts[0].stats.mean() > pts[1].stats.mean());
+        assert!(pts[1].stats.mean() > pts[2].stats.mean());
+        // And the n=1 point is exactly 1 in expectation-normalised form.
+        assert!((pts[0].stats.mean() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn leaf_pool_measures_leaves_only() {
+        let g = binary_tree(3);
+        let pool = ReceiverPool::IdRange(7..15);
+        let mut m = SourceMeasurer::with_pool(&g, 0, pool);
+        assert_eq!(m.pool_size(), 8);
+        assert!((m.mean_distance() - 3.0).abs() < 1e-12); // all leaves at depth 3
+        let mut rng = source_rng(5, 0);
+        // Saturating the leaves gives the full 14-link tree.
+        let l = m.tree_sample(10_000, &mut rng);
+        assert_eq!(l, 14);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = binary_tree(5);
+        let cfg = MeasureConfig {
+            sources: 3,
+            receiver_sets: 5,
+            seed: 42,
+        };
+        let a = ratio_curve(&g, &[4, 9], &cfg);
+        let b = ratio_curve(&g, &[4, 9], &cfg);
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.stats.mean(), pb.stats.mean());
+            assert_eq!(pa.stats.count(), pb.stats.count());
+        }
+    }
+
+    #[test]
+    fn source_rngs_differ_between_sources() {
+        let mut a = source_rng(7, 0);
+        let mut b = source_rng(7, 1);
+        let xa: u64 = a.gen();
+        let xb: u64 = b.gen();
+        assert_ne!(xa, xb);
+    }
+
+    #[test]
+    fn curve_sample_counts_are_full() {
+        let g = binary_tree(4);
+        let cfg = MeasureConfig {
+            sources: 3,
+            receiver_sets: 7,
+            seed: 9,
+        };
+        let pts = lhat_curve(&g, &[2], &cfg);
+        assert_eq!(pts[0].stats.count(), 21);
+    }
+}

@@ -1,0 +1,145 @@
+//! Shortest-path tie-breaking policies.
+//!
+//! Hop-count routing rarely has a unique shortest path; which one a
+//! router picks changes the delivery tree and therefore `L(m)`. The
+//! paper fixes one tree per source (as any deterministic routing protocol
+//! would); this module makes the choice explicit so the
+//! `ablate-tiebreak` experiment can measure how much the Chuang–Sirbu
+//! curve cares. Policies act on the all-shortest-paths DAG of
+//! [`mcast_topology::spdag::SpDag`].
+
+use crate::delivery::DeliverySizer;
+use mcast_topology::bfs::UNREACHED;
+use mcast_topology::spdag::SpDag;
+use mcast_topology::{Graph, NodeId};
+use rand::Rng;
+
+/// How to pick among equal-length shortest paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TieBreak {
+    /// Lowest-id predecessor — identical to the BFS default used
+    /// everywhere else in the workspace.
+    LowestId,
+    /// Highest-id predecessor — the "opposite" deterministic choice.
+    HighestId,
+    /// Uniform random predecessor per node (drawn once per routing
+    /// table, like a hash-seeded ECMP assignment).
+    Random,
+}
+
+/// Build a delivery sizer whose routing table follows `policy`.
+///
+/// # Panics
+/// Panics if `source` is out of range.
+pub fn sizer_with_policy<R: Rng + ?Sized>(
+    graph: &Graph,
+    source: NodeId,
+    policy: TieBreak,
+    rng: &mut R,
+) -> DeliverySizer {
+    let dag = SpDag::new(graph, source);
+    let n = graph.node_count();
+    let mut parent = vec![UNREACHED; n];
+    let mut dist = vec![UNREACHED; n];
+    for v in 0..n as NodeId {
+        if let Some(d) = dag.distance(v) {
+            dist[v as usize] = d;
+            if v == source {
+                parent[v as usize] = source;
+            } else {
+                let preds = dag.predecessors(v);
+                debug_assert!(!preds.is_empty());
+                parent[v as usize] = match policy {
+                    TieBreak::LowestId => preds[0],
+                    TieBreak::HighestId => *preds.last().expect("non-empty"),
+                    TieBreak::Random => preds[rng.gen_range(0..preds.len())],
+                };
+            }
+        }
+    }
+    DeliverySizer::from_routing(source, parent, dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::graph::from_edges;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn diamond() -> Graph {
+        // 0 connects to 3 via 1 or 2.
+        from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn lowest_matches_bfs_default() {
+        let g = diamond();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut policy = sizer_with_policy(&g, 0, TieBreak::LowestId, &mut rng);
+        let mut default = DeliverySizer::from_graph(&g, 0);
+        for set in [&[3u32][..], &[1, 3][..], &[2, 3][..], &[1, 2, 3][..]] {
+            assert_eq!(policy.tree_links(set), default.tree_links(set));
+        }
+    }
+
+    #[test]
+    fn highest_takes_the_other_branch() {
+        let g = diamond();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut low = sizer_with_policy(&g, 0, TieBreak::LowestId, &mut rng);
+        let mut high = sizer_with_policy(&g, 0, TieBreak::HighestId, &mut rng);
+        // Receiver set {1, 3}: lowest-id routes 3 via 1 (2 links);
+        // highest-id routes 3 via 2 (3 links total with the 0-1 branch).
+        assert_eq!(low.tree_links(&[1, 3]), 2);
+        assert_eq!(high.tree_links(&[1, 3]), 3);
+        // Mirror-image set {2, 3}.
+        assert_eq!(low.tree_links(&[2, 3]), 3);
+        assert_eq!(high.tree_links(&[2, 3]), 2);
+    }
+
+    #[test]
+    fn distances_are_policy_independent() {
+        let g = from_edges(
+            8,
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (2, 6),
+                (6, 5),
+                (5, 7),
+            ],
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        for policy in [TieBreak::LowestId, TieBreak::HighestId, TieBreak::Random] {
+            let sizer = sizer_with_policy(&g, 0, policy, &mut rng);
+            let reference = DeliverySizer::from_graph(&g, 0);
+            for v in g.nodes() {
+                assert_eq!(sizer.distance(v), reference.distance(v), "{policy:?} {v}");
+            }
+            // Single receivers always cost exactly their distance.
+            let mut sizer = sizer;
+            for v in g.nodes() {
+                let d = u64::from(reference.distance(v).unwrap());
+                assert_eq!(sizer.tree_links(&[v]), d, "{policy:?} {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_policy_is_a_valid_routing() {
+        let g = from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (2, 5), (5, 4)]);
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sizer = sizer_with_policy(&g, 0, TieBreak::Random, &mut rng);
+            // Whatever the draw, a full receiver set yields a spanning
+            // tree of the reached nodes: exactly n−1 links.
+            let all: Vec<NodeId> = (1..6).collect();
+            assert_eq!(sizer.tree_links(&all), 5);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Receiver-site sampling.
+//!
+//! The paper uses two receiver models, and the distinction matters (its
+//! Eq 1 converts between them):
+//!
+//! * §2 empirics: `m` **distinct** sites "chosen uniformly over the
+//!   network" (excluding the source);
+//! * §3 theory: `n` draws **with replacement** ("not necessarily unique"),
+//!   either over the `M = k^D` leaves or over every non-root site (§3.4).
+//!
+//! [`ReceiverPool`] abstracts over which sites are eligible; samplers fill
+//! a reusable buffer so inner measurement loops stay allocation-free.
+
+use mcast_topology::NodeId;
+use rand::Rng;
+use std::collections::HashSet;
+use std::ops::Range;
+
+/// The set of sites receivers may occupy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReceiverPool {
+    /// Every node of an `n`-node graph except `source` (§2's model).
+    AllExceptSource {
+        /// Total node count.
+        nodes: usize,
+        /// The excluded source.
+        source: NodeId,
+    },
+    /// A contiguous id range (k-ary tree leaves are laid out contiguously).
+    IdRange(Range<NodeId>),
+    /// An explicit site list (used by structured/clustered placements).
+    Explicit(Vec<NodeId>),
+}
+
+impl ReceiverPool {
+    /// Number of eligible sites (the paper's `M`).
+    pub fn len(&self) -> usize {
+        match self {
+            Self::AllExceptSource { nodes, source } => {
+                nodes - usize::from((*source as usize) < *nodes)
+            }
+            Self::IdRange(r) => r.len(),
+            Self::Explicit(v) => v.len(),
+        }
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th eligible site, `i < len()`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn site(&self, i: usize) -> NodeId {
+        match self {
+            Self::AllExceptSource { nodes, source } => {
+                assert!(i < self.len(), "site index {i} out of range");
+                let _ = nodes;
+                if (i as NodeId) < *source {
+                    i as NodeId
+                } else {
+                    i as NodeId + 1
+                }
+            }
+            Self::IdRange(r) => {
+                assert!(i < r.len());
+                r.start + i as NodeId
+            }
+            Self::Explicit(v) => v[i],
+        }
+    }
+
+    /// One uniform site.
+    pub fn sample_one<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
+        self.site(rng.gen_range(0..self.len()))
+    }
+}
+
+/// Fill `out` with `n` sites drawn uniformly **with replacement** (§3's
+/// receiver model).
+pub fn with_replacement<R: Rng + ?Sized>(
+    pool: &ReceiverPool,
+    n: usize,
+    rng: &mut R,
+    out: &mut Vec<NodeId>,
+) {
+    assert!(!pool.is_empty(), "cannot sample from an empty pool");
+    out.clear();
+    out.extend((0..n).map(|_| pool.sample_one(rng)));
+}
+
+/// Fill `out` with `m` **distinct** sites drawn uniformly (§2's receiver
+/// model). Uses Floyd's algorithm, O(m) expected, no pool-sized
+/// allocation.
+///
+/// # Panics
+/// Panics if `m` exceeds the pool size.
+pub fn distinct<R: Rng + ?Sized>(
+    pool: &ReceiverPool,
+    m: usize,
+    rng: &mut R,
+    out: &mut Vec<NodeId>,
+) {
+    let len = pool.len();
+    assert!(m <= len, "cannot draw {m} distinct sites from {len}");
+    out.clear();
+    // Floyd's sampling: for j in len-m..len, pick t in [0, j]; insert t or j.
+    let mut chosen: HashSet<usize> = HashSet::with_capacity(m * 2);
+    for j in (len - m)..len {
+        let t = rng.gen_range(0..=j);
+        let pick = if chosen.insert(t) {
+            t
+        } else {
+            chosen.insert(j);
+            j
+        };
+        out.push(pool.site(pick));
+    }
+}
+
+/// The expected number of **distinct** sites after `n` with-replacement
+/// draws from `m_total` sites: the paper's Eq 1 occupancy relation,
+/// `m̄ = M·(1 − (1 − 1/M)^n)`.
+pub fn expected_distinct(m_total: usize, n: usize) -> f64 {
+    if m_total == 0 {
+        return 0.0;
+    }
+    let m = m_total as f64;
+    m * (1.0 - ((n as f64) * (-1.0 / m).ln_1p()).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_except_source_skips_the_source() {
+        let pool = ReceiverPool::AllExceptSource {
+            nodes: 5,
+            source: 2,
+        };
+        assert_eq!(pool.len(), 4);
+        let sites: Vec<NodeId> = (0..4).map(|i| pool.site(i)).collect();
+        assert_eq!(sites, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn source_outside_range_is_not_subtracted() {
+        let pool = ReceiverPool::AllExceptSource {
+            nodes: 4,
+            source: 9,
+        };
+        assert_eq!(pool.len(), 4);
+        assert_eq!(pool.site(3), 3);
+    }
+
+    #[test]
+    fn id_range_and_explicit_pools() {
+        let r = ReceiverPool::IdRange(10..14);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.site(0), 10);
+        assert_eq!(r.site(3), 13);
+        let e = ReceiverPool::Explicit(vec![5, 9, 2]);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.site(1), 9);
+    }
+
+    #[test]
+    fn with_replacement_hits_only_pool_sites() {
+        let pool = ReceiverPool::AllExceptSource {
+            nodes: 10,
+            source: 3,
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        with_replacement(&pool, 500, &mut rng, &mut out);
+        assert_eq!(out.len(), 500);
+        assert!(out.iter().all(|&v| v < 10 && v != 3));
+        // With 500 draws over 9 sites, every site appears.
+        let unique: HashSet<_> = out.iter().collect();
+        assert_eq!(unique.len(), 9);
+    }
+
+    #[test]
+    fn distinct_draws_are_distinct_and_in_pool() {
+        let pool = ReceiverPool::IdRange(100..160);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut out = Vec::new();
+        for m in [0usize, 1, 7, 59, 60] {
+            distinct(&pool, m, &mut rng, &mut out);
+            assert_eq!(out.len(), m);
+            let unique: HashSet<_> = out.iter().collect();
+            assert_eq!(unique.len(), m, "m={m}");
+            assert!(out.iter().all(|&v| (100..160).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn distinct_full_pool_is_a_permutation() {
+        let pool = ReceiverPool::Explicit(vec![4, 8, 15, 16, 23, 42]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut out = Vec::new();
+        distinct(&pool, 6, &mut rng, &mut out);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![4, 8, 15, 16, 23, 42]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn distinct_overdraw_panics() {
+        let pool = ReceiverPool::IdRange(0..3);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut out = Vec::new();
+        distinct(&pool, 4, &mut rng, &mut out);
+    }
+
+    #[test]
+    fn distinct_is_roughly_uniform() {
+        // Chi-squared-ish sanity: each of 10 sites should appear in a
+        // size-5 sample about half the time.
+        let pool = ReceiverPool::IdRange(0..10);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut out = Vec::new();
+        let mut counts = [0u32; 10];
+        let trials = 4000;
+        for _ in 0..trials {
+            distinct(&pool, 5, &mut rng, &mut out);
+            for &v in &out {
+                counts[v as usize] += 1;
+            }
+        }
+        for (site, &c) in counts.iter().enumerate() {
+            let f = c as f64 / trials as f64;
+            assert!((f - 0.5).abs() < 0.05, "site {site}: {f}");
+        }
+    }
+
+    #[test]
+    fn expected_distinct_limits() {
+        assert_eq!(expected_distinct(0, 5), 0.0);
+        assert_eq!(expected_distinct(100, 0), 0.0);
+        // One draw: exactly one distinct site.
+        assert!((expected_distinct(100, 1) - 1.0).abs() < 1e-12);
+        // Many draws saturate at M.
+        assert!((expected_distinct(50, 100_000) - 50.0).abs() < 1e-6);
+        // Monotone in n.
+        let a = expected_distinct(1000, 10);
+        let b = expected_distinct(1000, 20);
+        assert!(b > a);
+        // Matches a direct Monte-Carlo estimate.
+        let mut rng = SmallRng::seed_from_u64(6);
+        let pool = ReceiverPool::IdRange(0..200);
+        let mut out = Vec::new();
+        let mut mean = 0.0;
+        let trials = 2000;
+        for _ in 0..trials {
+            with_replacement(&pool, 150, &mut rng, &mut out);
+            let unique: HashSet<_> = out.iter().collect();
+            mean += unique.len() as f64;
+        }
+        mean /= trials as f64;
+        let predicted = expected_distinct(200, 150);
+        assert!((mean - predicted).abs() < 1.0, "{mean} vs {predicted}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Shared (center-based) delivery trees — an ablation the paper scopes
+//! out.
+//!
+//! Footnote 1 of the paper: "we are focusing on multicast routing
+//! algorithms that are source specific … we do not address the efficiency
+//! of shared tree multicast algorithms. See \[12\] for one such comparison."
+//! Reference \[12\] is Wei & Estrin's shared-vs-source-tree study. This
+//! module provides the shared-tree counterpart (CBT/PIM-SM style): the
+//! delivery tree is the union of shortest paths from a *center* (core,
+//! rendezvous point) to every receiver plus the path from the source to
+//! the center, so the `mcs shared` ablation can quantify how much of the
+//! Chuang–Sirbu behaviour depends on the source-specific choice.
+
+use crate::delivery::DeliverySizer;
+use mcast_topology::bfs::Bfs;
+use mcast_topology::{Graph, NodeId};
+
+/// Shared-tree sizer: one BFS rooted at the center serves every source.
+pub struct SharedTreeSizer {
+    sizer: DeliverySizer,
+    center: NodeId,
+}
+
+impl SharedTreeSizer {
+    /// Build the center-rooted machinery.
+    ///
+    /// # Panics
+    /// Panics if `center` is out of range.
+    pub fn new(graph: &Graph, center: NodeId) -> Self {
+        Self {
+            sizer: DeliverySizer::from_graph(graph, center),
+            center,
+        }
+    }
+
+    /// The center node.
+    pub fn center(&self) -> NodeId {
+        self.center
+    }
+
+    /// Links in the shared delivery tree serving `source` → `receivers`:
+    /// the center-rooted tree spanning the receivers **and** the source
+    /// (data flows source → center → receivers along center-shortest
+    /// paths, with the usual shortcutting where branches merge).
+    pub fn tree_links(&mut self, source: NodeId, receivers: &[NodeId]) -> u64 {
+        // Union of center→source and center→receiver paths = tree over
+        // {source} ∪ receivers rooted at the center.
+        let mut all = Vec::with_capacity(receivers.len() + 1);
+        all.push(source);
+        all.extend_from_slice(receivers);
+        self.sizer.tree_links(&all)
+    }
+}
+
+/// Pick a low-eccentricity center: BFS from `candidates.len()` spread
+/// candidates, keep the one whose farthest node is nearest (a cheap
+/// 1-median/center stand-in; Wei & Estrin examined several policies).
+pub fn choose_center(graph: &Graph, candidates: &[NodeId]) -> NodeId {
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    let mut bfs = Bfs::new(graph);
+    let mut best = candidates[0];
+    let mut best_ecc = u32::MAX;
+    for &c in candidates {
+        bfs.run_scratch(c);
+        let ecc = bfs
+            .scratch_order()
+            .iter()
+            .map(|&v| bfs.scratch_distances()[v as usize])
+            .max()
+            .unwrap_or(0);
+        if ecc < best_ecc {
+            best_ecc = ecc;
+            best = c;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::graph::from_edges;
+
+    /// Depth-3 complete binary tree rooted at 0.
+    fn binary_tree() -> Graph {
+        let edges: Vec<_> = (1..15u32).map(|i| ((i - 1) / 2, i)).collect();
+        from_edges(15, &edges)
+    }
+
+    #[test]
+    fn center_equals_source_matches_source_tree() {
+        let g = binary_tree();
+        let mut shared = SharedTreeSizer::new(&g, 0);
+        let mut source = DeliverySizer::from_graph(&g, 0);
+        for set in [&[7u32, 8][..], &[14][..], &[3, 9, 12][..]] {
+            assert_eq!(shared.tree_links(0, set), source.tree_links(set));
+        }
+    }
+
+    #[test]
+    fn off_center_pays_the_detour() {
+        // Source 7, receiver 8 (its sibling): source tree uses 2 links
+        // (7-3-8); a shared tree centered at the root pays the full
+        // root-to-leaf paths: 0-1-3-7 and 0-1-3-8 = 4 links.
+        let g = binary_tree();
+        let mut shared = SharedTreeSizer::new(&g, 0);
+        let mut source = DeliverySizer::from_graph(&g, 7);
+        assert_eq!(source.tree_links(&[8]), 2);
+        assert_eq!(shared.tree_links(7, &[8]), 4);
+    }
+
+    #[test]
+    fn shared_tree_is_shared_across_sources() {
+        // With the receiver set spanning the whole tree, every source
+        // yields the same (full) shared tree — the defining property.
+        let g = binary_tree();
+        let mut shared = SharedTreeSizer::new(&g, 0);
+        let receivers: Vec<NodeId> = (7..15).collect();
+        let l_a = shared.tree_links(7, &receivers);
+        let l_b = shared.tree_links(14, &receivers);
+        assert_eq!(l_a, l_b);
+        assert_eq!(l_a, 14);
+    }
+
+    #[test]
+    fn choose_center_prefers_the_middle_of_a_path() {
+        let edges: Vec<_> = (0..8u32).map(|i| (i, i + 1)).collect();
+        let g = from_edges(9, &edges);
+        let all: Vec<NodeId> = g.nodes().collect();
+        assert_eq!(choose_center(&g, &all), 4);
+        // Restricted candidates: best available wins.
+        assert_eq!(choose_center(&g, &[0, 2]), 2);
+    }
+
+    #[test]
+    fn empty_receivers_cost_the_source_path_only() {
+        let g = binary_tree();
+        let mut shared = SharedTreeSizer::new(&g, 0);
+        assert_eq!(shared.tree_links(7, &[]), 3); // 0→7 path
+        assert_eq!(shared.tree_links(0, &[]), 0);
+    }
+}

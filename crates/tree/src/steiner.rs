@@ -1,0 +1,198 @@
+//! Greedy Steiner-tree heuristic — a cost-optimality yardstick.
+//!
+//! Source-specific shortest-path trees (the paper's model, and what
+//! DVMRP/PIM actually build) are not cost-minimal: the cheapest tree
+//! spanning a receiver set is a Steiner tree, which is NP-hard to
+//! compute. The classic Takahashi–Matsuyama *shortest-path heuristic*
+//! implemented here — repeatedly graft the terminal closest to the
+//! current tree — is within `2(1 − 1/ℓ)` of optimal, so comparing it with
+//! [`crate::DeliverySizer`] bounds how much of the `L(m)` cost is due to
+//! shortest-path routing rather than the group's intrinsic span.
+
+use mcast_topology::{Graph, NodeId};
+
+/// Greedy Steiner heuristic engine (reusable scratch buffers).
+pub struct SteinerHeuristic<'g> {
+    graph: &'g Graph,
+    dist: Vec<u32>,
+    parent: Vec<NodeId>,
+    in_tree: Vec<bool>,
+    queue: Vec<NodeId>,
+}
+
+impl<'g> SteinerHeuristic<'g> {
+    /// New engine over `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        let n = graph.node_count();
+        Self {
+            graph,
+            dist: vec![u32::MAX; n],
+            parent: vec![0; n],
+            in_tree: vec![false; n],
+            queue: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of links in the greedy Steiner tree connecting `source` to
+    /// every reachable receiver. Duplicates are free; unreachable
+    /// receivers are skipped (mirroring [`crate::DeliverySizer`]).
+    ///
+    /// # Panics
+    /// Panics if `source` is out of range.
+    pub fn tree_links(&mut self, source: NodeId, receivers: &[NodeId]) -> u64 {
+        assert!(
+            (source as usize) < self.graph.node_count(),
+            "source {source} out of range"
+        );
+        self.in_tree.fill(false);
+        self.in_tree[source as usize] = true;
+        let mut remaining: Vec<NodeId> = {
+            let mut r: Vec<NodeId> = receivers.to_vec();
+            r.sort_unstable();
+            r.dedup();
+            r.retain(|&v| v != source);
+            r
+        };
+        let mut links = 0u64;
+
+        while !remaining.is_empty() {
+            // Multi-source BFS from the current tree.
+            self.dist.fill(u32::MAX);
+            self.queue.clear();
+            for v in 0..self.graph.node_count() as NodeId {
+                if self.in_tree[v as usize] {
+                    self.dist[v as usize] = 0;
+                    self.queue.push(v);
+                }
+            }
+            let mut head = 0;
+            while head < self.queue.len() {
+                let u = self.queue[head];
+                head += 1;
+                let du = self.dist[u as usize];
+                for &w in self.graph.neighbors(u) {
+                    if self.dist[w as usize] == u32::MAX {
+                        self.dist[w as usize] = du + 1;
+                        self.parent[w as usize] = u;
+                        self.queue.push(w);
+                    }
+                }
+            }
+            // Closest remaining terminal (ties: lowest id, deterministic).
+            let Some((&best, &bd)) = remaining
+                .iter()
+                .map(|t| (t, &self.dist[*t as usize]))
+                .filter(|&(_, &d)| d != u32::MAX)
+                .min_by_key(|&(t, &d)| (d, *t))
+            else {
+                break; // everything left is unreachable
+            };
+            // Graft its path onto the tree.
+            links += u64::from(bd);
+            let mut v = best;
+            while !self.in_tree[v as usize] {
+                self.in_tree[v as usize] = true;
+                v = self.parent[v as usize];
+            }
+            // Terminals absorbed by the new branch come along for free.
+            remaining.retain(|&t| !self.in_tree[t as usize]);
+        }
+        links
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delivery::DeliverySizer;
+    use mcast_topology::graph::from_edges;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Depth-3 complete binary tree rooted at 0.
+    fn binary_tree() -> Graph {
+        let edges: Vec<_> = (1..15u32).map(|i| ((i - 1) / 2, i)).collect();
+        from_edges(15, &edges)
+    }
+
+    #[test]
+    fn on_a_tree_it_matches_the_spt_union() {
+        // On a tree there is exactly one tree spanning any set.
+        let g = binary_tree();
+        let mut steiner = SteinerHeuristic::new(&g);
+        let mut spt = DeliverySizer::from_graph(&g, 0);
+        for set in [&[7u32, 8][..], &[7, 14][..], &[3, 9, 12, 13][..]] {
+            assert_eq!(steiner.tree_links(0, set), spt.tree_links(set));
+        }
+    }
+
+    #[test]
+    fn beats_the_spt_when_detours_pay_off() {
+        // C6 plus a chord is the classic case: receivers 2 and 4 from
+        // source 0. SPT uses 0-1-2 and 0-5-4 (4 links); the Steiner tree
+        // can route 0-1-2-3-4 (4 links)… make it strictly better with a
+        // "Y" graph: source 0, long stem 0-1-2, arms 2-3 and 2-4, but a
+        // direct shortcut 0-5-3 of equal length to 0-1-2-3.
+        //   0-1, 1-2, 2-3, 2-4, 0-5, 5-3
+        // Receivers {3, 4}: SPT takes 3 via 0-5-3 (2 links) and 4 via
+        // 0-1-2-4 (3 links) = 5 links; greedy grafts 3 (2 links) then 4
+        // at distance 2 from node 3 via 3-2-4 = 4 links total.
+        let g = from_edges(6, &[(0, 1), (1, 2), (2, 3), (2, 4), (0, 5), (5, 3)]);
+        let mut steiner = SteinerHeuristic::new(&g);
+        let mut spt = DeliverySizer::from_graph(&g, 0);
+        let s = steiner.tree_links(0, &[3, 4]);
+        let t = spt.tree_links(&[3, 4]);
+        assert_eq!(t, 5);
+        assert_eq!(s, 4);
+    }
+
+    #[test]
+    fn never_worse_than_spt_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..30 {
+            let g = crate::steiner::tests::random_connected(40, &mut rng);
+            let mut steiner = SteinerHeuristic::new(&g);
+            let mut spt = DeliverySizer::from_graph(&g, 0);
+            let receivers: Vec<NodeId> = (0..8).map(|_| rng.gen_range(1..40u32)).collect();
+            let s = steiner.tree_links(0, &receivers);
+            let t = spt.tree_links(&receivers);
+            assert!(s <= t, "trial {trial}: steiner {s} > spt {t}");
+            // And it still reaches everyone: at least the distinct count.
+            let mut d = receivers.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert!(s >= d.len() as u64 / 2); // loose sanity floor
+        }
+    }
+
+    pub(crate) fn random_connected(n: usize, rng: &mut StdRng) -> Graph {
+        // Ring + random chords: always connected.
+        let mut edges: Vec<(NodeId, NodeId)> = (0..n)
+            .map(|i| (i as NodeId, ((i + 1) % n) as NodeId))
+            .collect();
+        for _ in 0..n {
+            edges.push((rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)));
+        }
+        from_edges(n, &edges)
+    }
+
+    #[test]
+    fn duplicates_source_and_unreachable_handled() {
+        let g = from_edges(5, &[(0, 1), (1, 2)]); // 3, 4 isolated
+        let mut steiner = SteinerHeuristic::new(&g);
+        assert_eq!(steiner.tree_links(0, &[2, 2, 0, 3, 4]), 2);
+        assert_eq!(steiner.tree_links(0, &[]), 0);
+        assert_eq!(steiner.tree_links(0, &[0]), 0);
+    }
+
+    #[test]
+    fn free_absorption_of_on_path_terminals() {
+        // Path 0-1-2-3-4: receivers {2, 4}. Grafting 2 first costs 2,
+        // then 4 costs 2 more; grafting 4 would absorb 2 for free. The
+        // greedy picks the *closest* first (2), total 4 — same as SPT.
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut steiner = SteinerHeuristic::new(&g);
+        assert_eq!(steiner.tree_links(0, &[2, 4]), 4);
+        assert_eq!(steiner.tree_links(0, &[4, 2]), 4);
+    }
+}

@@ -1,0 +1,70 @@
+//! Receiver affinity in practice: a teleconference versus a sensor grid.
+//!
+//! §5 of the paper models receiver clustering with configuration weights
+//! `exp(−β·d̄)`. This example makes that concrete on a binary tree:
+//! a *teleconference* (participants cluster — β > 0), a *public
+//! broadcast* (uniform — β = 0), and a *sensor network* (sites spread out
+//! by design — β < 0), comparing the Metropolis-sampled tree sizes with
+//! the closed-form extremes of §5.2/§5.3.
+//!
+//! Run with: `cargo run --release --example affinity_conference`
+
+use mcast_core::prelude::*;
+use mcast_core::tree::affinity::mean_tree_size;
+use mcast_core::tree::extremes;
+
+fn main() {
+    let depth = 10u32;
+    let graph = KaryTree::new(2, depth).unwrap().into_graph();
+    let tree = RootedTree::from_graph(&graph, 0);
+    println!(
+        "binary tree, depth {depth}: {} nodes, {} links\n",
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    let scenarios = [
+        ("sensor grid   (beta = -5)", -5.0),
+        ("broadcast     (beta =  0)", 0.0),
+        ("teleconference(beta = +5)", 5.0),
+    ];
+    let group_sizes = [4usize, 16, 64, 256];
+
+    println!("scenario                      n=4     n=16    n=64    n=256");
+    for (label, beta) in scenarios {
+        print!("{label:<26}");
+        for &n in &group_sizes {
+            let cfg = AffinityConfig {
+                beta,
+                burn_in_sweeps: 100,
+                sample_sweeps: 200,
+                seed: 7 ^ n as u64,
+            };
+            let stats = mean_tree_size(&tree, n, &cfg);
+            print!("  {:>6.1}", stats.mean());
+        }
+        println!();
+    }
+
+    // The analytic sandwich: β = ±∞ bounds from §5.2/§5.3.
+    print!("{:<26}", "packed limit  (beta = +inf)");
+    for &n in &group_sizes {
+        print!(
+            "  {:>6.1}",
+            extremes::affinity_with_replacement(depth, n as u64) as f64
+        );
+    }
+    println!();
+    print!("{:<26}", "spread limit  (beta = -inf)");
+    for &n in &group_sizes {
+        print!(
+            "  {:>6.1}",
+            extremes::disaffinity_with_replacement(2, depth, n as u64) as f64
+        );
+    }
+    println!(
+        "\n\nA clustered teleconference uses a far smaller tree than a spread-out\n\
+         sensor net at the same group size — but §5.4's conjecture (and Fig 9)\n\
+         says the *normalised* effect vanishes as the network grows."
+    );
+}

@@ -1,0 +1,103 @@
+//! Tour of every topology family in the study, with the statistics the
+//! paper's Table 1 reports and the §4 reachability classification that
+//! predicts whether the k-ary asymptotics will hold.
+//!
+//! Run with: `cargo run --release --example topology_zoo`
+
+use mcast_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn describe(name: &str, graph: &Graph) {
+    let (ubar, diameter) = mcast_core::topology::metrics::exact_path_stats(graph);
+    let study = ScalingStudy::new(graph.clone())
+        .with_samples(6, 6)
+        .with_seed(5);
+    println!(
+        "{name:<14} {:>6} nodes  {:>6} links  deg {:>5.2}  u {:>5.2}  diam {:>3}  {:?}",
+        graph.node_count(),
+        graph.edge_count(),
+        graph.average_degree(),
+        ubar,
+        diameter,
+        study.reachability_class(),
+    );
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    println!("name             nodes    links   degree  u-bar  diam  reachability\n");
+
+    // The embedded ARPANET reconstruction.
+    describe("ARPA", &mcast_core::gen::arpa::arpa());
+
+    // k-ary tree (the analytical workhorse).
+    describe("binary-D9", &KaryTree::new(2, 9).unwrap().into_graph());
+
+    // Flat random graph (GT-ITM "r" style).
+    let r = mcast_core::gen::random::random_with_degree(500, 4.0, &mut rng).unwrap();
+    describe("random-500", &r);
+
+    // Waxman spatial random graph.
+    let w = mcast_core::gen::waxman::waxman_connected(
+        500,
+        WaxmanParams {
+            alpha: 0.12,
+            beta: 0.18,
+        },
+        &mut rng,
+    )
+    .unwrap();
+    describe("waxman-500", &w);
+
+    // Transit-stub hierarchy (GT-ITM "ts" style).
+    let ts =
+        mcast_core::gen::transit_stub::transit_stub(TransitStubParams::ts1000(), &mut rng).unwrap();
+    describe("ts1000", &ts);
+
+    // TIERS WAN/MAN/LAN hierarchy (scaled down from ti5000 for the demo).
+    let ti = mcast_core::gen::tiers::tiers(
+        TiersParams {
+            wan_nodes: 30,
+            man_count: 6,
+            man_nodes: 20,
+            lans_per_man: 5,
+            lan_hosts: 12,
+            wan_redundancy: 1,
+            man_redundancy: 1,
+        },
+        &mut rng,
+    )
+    .unwrap();
+    describe("tiers-510", &ti);
+
+    // Power-law / preferential attachment (Internet & AS stand-ins).
+    let pl = mcast_core::gen::power_law::power_law(
+        PowerLawParams {
+            nodes: 2000,
+            edges_per_node: 1.8,
+        },
+        &mut rng,
+    )
+    .unwrap();
+    describe("power-law-2k", &pl);
+
+    // MBone-like cluster-and-tunnel overlay.
+    let ov = mcast_core::gen::overlay::overlay(
+        OverlayParams {
+            grid_dim: 6,
+            cluster_size: 25,
+            intra_extra_edges: 1,
+            tunnel_length: 1,
+            long_range_tunnels: 4,
+        },
+        &mut rng,
+    )
+    .unwrap();
+    describe("overlay-960", &ov);
+
+    println!(
+        "\nThe paper's §4 punchline: the k-ary asymptotic form L(n) ≈ n(c − ln(n/M)/ln k)\n\
+         holds for the Exponential rows and degrades on the SubExponential ones."
+    );
+}

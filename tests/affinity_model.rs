@@ -1,0 +1,128 @@
+//! §5 end to end: the Metropolis sampler's tree sizes are monotone in β,
+//! sandwiched by the closed-form β = ±∞ extremes, and the normalised
+//! affinity effect is stable under network growth (the §5.4 conjecture).
+
+use mcast_core::prelude::*;
+use mcast_core::tree::affinity::mean_tree_size;
+use mcast_core::tree::extremes;
+use rand::SeedableRng;
+
+fn l_beta(depth: u32, n: usize, beta: f64, seed: u64) -> f64 {
+    let graph = KaryTree::new(2, depth).unwrap().into_graph();
+    let tree = RootedTree::from_graph(&graph, 0);
+    mean_tree_size(
+        &tree,
+        n,
+        &AffinityConfig {
+            beta,
+            burn_in_sweeps: 120,
+            sample_sweeps: 200,
+            seed,
+        },
+    )
+    .mean()
+}
+
+#[test]
+fn tree_size_is_monotone_decreasing_in_beta() {
+    let depth = 8;
+    let n = 40;
+    let betas = [-10.0, -1.0, 0.0, 1.0, 10.0];
+    let sizes: Vec<f64> = betas.iter().map(|&b| l_beta(depth, n, b, 3)).collect();
+    for w in sizes.windows(2) {
+        assert!(
+            w[0] > w[1] - 2.0, // allow MC slack on neighbouring betas
+            "sizes not decreasing: {sizes:?}"
+        );
+    }
+    // The strong ends must be decisively ordered.
+    assert!(sizes[0] > sizes[4] + 10.0, "{sizes:?}");
+}
+
+#[test]
+fn extremes_sandwich_the_sampled_chain() {
+    let depth = 8u32;
+    for n in [5usize, 20, 80] {
+        let packed = extremes::affinity_with_replacement(depth, n as u64) as f64;
+        let spread = extremes::disaffinity_with_replacement(2, depth, n as u64) as f64;
+        for beta in [-5.0, 0.0, 5.0] {
+            let l = l_beta(depth, n, beta, 17 ^ n as u64);
+            assert!(
+                l >= packed - 1e-9,
+                "n={n} beta={beta}: L={l} below packed bound {packed}"
+            );
+            assert!(
+                l <= spread + 1e-9,
+                "n={n} beta={beta}: L={l} above spread bound {spread}"
+            );
+        }
+    }
+}
+
+#[test]
+fn strong_affinity_approaches_the_packed_bound() {
+    let depth = 8;
+    let n = 30;
+    let l = l_beta(depth, n, 60.0, 5);
+    let packed = extremes::affinity_with_replacement(depth, n as u64) as f64;
+    // β = 60 is effectively β = ∞: within a few links of a single path.
+    assert!(l < packed + 6.0, "L = {l}, bound {packed}");
+}
+
+#[test]
+fn strong_disaffinity_approaches_the_spread_bound() {
+    let depth = 7;
+    let n = 16;
+    let l = l_beta(depth, n, -60.0, 7);
+    let spread = extremes::disaffinity_with_replacement(2, depth, n as u64) as f64;
+    assert!(
+        l > 0.85 * spread,
+        "L = {l} vs spread bound {spread} (should be close)"
+    );
+}
+
+#[test]
+fn normalised_affinity_effect_is_stable_under_growth() {
+    // §5.4: going from D = 8 to D = 10 (4x nodes), the *difference* in
+    // L_β(n)/L_0(n) at fixed n stays roughly constant.
+    let n = 64;
+    let effect = |depth: u32| {
+        let base = l_beta(depth, n, 0.0, 11);
+        let strong = l_beta(depth, n, 1.0, 11);
+        (base - strong) / base
+    };
+    let e8 = effect(8);
+    let e10 = effect(10);
+    assert!(
+        (e8 - e10).abs() < 0.15,
+        "relative affinity effect drifted: D=8 {e8:.3} vs D=10 {e10:.3}"
+    );
+}
+
+#[test]
+fn beta_zero_equals_uniform_sampling_on_the_tree_graph() {
+    // Independent check across crates: β = 0 chain vs DeliverySizer
+    // uniform sampling.
+    let depth = 7u32;
+    let n = 25usize;
+    let graph = KaryTree::new(2, depth).unwrap().into_graph();
+    let mcmc = l_beta(depth, n, 0.0, 23);
+
+    let mut sizer = DeliverySizer::from_graph(&graph, 0);
+    let pool = ReceiverPool::AllExceptSource {
+        nodes: graph.node_count(),
+        source: 0,
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+    let mut buf = Vec::new();
+    let mut direct = RunningStats::new();
+    for _ in 0..3000 {
+        mcast_core::tree::sampling::with_replacement(&pool, n, &mut rng, &mut buf);
+        direct.push(sizer.tree_links(&buf) as f64);
+    }
+    assert!(
+        (mcmc - direct.mean()).abs() < 3.0,
+        "mcmc {mcmc} vs direct {}",
+        direct.mean()
+    );
+}

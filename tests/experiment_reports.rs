@@ -1,0 +1,81 @@
+//! Structural checks over every experiment report: each paper artefact
+//! regenerates, carries the right panels and series, and its rendered
+//! forms round-trip.
+
+use mcast_core::experiments::{render, suite, Report, RunConfig};
+
+fn fast() -> RunConfig {
+    RunConfig::fast()
+}
+
+fn assert_renders(report: &Report) {
+    let ascii = render::report_ascii(report);
+    assert!(ascii.contains(&report.id), "ascii missing id");
+    let json = render::report_json(report);
+    let back: Report = serde_json::from_str(&json).expect("valid JSON");
+    assert_eq!(&back, report);
+    for d in &report.datasets {
+        let csv = render::dataset_csv(d);
+        assert!(csv.lines().count() > 1, "{}: empty CSV", d.id);
+        let dat = render::dataset_gnuplot(d);
+        assert!(dat.contains("# series:"), "{}: empty dat", d.id);
+    }
+}
+
+#[test]
+fn table1_has_all_eight_networks() {
+    let r = suite::run("table1", &fast()).unwrap();
+    assert_eq!(r.tables.len(), 1);
+    assert_eq!(r.tables[0].rows.len(), 8);
+    assert_renders(&r);
+}
+
+#[test]
+fn exact_figures_have_expected_panels() {
+    for (id, panels) in [
+        ("fig2", vec![("fig2a", 4usize), ("fig2b", 4)]),
+        ("fig3", vec![("fig3a", 4), ("fig3b", 4)]),
+        ("fig4", vec![("fig4a", 4), ("fig4b", 4)]),
+        ("fig5", vec![("fig5a", 4), ("fig5b", 4)]),
+        ("fig8", vec![("fig8", 3), ("fig8-sim", 2)]),
+    ] {
+        let r = suite::run(id, &fast()).unwrap();
+        assert_eq!(r.datasets.len(), panels.len(), "{id}");
+        for (p, series_count) in &panels {
+            let d = r.dataset(p).unwrap_or_else(|| panic!("{id}: missing {p}"));
+            assert_eq!(d.series.len(), *series_count, "{p}");
+            for s in &d.series {
+                assert!(!s.points.is_empty(), "{p}/{}", s.label);
+                assert!(
+                    s.points.iter().all(|p| p.0.is_finite() && p.1.is_finite()),
+                    "{p}/{}: non-finite point",
+                    s.label
+                );
+            }
+        }
+        assert_renders(&r);
+    }
+}
+
+#[test]
+fn fig7_reports_reachability_for_all_networks() {
+    let r = suite::run("fig7", &fast()).unwrap();
+    let a = r.dataset("fig7a").unwrap();
+    let b = r.dataset("fig7b").unwrap();
+    assert_eq!(a.series.len() + b.series.len(), 8);
+    assert_renders(&r);
+}
+
+#[test]
+fn unknown_experiment_is_none() {
+    assert!(suite::run("fig99", &fast()).is_none());
+}
+
+#[test]
+fn serde_json_is_available_for_artifacts() {
+    // The CLI writes .json artefacts; this pins the dependency contract.
+    let r = suite::run("fig8", &fast()).unwrap();
+    let json = render::report_json(&r);
+    let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(value["id"], "fig8");
+}

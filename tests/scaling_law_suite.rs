@@ -1,0 +1,112 @@
+//! The headline reproduction: across the full eight-topology suite, the
+//! measured `L(m)/ū` curves follow the Chuang–Sirbu law `m^0.8` to the
+//! same rough degree the paper reports.
+
+use mcast_core::experiments::{networks, suite, RunConfig};
+use mcast_core::prelude::*;
+
+#[test]
+fn every_suite_network_fits_an_exponent_near_0_8() {
+    let cfg = RunConfig::fast();
+    // The paper's own caveat applies: the topologies with sub-exponential
+    // reachability (ti5000, ARPA, MBone) are "somewhat less in agreement"
+    // with m^0.8 — and our stand-ins land their fitted exponents lower
+    // (0.60–0.65) than the exponential family (0.76–0.85).
+    let sub_exponential = ["ti5000", "ARPA", "MBone"];
+    for net in networks::suite(&cfg) {
+        let study = ScalingStudy::new(net.graph.clone())
+            .with_samples(8, 8)
+            .with_seed(cfg.seed);
+        let fit = study.scaling_exponent();
+        let range = if sub_exponential.contains(&net.name) {
+            0.55..0.85
+        } else {
+            0.70..0.92
+        };
+        assert!(
+            range.contains(&fit.exponent),
+            "{}: exponent {} outside {range:?}",
+            net.name,
+            fit.exponent
+        );
+        assert!(
+            fit.r2 > 0.93,
+            "{}: poor power-law fit R2 {}",
+            net.name,
+            fit.r2
+        );
+    }
+}
+
+#[test]
+fn fig1_report_exponents_cluster_around_0_8() {
+    let cfg = RunConfig::fast();
+    let report = suite::run("fig1", &cfg).unwrap();
+    let exponents: Vec<f64> = report
+        .notes
+        .iter()
+        .filter(|n| n.contains("fitted exponent"))
+        .map(|n| {
+            n.split("exponent ")
+                .nth(1)
+                .and_then(|t| t.split(' ').next())
+                .and_then(|t| t.parse().ok())
+                .expect("parsable exponent note")
+        })
+        .collect();
+    assert_eq!(exponents.len(), 8);
+    let mean = exponents.iter().sum::<f64>() / exponents.len() as f64;
+    assert!(
+        (0.7..0.9).contains(&mean),
+        "mean exponent {mean} across suite (values {exponents:?})"
+    );
+}
+
+#[test]
+fn multicast_beats_unicast_everywhere() {
+    // The efficiency claim behind the whole literature: L(m) < ū·m for
+    // m ≥ 2 on every topology.
+    let cfg = RunConfig::fast();
+    for net in networks::suite(&cfg) {
+        let study = ScalingStudy::new(net.graph.clone())
+            .with_samples(6, 6)
+            .with_seed(1);
+        let ms = [2usize, 8, 32];
+        for p in study.ratio_curve(&ms) {
+            let mean = p.stats.mean();
+            assert!(
+                mean < p.x as f64,
+                "{}: L/u = {mean} at m = {} (no multicast gain?)",
+                net.name,
+                p.x
+            );
+            assert!(mean >= 1.0, "{}: ratio below 1 at m = {}", net.name, p.x);
+        }
+    }
+}
+
+#[test]
+fn reachability_classes_split_the_suite_as_in_the_paper() {
+    let cfg = RunConfig::fast();
+    let expect_exponential = ["r100", "ts1000", "ts1008", "Internet", "AS"];
+    let expect_sub = ["ti5000", "ARPA", "MBone"];
+    for net in networks::suite(&cfg) {
+        let class = ScalingStudy::new(net.graph.clone()).reachability_class();
+        if expect_exponential.contains(&net.name) {
+            assert_eq!(
+                class,
+                ReachabilityClass::Exponential,
+                "{} should be exponential",
+                net.name
+            );
+        } else {
+            assert!(expect_sub.contains(&net.name));
+            assert_eq!(
+                class,
+                ReachabilityClass::SubExponential,
+                "{} should be sub-exponential",
+                net.name
+            );
+        }
+    }
+}
