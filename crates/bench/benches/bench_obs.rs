@@ -1,0 +1,51 @@
+//! Observability overhead: the same Monte-Carlo curve measured with the
+//! obs layer disabled and enabled. The acceptance bar is that the
+//! instrumented run stays within a few percent of the uninstrumented
+//! one — the hot path is a relaxed atomic load when off, and batched
+//! per-source counter flushes when on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcast_experiments::runner::parallel_ratio_curve;
+use mcast_experiments::RunConfig;
+use mcast_topology::graph::from_edges;
+use mcast_topology::Graph;
+use mcast_tree::measure::MeasureConfig;
+
+/// Complete binary tree of the given depth (depth 9 = 1023 nodes).
+fn binary_tree(depth: u32) -> Graph {
+    let n = (1u32 << (depth + 1)) - 1;
+    let edges: Vec<_> = (1..n).map(|i| ((i - 1) / 2, i)).collect();
+    from_edges(n as usize, &edges)
+}
+
+fn bench(c: &mut Criterion) {
+    let graph = binary_tree(9);
+    let mcfg = MeasureConfig {
+        sources: 8,
+        receiver_sets: 16,
+        seed: 1999,
+    };
+    // Single-threaded so the comparison measures instrumentation cost,
+    // not scheduling noise.
+    let cfg = RunConfig {
+        threads: 1,
+        ..RunConfig::fast()
+    };
+    let ms = [2usize, 8, 32, 128, 500];
+
+    let mut g = c.benchmark_group("obs_overhead");
+    g.bench_function("ratio_curve/uninstrumented", |b| {
+        mcast_obs::set_enabled(false);
+        b.iter(|| parallel_ratio_curve(&graph, &ms, &mcfg, &cfg))
+    });
+    g.bench_function("ratio_curve/instrumented", |b| {
+        mcast_obs::set_enabled(true);
+        b.iter(|| parallel_ratio_curve(&graph, &ms, &mcfg, &cfg));
+        mcast_obs::set_enabled(false);
+        mcast_obs::reset();
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -8,37 +8,54 @@
 //! EXPERIMENT:  table1 | fig1 | … | fig9 | ablate-* | churn | all | list
 //!
 //! OPTIONS:
-//!   --paper         paper-scale sample counts and topology sizes
-//!   --fast          reduced sizes (default)
-//!   --seed <u64>    root seed (default 1999)
-//!   --threads <n>   worker threads (default: all cores)
-//!   --out <dir>     also write <dir>/<id>.{json,csv,dat} artefacts
+//!   --paper          paper-scale sample counts and topology sizes
+//!   --fast           reduced sizes (default)
+//!   --seed <u64>     root seed (default 1999)
+//!   --threads <n>    worker threads, at least 1 (default: all cores)
+//!   --out <dir>      also write <dir>/<id>.{json,csv,dat,svg} artefacts
+//!   --metrics <file> write a JSON observability dump (spans, counters,
+//!                    histograms, run metadata) after the run
+//!   --verbose, -v    progress lines + info-level JSONL events on stderr
+//!   --quiet, -q      suppress the stdout report and all stderr events
+//!
+//! `MCS_LOG=<level>` (error|warn|info|debug|trace) sets the structured
+//! event level independently of `--verbose`.
 //!
 //! `measure` runs the paper's methodology on *your* topology: it parses
 //! the edge list (`u v` per line, `#` comments), extracts the largest
 //! connected component, and reports Table-1-style statistics, the fitted
 //! Chuang–Sirbu exponent, and the reachability classification.
+//!
+//! Observability never changes the numbers: report artefacts are
+//! byte-identical whether or not `--metrics`/`--verbose` are given.
 //! ```
 
 use mcast_experiments::render;
 use mcast_experiments::suite;
 use mcast_experiments::{RunConfig, Scale};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
 struct Args {
     cfg: RunConfig,
     out: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+    verbose: bool,
+    quiet: bool,
     experiments: Vec<String>,
 }
 
 fn usage() -> &'static str {
-    "usage: mcs [--paper|--fast] [--seed N] [--threads N] [--out DIR] <table1|fig1..fig9|ablate-*|churn|all|list>...\n       mcs [OPTIONS] measure <edge-list-file>"
+    "usage: mcs [--paper|--fast] [--seed N] [--threads N] [--out DIR] [--metrics FILE] [--verbose|--quiet] <table1|fig1..fig9|ablate-*|churn|all|list>...\n       mcs [OPTIONS] measure <edge-list-file>"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut cfg = RunConfig::default();
     let mut out = None;
+    let mut metrics = None;
+    let mut verbose = false;
+    let mut quiet = false;
     let mut experiments = Vec::new();
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -52,11 +69,22 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
                 cfg.threads = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
+                if cfg.threads == 0 {
+                    return Err(
+                        "--threads must be at least 1 (omit the flag to use all cores)".into(),
+                    );
+                }
             }
             "--out" => {
                 let v = it.next().ok_or("--out needs a directory")?;
                 out = Some(PathBuf::from(v));
             }
+            "--metrics" => {
+                let v = it.next().ok_or("--metrics needs a file")?;
+                metrics = Some(PathBuf::from(v));
+            }
+            "--verbose" | "-v" => verbose = true,
+            "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`\n{}", usage()));
@@ -64,34 +92,90 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             exp => experiments.push(exp.to_string()),
         }
     }
+    if verbose && quiet {
+        return Err("--verbose and --quiet are mutually exclusive".into());
+    }
     if experiments.is_empty() {
         return Err(usage().to_string());
+    }
+    if experiments.first().map(String::as_str) == Some("measure") && experiments.len() > 2 {
+        return Err(format!(
+            "measure takes exactly one edge-list file, got extra arguments: {}\n{}",
+            experiments[2..].join(" "),
+            usage()
+        ));
     }
     Ok(Args {
         cfg,
         out,
+        metrics,
+        verbose,
+        quiet,
         experiments,
     })
 }
 
-fn write_artefacts(dir: &PathBuf, report: &mcast_experiments::Report) -> std::io::Result<()> {
-    std::fs::create_dir_all(dir)?;
-    std::fs::write(
-        dir.join(format!("{}.json", report.id)),
-        render::report_json(report),
+/// Write one artefact file, wrapping any I/O error with the failing path.
+fn write_file(path: &Path, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("cannot write `{}`: {e}", path.display()))
+}
+
+fn write_artefacts(dir: &Path, report: &mcast_experiments::Report) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create `{}`: {e}", dir.display()))?;
+    write_file(
+        &dir.join(format!("{}.json", report.id)),
+        &render::report_json(report),
     )?;
     for d in &report.datasets {
-        std::fs::write(dir.join(format!("{}.csv", d.id)), render::dataset_csv(d))?;
-        std::fs::write(
-            dir.join(format!("{}.dat", d.id)),
-            render::dataset_gnuplot(d),
+        write_file(&dir.join(format!("{}.csv", d.id)), &render::dataset_csv(d))?;
+        write_file(
+            &dir.join(format!("{}.dat", d.id)),
+            &render::dataset_gnuplot(d),
         )?;
-        std::fs::write(
-            dir.join(format!("{}.svg", d.id)),
-            mcast_experiments::svg::dataset_svg(d),
+        write_file(
+            &dir.join(format!("{}.svg", d.id)),
+            &mcast_experiments::svg::dataset_svg(d),
         )?;
     }
     Ok(())
+}
+
+/// Configure the observability layer from the parsed flags.
+fn init_obs(args: &Args) {
+    mcast_obs::events::init_from_env();
+    if args.quiet {
+        mcast_obs::set_level(mcast_obs::Level::Off);
+        mcast_obs::progress::set_progress(false);
+    } else if args.verbose {
+        mcast_obs::progress::set_progress(true);
+        if mcast_obs::events::level() == mcast_obs::Level::Off {
+            mcast_obs::set_level(mcast_obs::Level::Info);
+        }
+    }
+    if args.verbose || args.metrics.is_some() {
+        mcast_obs::set_enabled(true);
+    }
+}
+
+/// Write the `--metrics` dump: run metadata plus the full registry.
+fn write_metrics(
+    path: &Path,
+    cfg: &RunConfig,
+    experiments: &[String],
+    started: Instant,
+) -> Result<(), String> {
+    use mcast_obs::json::Value;
+    let duration_ms = started.elapsed().as_secs_f64() * 1000.0;
+    let samples = mcast_obs::counter("tree.samples").get();
+    let dump = mcast_obs::dump_json(&[
+        ("seed", Value::U64(cfg.seed)),
+        ("scale", Value::Str(cfg.scale_name().to_string())),
+        ("threads", Value::U64(cfg.resolved_threads() as u64)),
+        ("duration_ms", Value::F64(duration_ms)),
+        ("samples", Value::U64(samples)),
+        ("experiments", Value::Str(experiments.join(","))),
+    ]);
+    write_file(path, &dump)
 }
 
 fn main() -> ExitCode {
@@ -103,6 +187,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    init_obs(&args);
+    let started = Instant::now();
 
     // `measure <file>` consumes the following positional argument.
     if args.experiments.first().map(String::as_str) == Some("measure") {
@@ -119,10 +205,18 @@ fn main() -> ExitCode {
         };
         match mcast_experiments::measure_cli::measure_text(path, &text, &args.cfg) {
             Ok(report) => {
-                print!("{}", render::report_ascii(&report));
+                if !args.quiet {
+                    print!("{}", render::report_ascii(&report));
+                }
                 if let Some(dir) = &args.out {
                     if let Err(e) = write_artefacts(dir, &report) {
                         eprintln!("failed to write artefacts: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                if let Some(mpath) = &args.metrics {
+                    if let Err(e) = write_metrics(mpath, &args.cfg, &args.experiments, started) {
+                        eprintln!("failed to write metrics: {e}");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -153,17 +247,28 @@ fn main() -> ExitCode {
     }
 
     for id in &ids {
+        mcast_obs::info!("mcs", "running experiment `{id}`");
         let Some(report) = suite::run(id, &args.cfg) else {
             eprintln!("unknown experiment `{id}`\n{}", usage());
             return ExitCode::FAILURE;
         };
-        print!("{}", render::report_ascii(&report));
-        println!();
+        let _render_span = mcast_obs::span_at(format!("{id}/render"));
+        if !args.quiet {
+            print!("{}", render::report_ascii(&report));
+            println!();
+        }
         if let Some(dir) = &args.out {
             if let Err(e) = write_artefacts(dir, &report) {
                 eprintln!("failed to write artefacts for {id}: {e}");
                 return ExitCode::FAILURE;
             }
+        }
+    }
+
+    if let Some(mpath) = &args.metrics {
+        if let Err(e) = write_metrics(mpath, &args.cfg, &ids, started) {
+            eprintln!("failed to write metrics: {e}");
+            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS

@@ -1,5 +1,6 @@
 //! Run configuration shared by every experiment.
 
+use crate::dataset::RunMeta;
 use mcast_tree::MeasureConfig;
 
 /// How big to run: `Fast` keeps everything CI-friendly (seconds per
@@ -73,6 +74,30 @@ impl RunConfig {
             std::thread::available_parallelism()
                 .map(|p| p.get())
                 .unwrap_or(1)
+        }
+    }
+
+    /// Short name of the scale preset.
+    pub fn scale_name(&self) -> &'static str {
+        match self.scale {
+            Scale::Fast => "fast",
+            Scale::Paper => "paper",
+        }
+    }
+
+    /// The run metadata this configuration stamps into reports. Only
+    /// deterministic fields are populated; see [`RunMeta`].
+    pub fn run_meta(&self) -> RunMeta {
+        let m = self.measure();
+        RunMeta {
+            seed: self.seed,
+            scale: self.scale_name().to_string(),
+            threads: self.threads,
+            resolved_threads: self.resolved_threads(),
+            sources: m.sources,
+            receiver_sets: m.receiver_sets,
+            samples_per_point: m.sources * m.receiver_sets,
+            duration_ms: None,
         }
     }
 

@@ -86,6 +86,33 @@ impl TableData {
     }
 }
 
+/// Run metadata stamped into every archived report: which configuration
+/// produced the numbers.
+///
+/// Only *deterministic* fields are serialised with real values — wall
+/// time deliberately stays [`None`] in artefact JSON so that archived
+/// reports are byte-identical across re-runs of the same configuration
+/// (the `mcs --metrics` dump is where wall time lives).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Default)]
+pub struct RunMeta {
+    /// Root seed the run derived everything from.
+    pub seed: u64,
+    /// Scale preset name (`"fast"` or `"paper"`).
+    pub scale: String,
+    /// Configured worker threads (0 = all cores).
+    pub threads: usize,
+    /// Worker threads actually used after resolving 0.
+    pub resolved_threads: usize,
+    /// `N_source`: sources sampled per topology.
+    pub sources: usize,
+    /// `N_rcvr`: receiver sets per (source, group size).
+    pub receiver_sets: usize,
+    /// `sources × receiver_sets`: Monte-Carlo samples per curve point.
+    pub samples_per_point: usize,
+    /// Wall time; always `None` in artefacts (see type docs).
+    pub duration_ms: Option<f64>,
+}
+
 /// Everything one experiment produces.
 #[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
 pub struct Report {
@@ -93,6 +120,10 @@ pub struct Report {
     pub id: String,
     /// Human title.
     pub title: String,
+    /// Run metadata (seed, scale, threads, sample counts); stamped by
+    /// `suite::run` / `measure_cli`, absent on hand-built reports.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub meta: Option<RunMeta>,
     /// Free-form notes: methodology, substitutions, fitted values.
     pub notes: Vec<String>,
     /// Table artefacts.
@@ -107,6 +138,7 @@ impl Report {
         Self {
             id: id.into(),
             title: title.into(),
+            meta: None,
             notes: Vec::new(),
             tables: Vec::new(),
             datasets: Vec::new(),
@@ -202,5 +234,29 @@ mod tests {
         let text = serde_json::to_string(&r).unwrap();
         let back: Report = serde_json::from_str(&text).unwrap();
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn meta_round_trips_and_is_omitted_when_absent() {
+        let mut r = sample_report();
+        let bare = serde_json::to_string(&r).unwrap();
+        assert!(!bare.contains("\"meta\""), "absent meta must not serialise");
+        r.meta = Some(RunMeta {
+            seed: 1999,
+            scale: "fast".into(),
+            threads: 0,
+            resolved_threads: 8,
+            sources: 12,
+            receiver_sets: 12,
+            samples_per_point: 144,
+            duration_ms: None,
+        });
+        let text = serde_json::to_string(&r).unwrap();
+        assert!(text.contains("\"seed\":1999"));
+        let back: Report = serde_json::from_str(&text).unwrap();
+        assert_eq!(r, back);
+        // Pre-meta archives still deserialise.
+        let old: Report = serde_json::from_str(&bare).unwrap();
+        assert_eq!(old.meta, None);
     }
 }

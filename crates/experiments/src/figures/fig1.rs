@@ -28,6 +28,7 @@ fn panel(cfg: &RunConfig, id: &str, title: &str, nets: &[Network], report: &mut 
         let errors: Vec<f64> = curve.iter().map(|p| p.stats.std_err()).collect();
 
         // Mid-range power-law fit: the "Chuang–Sirbu exponent".
+        let _span = mcast_obs::span("analyse");
         let mid: Vec<(f64, f64)> = points
             .iter()
             .copied()

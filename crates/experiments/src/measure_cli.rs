@@ -26,7 +26,9 @@ pub fn measure_text(name: &str, text: &str, cfg: &RunConfig) -> Result<Report, T
 /// the §4 reachability classification. Disconnected inputs are reduced
 /// to their largest component (with a note).
 pub fn measure_graph(name: &str, graph: &Graph, cfg: &RunConfig) -> Report {
+    let _span = mcast_obs::span_at("measure-cli".to_string());
     let mut report = Report::new("measure", format!("measurement of `{name}`"));
+    report.meta = Some(cfg.run_meta());
     let extracted = largest_component(graph);
     if extracted.graph.node_count() != graph.node_count() {
         report.note(format!(

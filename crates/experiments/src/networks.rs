@@ -133,11 +133,13 @@ pub fn ti5000(cfg: &RunConfig) -> Network {
 
 /// The generated panel (Fig 1a / 6a / 7a order).
 pub fn generated(cfg: &RunConfig) -> Vec<Network> {
+    let _span = mcast_obs::span("generate");
     vec![r100(cfg), ts1000(cfg), ts1008(cfg), ti5000(cfg)]
 }
 
 /// The real panel (Fig 1b / 6b / 7b order).
 pub fn real(cfg: &RunConfig) -> Vec<Network> {
+    let _span = mcast_obs::span("generate");
     vec![arpa(cfg), mbone(cfg), internet(cfg), as_map(cfg)]
 }
 

@@ -6,14 +6,23 @@
 //! sequential one regardless of thread count.
 
 use crate::config::RunConfig;
+use mcast_obs::Progress;
 use mcast_topology::Graph;
 use mcast_tree::measure::{pick_source, source_rng, CurvePoint, MeasureConfig, SourceMeasurer};
 use mcast_tree::RunningStats;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Run `f(index)` for every index in `0..count` across the configured
 /// worker threads (work-stealing via an atomic cursor), collecting outputs
 /// in index order.
+///
+/// When observability is enabled, each worker reports how many items it
+/// processed (`runner.thread.<t>.tasks` — the spread across threads is
+/// the steal balance) and every item's wall time feeds the
+/// `runner.task_us` log-scale histogram; `runner.threads` records the
+/// worker count. The instrumented branch is taken per *item*, not per
+/// sample, so the disabled path costs one relaxed load per item.
 pub fn parallel_map<O, F>(count: usize, cfg: &RunConfig, f: F) -> Vec<O>
 where
     O: Send,
@@ -24,17 +33,34 @@ where
     if count == 0 {
         return Vec::new();
     }
+    let obs_on = mcast_obs::enabled();
+    if obs_on {
+        mcast_obs::gauge("runner.threads").set(threads as i64);
+    }
+    // Per-item instrumentation shared by both execution paths.
+    let run_item = |t: usize, i: usize| -> O {
+        if obs_on {
+            let started = Instant::now();
+            let out = f(i);
+            let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            mcast_obs::histogram("runner.task_us").record(us);
+            mcast_obs::counter(&format!("runner.thread.{t}.tasks")).add(1);
+            out
+        } else {
+            f(i)
+        }
+    };
     if threads <= 1 {
         for (i, slot) in slots.iter_mut().enumerate() {
-            *slot = Some(f(i));
+            *slot = Some(run_item(0, i));
         }
     } else {
         let cursor = AtomicUsize::new(0);
         let collected: Vec<(usize, O)> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|_| {
+                .map(|t| {
                     let cursor = &cursor;
-                    let f = &f;
+                    let run_item = &run_item;
                     scope.spawn(move |_| {
                         let mut local: Vec<(usize, O)> = Vec::new();
                         loop {
@@ -42,7 +68,7 @@ where
                             if i >= count {
                                 break;
                             }
-                            local.push((i, f(i)));
+                            local.push((i, run_item(t, i)));
                         }
                         local
                     })
@@ -99,6 +125,30 @@ fn merge_curves(xs: &[usize], per_source: Vec<Vec<RunningStats>>) -> Vec<CurvePo
         .collect()
 }
 
+/// Shared driver: measure every source in parallel under a `measure`
+/// span, reporting per-source progress (the span lives on the calling
+/// thread; workers only touch counters, so the span tree stays stable
+/// regardless of thread count).
+fn parallel_curve(
+    graph: &Graph,
+    xs: &[usize],
+    mcfg: &MeasureConfig,
+    cfg: &RunConfig,
+    distinct: bool,
+) -> Vec<CurvePoint> {
+    let _span = mcast_obs::span("measure");
+    let progress = Progress::new("measure", mcfg.sources as u64);
+    let samples_per_source = (xs.len() * mcfg.receiver_sets) as u64;
+    let per_source = parallel_map(mcfg.sources, cfg, |s| {
+        let out = measure_source(graph, xs, mcfg, s, distinct);
+        progress.add_samples(samples_per_source);
+        progress.item_done();
+        out
+    });
+    progress.finish();
+    merge_curves(xs, per_source)
+}
+
 /// Parallel version of [`mcast_tree::measure::ratio_curve`] (§2's
 /// `E[L(m)/ū(m)]`).
 pub fn parallel_ratio_curve(
@@ -107,10 +157,7 @@ pub fn parallel_ratio_curve(
     mcfg: &MeasureConfig,
     cfg: &RunConfig,
 ) -> Vec<CurvePoint> {
-    let per_source = parallel_map(mcfg.sources, cfg, |s| {
-        measure_source(graph, ms, mcfg, s, true)
-    });
-    merge_curves(ms, per_source)
+    parallel_curve(graph, ms, mcfg, cfg, true)
 }
 
 /// Parallel version of [`mcast_tree::measure::lhat_curve`] (§4's
@@ -121,10 +168,7 @@ pub fn parallel_lhat_curve(
     mcfg: &MeasureConfig,
     cfg: &RunConfig,
 ) -> Vec<CurvePoint> {
-    let per_source = parallel_map(mcfg.sources, cfg, |s| {
-        measure_source(graph, ns, mcfg, s, false)
-    });
-    merge_curves(ns, per_source)
+    parallel_curve(graph, ns, mcfg, cfg, false)
 }
 
 /// A log-spaced grid of integer group sizes from 1 to `max`, deduplicated:

@@ -48,7 +48,20 @@ pub fn describe(id: &str) -> Option<&'static str> {
 }
 
 /// Run one experiment by id.
+///
+/// The whole experiment runs under a span named after the id (so phase
+/// spans like `generate`/`measure` nest beneath it in `mcs --metrics`
+/// dumps), and the returned report is stamped with the run's
+/// [`crate::dataset::RunMeta`].
 pub fn run(id: &str, cfg: &RunConfig) -> Option<Report> {
+    describe(id)?; // unknown ids bail before opening a span
+    let _span = mcast_obs::span_at(id.to_string());
+    let mut report = run_inner(id, cfg)?;
+    report.meta = Some(cfg.run_meta());
+    Some(report)
+}
+
+fn run_inner(id: &str, cfg: &RunConfig) -> Option<Report> {
     Some(match id {
         "table1" => figures::table1::run(cfg),
         "fig1" => figures::fig1::run(cfg),

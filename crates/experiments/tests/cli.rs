@@ -95,3 +95,110 @@ fn bad_usage_fails_cleanly() {
         .unwrap();
     assert!(!out.status.success());
 }
+
+#[test]
+fn rejects_bad_flag_combinations() {
+    // --threads 0 is no longer silently "all cores".
+    let out = mcs().args(["--threads", "0", "fig2"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("at least 1"), "stderr: {err}");
+
+    // --verbose and --quiet conflict.
+    let out = mcs()
+        .args(["--verbose", "--quiet", "fig2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("mutually exclusive"), "stderr: {err}");
+
+    // measure takes exactly one file.
+    let out = mcs().args(["measure", "a.txt", "b.txt"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("exactly one"), "stderr: {err}");
+}
+
+#[test]
+fn quiet_suppresses_stdout_and_verbose_emits_jsonl() {
+    let out = mcs().args(["--quiet", "fig2"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(out.stdout.is_empty(), "quiet run printed a report");
+
+    let out = mcs().args(["--verbose", "fig2"]).output().unwrap();
+    assert!(out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("\"level\": \"info\""),
+        "verbose run emitted no info events: {err}"
+    );
+    assert!(err.contains("fig2"), "event should name the experiment");
+}
+
+#[test]
+fn metrics_dump_is_valid_json_with_spans_and_meta() {
+    let dir = std::env::temp_dir().join(format!("mcs-metrics-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mpath = dir.join("m.json");
+    let out = mcs()
+        .args([
+            "--fast",
+            "--seed",
+            "42",
+            "--threads",
+            "2",
+            "--metrics",
+            mpath.to_str().unwrap(),
+            "fig2",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&mpath).expect("metrics file written");
+    let v: serde_json::Value = serde_json::from_str(&text).expect("metrics dump parses");
+    assert_eq!(v["meta"]["seed"], 42);
+    assert_eq!(v["meta"]["scale"], "fast");
+    assert_eq!(v["meta"]["threads"], 2);
+    assert!(
+        v["meta"]["duration_ms"].as_f64().unwrap() > 0.0,
+        "wall time recorded"
+    );
+    // Per-experiment wall time: the fig2 span exists with a numeric total.
+    assert!(
+        v["spans"]["fig2"]["total_ms"].is_number(),
+        "missing fig2 span: {text}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_flag_never_changes_artefacts() {
+    let base = std::env::temp_dir().join(format!("mcs-obs-identity-{}", std::process::id()));
+    let plain = base.join("plain");
+    let observed = base.join("observed");
+    let run = |dir: &std::path::Path, metrics: Option<&std::path::Path>| {
+        let mut cmd = mcs();
+        cmd.args(["--fast", "--threads", "2", "--out", dir.to_str().unwrap()]);
+        if let Some(m) = metrics {
+            cmd.args(["--metrics", m.to_str().unwrap()]);
+        }
+        let out = cmd.arg("fig2").output().unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    run(&plain, None);
+    let m = base.join("m.json");
+    run(&observed, Some(&m));
+    let a = std::fs::read(plain.join("fig2.json")).unwrap();
+    let b = std::fs::read(observed.join("fig2.json")).unwrap();
+    assert_eq!(a, b, "fig2.json must be byte-identical with --metrics");
+    std::fs::remove_dir_all(&base).ok();
+}

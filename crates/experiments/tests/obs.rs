@@ -1,0 +1,156 @@
+//! Integration tests of the observability weave: metric correctness
+//! under the parallel drivers, span nesting, and — most importantly —
+//! that turning observability on never changes experiment output.
+//!
+//! The obs registry is process-global, so every test serialises on one
+//! mutex (poison-tolerant: an assert failure in one test must not
+//! cascade into the rest).
+
+use mcast_experiments::runner::{parallel_map, parallel_ratio_curve};
+use mcast_experiments::{suite, RunConfig};
+use mcast_topology::graph::from_edges;
+use mcast_tree::measure::{ratio_curve, MeasureConfig};
+use std::sync::{Mutex, MutexGuard};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn binary_tree(depth: u32) -> mcast_topology::Graph {
+    let n = (1u32 << (depth + 1)) - 1;
+    let edges: Vec<_> = (1..n).map(|i| ((i - 1) / 2, i)).collect();
+    from_edges(n as usize, &edges)
+}
+
+#[test]
+fn counters_are_exact_under_parallel_map() {
+    let _g = lock();
+    mcast_obs::reset();
+    mcast_obs::set_enabled(true);
+    let cfg = RunConfig {
+        threads: 8,
+        ..RunConfig::fast()
+    };
+    let n = 200usize;
+    let out = parallel_map(n, &cfg, |i| {
+        mcast_obs::counter("test.obs.items").add(1);
+        mcast_obs::histogram("test.obs.values").record(i as u64);
+        i
+    });
+    mcast_obs::set_enabled(false);
+    assert_eq!(out.len(), n);
+    assert_eq!(mcast_obs::counter("test.obs.items").get(), n as u64);
+    let h = mcast_obs::histogram("test.obs.values").snapshot();
+    assert_eq!(h.count, n as u64);
+    assert_eq!(h.sum, (0..n as u64).sum::<u64>());
+    assert_eq!(h.min, 0);
+    assert_eq!(h.max, n as u64 - 1);
+    // The runner's own instrumentation fired too: per-thread task counts
+    // sum to the item count (steal balance bookkeeping).
+    let total: u64 = (0..8)
+        .map(|t| mcast_obs::counter(&format!("runner.thread.{t}.tasks")).get())
+        .sum();
+    assert_eq!(total, n as u64);
+    assert_eq!(
+        mcast_obs::histogram("runner.task_us").snapshot().count,
+        n as u64
+    );
+}
+
+#[test]
+fn measurement_spans_and_sample_counters_nest_under_the_experiment() {
+    let _g = lock();
+    mcast_obs::reset();
+    mcast_obs::set_enabled(true);
+    let cfg = RunConfig {
+        threads: 2,
+        ..RunConfig::fast()
+    };
+    let g = binary_tree(6);
+    let mcfg = MeasureConfig {
+        sources: 4,
+        receiver_sets: 4,
+        seed: 7,
+    };
+    {
+        let _exp = mcast_obs::span_at("test-exp");
+        let _ = parallel_ratio_curve(&g, &[2, 8], &mcfg, &cfg);
+    }
+    mcast_obs::set_enabled(false);
+    let spans = mcast_obs::span::snapshot();
+    let paths: Vec<&str> = spans.iter().map(|(p, _)| p.as_str()).collect();
+    assert!(paths.contains(&"test-exp"), "{paths:?}");
+    assert!(
+        paths.contains(&"test-exp/measure"),
+        "measure should nest under the experiment span: {paths:?}"
+    );
+    // 4 sources × 4 receiver sets × 2 group sizes = 32 samples, flushed
+    // once per source by the SourceMeasurer drop hook.
+    assert_eq!(mcast_obs::counter("tree.samples").get(), 32);
+    assert_eq!(mcast_obs::counter("tree.sources_measured").get(), 4);
+    assert!(mcast_obs::counter("bfs.runs").get() > 0);
+}
+
+#[test]
+fn observability_never_changes_the_numbers() {
+    let _g = lock();
+    let cfg = RunConfig {
+        threads: 3,
+        ..RunConfig::fast()
+    };
+
+    // Exact experiment: full report must be byte-identical.
+    mcast_obs::reset();
+    mcast_obs::set_enabled(false);
+    let off = suite::run("fig2", &cfg).unwrap();
+    mcast_obs::set_enabled(true);
+    let on = suite::run("fig2", &cfg).unwrap();
+    mcast_obs::set_enabled(false);
+    mcast_obs::reset();
+    assert_eq!(
+        mcast_experiments::render::report_json(&off),
+        mcast_experiments::render::report_json(&on),
+        "fig2 report must not depend on the obs flag"
+    );
+
+    // Monte-Carlo driver: sampled means identical with obs on and off.
+    let g = binary_tree(7);
+    let mcfg = MeasureConfig {
+        sources: 6,
+        receiver_sets: 6,
+        seed: 99,
+    };
+    let ms = [2usize, 8, 32];
+    mcast_obs::set_enabled(false);
+    let off = parallel_ratio_curve(&g, &ms, &mcfg, &cfg);
+    mcast_obs::set_enabled(true);
+    let on = parallel_ratio_curve(&g, &ms, &mcfg, &cfg);
+    mcast_obs::set_enabled(false);
+    mcast_obs::reset();
+    let seq = ratio_curve(&g, &ms, &mcfg);
+    for ((a, b), s) in off.iter().zip(&on).zip(&seq) {
+        assert_eq!(a.stats.mean().to_bits(), b.stats.mean().to_bits());
+        assert_eq!(a.stats.mean().to_bits(), s.stats.mean().to_bits());
+    }
+}
+
+#[test]
+fn reports_are_stamped_with_run_meta() {
+    let _g = lock();
+    let cfg = RunConfig {
+        threads: 2,
+        ..RunConfig::fast()
+    };
+    let r = suite::run("fig2", &cfg).unwrap();
+    let meta = r.meta.expect("suite::run stamps meta");
+    assert_eq!(meta.seed, cfg.seed);
+    assert_eq!(meta.scale, "fast");
+    assert_eq!(meta.threads, 2);
+    assert_eq!(meta.resolved_threads, 2);
+    assert_eq!(meta.samples_per_point, meta.sources * meta.receiver_sets);
+    assert_eq!(
+        meta.duration_ms, None,
+        "wall time must stay out of artefacts"
+    );
+}

@@ -71,6 +71,7 @@ impl OverlayParams {
 /// Generate an overlay topology; connected by construction.
 pub fn overlay<R: Rng + ?Sized>(params: OverlayParams, rng: &mut R) -> Result<Graph, GenError> {
     params.validate()?;
+    let _span = mcast_obs::span("gen.overlay");
     let dim = params.grid_dim;
     let cs = params.cluster_size;
     let clusters = dim * dim;

@@ -68,6 +68,7 @@ impl PowerLawParams {
 /// (every arriving node links to at least one existing node).
 pub fn power_law<R: Rng + ?Sized>(params: PowerLawParams, rng: &mut R) -> Result<Graph, GenError> {
     params.validate()?;
+    let _span = mcast_obs::span("gen.power_law");
     let n = params.nodes;
     let m_floor = params.edges_per_node.floor() as usize;
     let m_frac = params.edges_per_node - m_floor as f64;

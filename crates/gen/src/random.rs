@@ -122,6 +122,7 @@ pub fn random_with_degree<R: Rng + ?Sized>(
     if average_degree < 0.0 || average_degree.is_nan() {
         return Err(GenError::invalid("average_degree", "must be non-negative"));
     }
+    let _span = mcast_obs::span("gen.random");
     let m = ((n as f64) * average_degree / 2.0).round() as usize;
     let g = gnm(n, m, rng)?;
     Ok(connect_components(&g, rng))

@@ -77,6 +77,7 @@ impl TiersParams {
 /// Generate a TIERS-style topology; connected by construction.
 pub fn tiers<R: Rng + ?Sized>(params: TiersParams, rng: &mut R) -> Result<Graph, GenError> {
     params.validate()?;
+    let _span = mcast_obs::span("gen.tiers");
     let mut b = GraphBuilder::new(params.node_count());
 
     // WAN: spatial MST + redundancy over ids 0..wan_nodes.

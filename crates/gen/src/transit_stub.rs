@@ -136,6 +136,7 @@ pub fn transit_stub_with_layout<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<(Graph, TransitStubLayout), GenError> {
     params.validate()?;
+    let _span = mcast_obs::span("gen.transit_stub");
     let t_domains = params.transit_domains;
     let t_size = params.transit_domain_size;
     let transit_count = t_domains * t_size;

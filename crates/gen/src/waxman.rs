@@ -39,6 +39,7 @@ pub fn waxman<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Graph, GenError> {
     params.validate()?;
+    let _span = mcast_obs::span("gen.waxman");
     let points: Vec<(f64, f64)> = (0..n)
         .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
         .collect();

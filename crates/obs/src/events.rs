@@ -1,0 +1,210 @@
+//! Structured-event sink: one JSON object per line on stderr, filtered
+//! by a global level in the `MCS_LOG` style (`off`, `error`, `warn`,
+//! `info`, `debug`, `trace`).
+//!
+//! The sink is independent of the metrics [`crate::enabled`] flag so
+//! `MCS_LOG=debug mcs fig1` gives a structured trace without turning on
+//! metric collection. Events carry a millisecond timestamp relative to
+//! the first event (wall-clock offsets never reach artefact files, so
+//! determinism of reports is unaffected).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Event severity, ordered from quietest to chattiest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Log nothing.
+    Off = 0,
+    /// Unrecoverable problems.
+    Error = 1,
+    /// Suspicious but survivable conditions.
+    Warn = 2,
+    /// Run milestones (experiment start/finish, phase summaries).
+    Info = 3,
+    /// Per-driver detail (sample counts, thread balance).
+    Debug = 4,
+    /// Everything.
+    Trace = 5,
+}
+
+impl Level {
+    /// Parse an `MCS_LOG`-style level name (case-insensitive). Unknown
+    /// names yield `None`.
+    pub fn parse(s: &str) -> Option<Level> {
+        Some(match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Level::Off,
+            "error" => Level::Error,
+            "warn" | "warning" => Level::Warn,
+            "info" => Level::Info,
+            "debug" => Level::Debug,
+            "trace" => Level::Trace,
+            _ => return None,
+        })
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Off as u8);
+
+/// The current global level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        1 => Level::Error,
+        2 => Level::Warn,
+        3 => Level::Info,
+        4 => Level::Debug,
+        5 => Level::Trace,
+        _ => Level::Off,
+    }
+}
+
+/// Set the global level.
+pub fn set_level(l: Level) {
+    LEVEL.store(l as u8, Ordering::Relaxed);
+}
+
+/// Initialise the level from the `MCS_LOG` environment variable, if set
+/// to a recognised name. Returns the resulting level.
+pub fn init_from_env() -> Level {
+    if let Ok(v) = std::env::var("MCS_LOG") {
+        if let Some(l) = Level::parse(&v) {
+            set_level(l);
+        }
+    }
+    level()
+}
+
+/// Whether an event at `l` would currently be emitted. One relaxed
+/// load — the macros check this before formatting anything.
+#[inline]
+pub fn log_enabled(l: Level) -> bool {
+    l != Level::Off && (l as u8) <= LEVEL.load(Ordering::Relaxed)
+}
+
+fn epoch() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+/// Emit one JSONL event to stderr (after the [`log_enabled`] check —
+/// callers normally go through the [`crate::info!`]-style macros, which
+/// skip formatting entirely when the level is filtered out).
+pub fn log(l: Level, target: &str, msg: &str) {
+    if !log_enabled(l) {
+        return;
+    }
+    let mut line = String::with_capacity(64 + target.len() + msg.len());
+    use std::fmt::Write as _;
+    let _ = write!(
+        line,
+        "{{\"ts_ms\": {}, \"level\": \"{}\", \"target\": ",
+        epoch().elapsed().as_millis(),
+        l.name()
+    );
+    crate::json::write_str(&mut line, target);
+    line.push_str(", \"msg\": ");
+    crate::json::write_str(&mut line, msg);
+    line.push('}');
+    eprintln!("{line}");
+}
+
+/// Emit an `error`-level JSONL event.
+#[macro_export]
+macro_rules! error {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::events::log_enabled($crate::Level::Error) {
+            $crate::events::log($crate::Level::Error, $target, &format!($($arg)*));
+        }
+    };
+}
+
+/// Emit a `warn`-level JSONL event.
+#[macro_export]
+macro_rules! warn {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::events::log_enabled($crate::Level::Warn) {
+            $crate::events::log($crate::Level::Warn, $target, &format!($($arg)*));
+        }
+    };
+}
+
+/// Emit an `info`-level JSONL event.
+#[macro_export]
+macro_rules! info {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::events::log_enabled($crate::Level::Info) {
+            $crate::events::log($crate::Level::Info, $target, &format!($($arg)*));
+        }
+    };
+}
+
+/// Emit a `debug`-level JSONL event.
+#[macro_export]
+macro_rules! debug {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::events::log_enabled($crate::Level::Debug) {
+            $crate::events::log($crate::Level::Debug, $target, &format!($($arg)*));
+        }
+    };
+}
+
+/// Emit a `trace`-level JSONL event.
+#[macro_export]
+macro_rules! trace {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::events::log_enabled($crate::Level::Trace) {
+            $crate::events::log($crate::Level::Trace, $target, &format!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(Level::parse("info"), Some(Level::Info));
+        assert_eq!(Level::parse("INFO"), Some(Level::Info));
+        assert_eq!(Level::parse(" warn "), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("off"), Some(Level::Off));
+        assert_eq!(Level::parse("bogus"), None);
+        assert_eq!(Level::parse(""), None);
+    }
+
+    #[test]
+    fn ordering_matches_verbosity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+
+    #[test]
+    fn filtering_respects_level() {
+        let _g = crate::test_lock();
+        let before = level();
+        set_level(Level::Warn);
+        assert!(log_enabled(Level::Error));
+        assert!(log_enabled(Level::Warn));
+        assert!(!log_enabled(Level::Info));
+        assert!(!log_enabled(Level::Off));
+        set_level(Level::Off);
+        assert!(!log_enabled(Level::Error));
+        set_level(before);
+    }
+}

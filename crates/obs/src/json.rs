@@ -1,0 +1,104 @@
+//! Minimal JSON emission helpers (the crate is std-only by design, so it
+//! cannot use `serde_json`; everything it emits is built from these).
+
+/// A JSON scalar for metadata values.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (non-finite values emit `null`, which is what strict JSON
+    /// requires).
+    F64(f64),
+    /// String (escaped on write).
+    Str(String),
+}
+
+impl Value {
+    /// Append this value's JSON form to `out`.
+    pub fn write(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) => write_f64(out, *v),
+            Value::Str(s) => write_str(out, s),
+        }
+    }
+}
+
+/// Append `v` as JSON: finite floats in shortest-roundtrip form,
+/// non-finite as `null`.
+pub fn write_f64(out: &mut String, v: f64) {
+    use std::fmt::Write as _;
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Append `s` as a quoted, escaped JSON string.
+pub fn write_str(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render(v: Value) -> String {
+        let mut s = String::new();
+        v.write(&mut s);
+        s
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(render(Value::Null), "null");
+        assert_eq!(render(Value::Bool(true)), "true");
+        assert_eq!(
+            render(Value::U64(18_446_744_073_709_551_615)),
+            "18446744073709551615"
+        );
+        assert_eq!(render(Value::I64(-5)), "-5");
+        assert_eq!(render(Value::F64(1.5)), "1.5");
+        assert_eq!(render(Value::F64(f64::NAN)), "null");
+        assert_eq!(render(Value::F64(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(render(Value::Str("plain".into())), "\"plain\"");
+        assert_eq!(render(Value::Str("a\"b\\c".into())), "\"a\\\"b\\\\c\"");
+        assert_eq!(render(Value::Str("x\ny\t".into())), "\"x\\ny\\t\"");
+        assert_eq!(render(Value::Str("\u{1}".into())), "\"\\u0001\"");
+        assert_eq!(render(Value::Str("ünïcode".into())), "\"ünïcode\"");
+    }
+}

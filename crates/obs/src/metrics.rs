@@ -1,0 +1,432 @@
+//! The atomic metrics registry: counters, gauges, and log-scale
+//! histograms.
+//!
+//! Handles are obtained by name ([`counter`], [`gauge`], [`histogram`])
+//! and live for the whole process (`&'static`), so hot code can fetch a
+//! handle once and then record with a single atomic RMW per event. When
+//! observability is globally disabled every recording method returns
+//! after one relaxed load — no locking, no allocation.
+//!
+//! All recording uses relaxed `fetch_add`s, so totals merged across
+//! worker threads equal the sequential totals exactly.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter (usable in `static`s).
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Add `n` events (no-op while observability is disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn clear(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A zeroed gauge (usable in `static`s).
+    pub const fn new() -> Self {
+        Self(AtomicI64::new(0))
+    }
+
+    /// Set the gauge (no-op while observability is disabled).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.0.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if crate::enabled() {
+            self.0.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn clear(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of power-of-two histogram buckets.
+const BUCKETS: usize = 64;
+
+/// A log₂-bucketed histogram of `u64` samples (latencies in µs, sizes,
+/// …): bucket 0 holds values `{0, 1}`, bucket `b ≥ 1` holds
+/// `[2^b, 2^{b+1})`. Recording is four relaxed atomic RMWs; reads are
+/// racy-but-consistent-enough snapshots (exact once writers quiesce).
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Histogram {
+    /// An empty histogram (usable in `static`s).
+    pub const fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+        }
+    }
+
+    /// Bucket index for a value.
+    #[inline]
+    fn index(v: u64) -> usize {
+        if v <= 1 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Record one sample (no-op while observability is disabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[Self::index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy out the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(b, c)| {
+                let c = c.load(Ordering::Relaxed);
+                if c == 0 {
+                    return None;
+                }
+                Some((if b == 0 { 0 } else { 1u64 << b }, c))
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    fn clear(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Point-in-time view of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// `(bucket lower bound, samples)` for every non-empty bucket, in
+    /// ascending bound order.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`0.0 ..= 1.0`) from the log buckets: the
+    /// upper bound of the bucket holding the q-th sample, clamped to the
+    /// observed max. Resolution is a factor of two.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(lower, c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                let upper = if lower == 0 {
+                    1
+                } else {
+                    lower.saturating_mul(2).saturating_sub(1)
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Append the snapshot as a JSON object.
+    pub fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": ",
+            self.count, self.sum, self.min, self.max
+        );
+        crate::json::write_f64(out, self.mean());
+        let _ = write!(
+            out,
+            ", \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99)
+        );
+        for (i, (lower, c)) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "[{lower}, {c}]");
+        }
+        out.push_str("]}");
+    }
+}
+
+/// The global name→handle registry. Handles are leaked so they can be
+/// `&'static`; the set of metric names is small and bounded.
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<String, &'static Counter>>,
+    gauges: Mutex<BTreeMap<String, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<String, &'static Histogram>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Get or create the counter registered under `name`.
+pub fn counter(name: &str) -> &'static Counter {
+    let mut map = lock(&registry().counters);
+    if let Some(c) = map.get(name) {
+        return c;
+    }
+    let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+    map.insert(name.to_string(), c);
+    c
+}
+
+/// Get or create the gauge registered under `name`.
+pub fn gauge(name: &str) -> &'static Gauge {
+    let mut map = lock(&registry().gauges);
+    if let Some(g) = map.get(name) {
+        return g;
+    }
+    let g: &'static Gauge = Box::leak(Box::new(Gauge::new()));
+    map.insert(name.to_string(), g);
+    g
+}
+
+/// Get or create the histogram registered under `name`.
+pub fn histogram(name: &str) -> &'static Histogram {
+    let mut map = lock(&registry().histograms);
+    if let Some(h) = map.get(name) {
+        return h;
+    }
+    let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+    map.insert(name.to_string(), h);
+    h
+}
+
+/// Sorted `(name, total)` snapshot of all counters.
+pub fn counters_snapshot() -> Vec<(String, u64)> {
+    lock(&registry().counters)
+        .iter()
+        .map(|(k, c)| (k.clone(), c.get()))
+        .collect()
+}
+
+/// Sorted `(name, value)` snapshot of all gauges.
+pub fn gauges_snapshot() -> Vec<(String, i64)> {
+    lock(&registry().gauges)
+        .iter()
+        .map(|(k, g)| (k.clone(), g.get()))
+        .collect()
+}
+
+/// Sorted `(name, snapshot)` of all histograms.
+pub fn histograms_snapshot() -> Vec<(String, HistogramSnapshot)> {
+    lock(&registry().histograms)
+        .iter()
+        .map(|(k, h)| (k.clone(), h.snapshot()))
+        .collect()
+}
+
+/// Zero every registered metric (handles stay valid).
+pub fn reset() {
+    for c in lock(&registry().counters).values() {
+        c.clear();
+    }
+    for g in lock(&registry().gauges).values() {
+        g.clear();
+    }
+    for h in lock(&registry().histograms).values() {
+        h.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled_guard() -> std::sync::MutexGuard<'static, ()> {
+        let g = crate::test_lock();
+        crate::set_enabled(true);
+        g
+    }
+
+    #[test]
+    fn counter_accumulates_and_handles_are_shared() {
+        let _g = enabled_guard();
+        let a = counter("test.metrics.c");
+        let b = counter("test.metrics.c");
+        assert!(std::ptr::eq(a, b));
+        let before = a.get();
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get() - before, 5);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let _g = enabled_guard();
+        let g = gauge("test.metrics.g");
+        g.set(10);
+        g.add(-4);
+        assert_eq!(g.get(), 6);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn histogram_bucket_indexing() {
+        assert_eq!(Histogram::index(0), 0);
+        assert_eq!(Histogram::index(1), 0);
+        assert_eq!(Histogram::index(2), 1);
+        assert_eq!(Histogram::index(3), 1);
+        assert_eq!(Histogram::index(4), 2);
+        assert_eq!(Histogram::index(1023), 9);
+        assert_eq!(Histogram::index(1024), 10);
+        assert_eq!(Histogram::index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn histogram_snapshot_stats() {
+        let _g = enabled_guard();
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1106);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean() - 1106.0 / 6.0).abs() < 1e-12);
+        // Buckets: [0,1] -> 2 samples, [2,3] -> 2, [64,127] -> 1, [512,1023] -> 1.
+        assert_eq!(s.buckets, vec![(0, 2), (2, 2), (64, 1), (512, 1)]);
+        // Quantiles are bucket upper bounds clamped to max.
+        assert_eq!(s.quantile(0.0), 1);
+        assert_eq!(s.quantile(1.0), 1000);
+        assert!(s.quantile(0.5) <= 3);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn empty_histogram_is_calm() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.9), 0);
+        let mut out = String::new();
+        s.write_json(&mut out);
+        assert!(out.contains("\"count\": 0"));
+        assert!(out.ends_with("\"buckets\": []}"));
+    }
+
+    #[test]
+    fn snapshots_are_sorted_by_name() {
+        let _g = enabled_guard();
+        counter("test.metrics.zz").add(1);
+        counter("test.metrics.aa").add(1);
+        let names: Vec<String> = counters_snapshot().into_iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        crate::set_enabled(false);
+    }
+}

@@ -1,0 +1,242 @@
+//! Rate-limited progress reporting for long Monte-Carlo runs.
+//!
+//! A [`Progress`] tracks completed work items (sources) and raw sample
+//! throughput, and repaints a single stderr status line at most every
+//! 200 ms:
+//!
+//! ```text
+//! fig1: 37/100 sources · 1.4M samples/s · ETA 12s
+//! ```
+//!
+//! Display is gated on a global flag ([`set_progress`], wired to the
+//! `mcs --verbose` flag) so library users and tests stay silent;
+//! counting always works, which lets the drivers reuse the struct for
+//! bookkeeping. All state is atomic — worker threads share a `&Progress`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+static PROGRESS_ON: AtomicBool = AtomicBool::new(false);
+
+/// Globally enable or disable the stderr progress display.
+pub fn set_progress(on: bool) {
+    PROGRESS_ON.store(on, Ordering::Relaxed);
+}
+
+/// Whether the stderr progress display is enabled.
+pub fn progress_enabled() -> bool {
+    PROGRESS_ON.load(Ordering::Relaxed)
+}
+
+/// Minimum milliseconds between repaints.
+const REPAINT_MS: u64 = 200;
+
+/// Shared progress state for one driver run.
+pub struct Progress {
+    label: String,
+    total: u64,
+    done: AtomicU64,
+    samples: AtomicU64,
+    start: Instant,
+    /// ms-since-start of the last repaint (for rate limiting).
+    last_paint_ms: AtomicU64,
+    painted: AtomicBool,
+    active: bool,
+}
+
+impl Progress {
+    /// New tracker expecting `total` work items, labelled for display.
+    /// Captures the display flag at construction.
+    pub fn new(label: impl Into<String>, total: u64) -> Self {
+        Self {
+            label: label.into(),
+            total,
+            done: AtomicU64::new(0),
+            samples: AtomicU64::new(0),
+            start: Instant::now(),
+            last_paint_ms: AtomicU64::new(0),
+            painted: AtomicBool::new(false),
+            active: progress_enabled(),
+        }
+    }
+
+    /// Record `n` raw samples (for the samples/s readout).
+    #[inline]
+    pub fn add_samples(&self, n: u64) {
+        self.samples.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one completed work item, repainting if due.
+    pub fn item_done(&self) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.active {
+            self.maybe_paint(done);
+        }
+    }
+
+    /// Completed work items so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Raw samples recorded so far.
+    pub fn samples(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+
+    fn maybe_paint(&self, done: u64) {
+        let now_ms = u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let last = self.last_paint_ms.load(Ordering::Relaxed);
+        let due = now_ms.saturating_sub(last) >= REPAINT_MS || done == self.total;
+        if !due {
+            return;
+        }
+        // One painter at a time: whoever wins the CAS repaints.
+        if self
+            .last_paint_ms
+            .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        self.painted.store(true, Ordering::Relaxed);
+        let line = self.status_line(done, now_ms);
+        eprint!("\r\x1b[2K{line}");
+    }
+
+    fn status_line(&self, done: u64, elapsed_ms: u64) -> String {
+        let rate = if elapsed_ms == 0 {
+            0.0
+        } else {
+            self.samples.load(Ordering::Relaxed) as f64 * 1000.0 / elapsed_ms as f64
+        };
+        format!(
+            "{}: {}/{} sources · {} samples/s · ETA {}",
+            self.label,
+            done,
+            self.total,
+            fmt_rate(rate),
+            fmt_eta(eta_secs(elapsed_ms, done, self.total)),
+        )
+    }
+
+    /// Final repaint plus newline (only if anything was painted), so the
+    /// shell prompt is never left mid-line.
+    pub fn finish(&self) {
+        if !self.active || !self.painted.load(Ordering::Relaxed) {
+            return;
+        }
+        let elapsed_ms = u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let done = self.done.load(Ordering::Relaxed);
+        eprintln!(
+            "\r\x1b[2K{} · done in {}",
+            self.status_line(done, elapsed_ms),
+            fmt_eta(elapsed_ms as f64 / 1000.0)
+        );
+    }
+}
+
+/// Estimated seconds remaining (`f64::INFINITY` when nothing is done yet).
+fn eta_secs(elapsed_ms: u64, done: u64, total: u64) -> f64 {
+    if done == 0 {
+        return f64::INFINITY;
+    }
+    let remaining = total.saturating_sub(done) as f64;
+    (elapsed_ms as f64 / 1000.0) * remaining / done as f64
+}
+
+/// Human rate: `931`, `12.4k`, `1.4M`.
+fn fmt_rate(per_sec: f64) -> String {
+    if per_sec >= 1e6 {
+        format!("{:.1}M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.1}k", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.0}")
+    }
+}
+
+/// Human duration: `0.4s`, `12s`, `3m05s`, `?` for unknown.
+fn fmt_eta(secs: f64) -> String {
+    if !secs.is_finite() {
+        return "?".into();
+    }
+    if secs < 1.0 {
+        format!("{secs:.1}s")
+    } else if secs < 60.0 {
+        format!("{secs:.0}s")
+    } else {
+        let m = (secs / 60.0).floor();
+        format!("{m:.0}m{:02.0}s", secs - m * 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_works_without_display() {
+        let p = Progress::new("test", 10);
+        assert!(!p.active || progress_enabled());
+        p.add_samples(100);
+        p.item_done();
+        p.item_done();
+        assert_eq!(p.done(), 2);
+        assert_eq!(p.samples(), 100);
+        p.finish(); // silent: nothing was painted
+    }
+
+    #[test]
+    fn concurrent_counting_is_exact() {
+        let p = Progress::new("test", 64);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..8 {
+                        p.add_samples(5);
+                        p.item_done();
+                    }
+                });
+            }
+        });
+        assert_eq!(p.done(), 64);
+        assert_eq!(p.samples(), 8 * 8 * 5);
+    }
+
+    #[test]
+    fn eta_math() {
+        assert_eq!(eta_secs(1000, 0, 10), f64::INFINITY);
+        // 2 of 10 done in 1s -> 4s remaining.
+        assert!((eta_secs(1000, 2, 10) - 4.0).abs() < 1e-12);
+        assert_eq!(eta_secs(1000, 10, 10), 0.0);
+        // done > total is clamped, never negative.
+        assert_eq!(eta_secs(1000, 12, 10), 0.0);
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(fmt_rate(0.0), "0");
+        assert_eq!(fmt_rate(931.4), "931");
+        assert_eq!(fmt_rate(12_400.0), "12.4k");
+        assert_eq!(fmt_rate(1_400_000.0), "1.4M");
+    }
+
+    #[test]
+    fn eta_formatting() {
+        assert_eq!(fmt_eta(f64::INFINITY), "?");
+        assert_eq!(fmt_eta(0.42), "0.4s");
+        assert_eq!(fmt_eta(12.3), "12s");
+        assert_eq!(fmt_eta(185.0), "3m05s");
+    }
+
+    #[test]
+    fn status_line_shape() {
+        let p = Progress::new("fig1", 100);
+        p.add_samples(5000);
+        let line = p.status_line(37, 1000);
+        assert!(line.starts_with("fig1: 37/100 sources"), "{line}");
+        assert!(line.contains("samples/s"), "{line}");
+        assert!(line.contains("ETA"), "{line}");
+    }
+}

@@ -1,0 +1,302 @@
+//! RAII span timers with a thread-safe hierarchical collector.
+//!
+//! A span measures the wall time between its creation and drop. Spans
+//! nest per thread: creating a span while another is live on the same
+//! thread records it under the parent's path (`"fig1/measure"`), and the
+//! collector aggregates by full path, so repeated spans at the same
+//! position accumulate `count`/`total` statistics instead of producing
+//! one record per occurrence.
+//!
+//! Worker threads start with an empty span stack: spans they open are
+//! recorded at the root. The Monte-Carlo drivers therefore keep spans on
+//! the coordinating thread and use counters/histograms from workers.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Aggregated statistics for one span path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Completed occurrences.
+    pub count: u64,
+    /// Total wall time, nanoseconds.
+    pub total_ns: u64,
+    /// Shortest occurrence, nanoseconds.
+    pub min_ns: u64,
+    /// Longest occurrence, nanoseconds.
+    pub max_ns: u64,
+}
+
+fn collector() -> &'static Mutex<BTreeMap<String, SpanStat>> {
+    static SPANS: OnceLock<Mutex<BTreeMap<String, SpanStat>>> = OnceLock::new();
+    SPANS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Live timer returned by [`span`] / [`span_at`]; records on drop.
+/// Inert (no clock read, no allocation) while observability is disabled.
+#[must_use = "a span measures until it is dropped; binding it to `_` drops it immediately"]
+pub struct SpanGuard {
+    path: Option<String>,
+    start: Option<Instant>,
+}
+
+/// Open a span named `name` nested under the current thread's innermost
+/// live span (or at the root if there is none).
+pub fn span(name: &str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard {
+            path: None,
+            start: None,
+        };
+    }
+    let path = STACK.with(|s| {
+        let s = s.borrow();
+        match s.last() {
+            Some(parent) => format!("{parent}/{name}"),
+            None => name.to_string(),
+        }
+    });
+    open(path)
+}
+
+/// Open a span at an explicit absolute `path` (segments separated by
+/// `/`), ignoring the current nesting. Spans opened while this guard is
+/// live still nest under it.
+pub fn span_at(path: impl Into<String>) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard {
+            path: None,
+            start: None,
+        };
+    }
+    open(path.into())
+}
+
+fn open(path: String) -> SpanGuard {
+    STACK.with(|s| s.borrow_mut().push(path.clone()));
+    SpanGuard {
+        path: Some(path),
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let (Some(path), Some(start)) = (self.path.take(), self.start) else {
+            return;
+        };
+        let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Normally a plain LIFO pop; scan defensively in case guards
+            // were dropped out of order.
+            if let Some(pos) = s.iter().rposition(|p| *p == path) {
+                s.remove(pos);
+            }
+        });
+        let mut spans = collector().lock().unwrap_or_else(|e| e.into_inner());
+        let stat = spans.entry(path).or_default();
+        stat.count += 1;
+        stat.total_ns += elapsed_ns;
+        stat.min_ns = if stat.count == 1 {
+            elapsed_ns
+        } else {
+            stat.min_ns.min(elapsed_ns)
+        };
+        stat.max_ns = stat.max_ns.max(elapsed_ns);
+    }
+}
+
+/// Sorted `(path, stats)` snapshot of every completed span.
+pub fn snapshot() -> Vec<(String, SpanStat)> {
+    collector()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+/// Total recorded wall time for one exact path, in milliseconds.
+pub fn total_ms(path: &str) -> f64 {
+    collector()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(path)
+        .map(|s| s.total_ns as f64 / 1e6)
+        .unwrap_or(0.0)
+}
+
+/// Discard all recorded spans.
+pub fn reset() {
+    collector()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+}
+
+#[derive(Default)]
+struct Node {
+    stat: Option<SpanStat>,
+    children: BTreeMap<String, Node>,
+}
+
+/// Append the hierarchical span tree as a JSON object: each node carries
+/// its timing stats (if the path itself was recorded) and a `"children"`
+/// object keyed by segment.
+pub fn write_tree_json(out: &mut String) {
+    let mut root = Node::default();
+    for (path, stat) in snapshot() {
+        let mut cur = &mut root;
+        for seg in path.split('/') {
+            cur = cur.children.entry(seg.to_string()).or_default();
+        }
+        cur.stat = Some(stat);
+    }
+    write_children(out, &root);
+}
+
+fn write_children(out: &mut String, node: &Node) {
+    use std::fmt::Write as _;
+    out.push('{');
+    for (i, (name, child)) in node.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push(' ');
+        crate::json::write_str(out, name);
+        out.push_str(": {");
+        if let Some(s) = child.stat {
+            let _ = write!(out, "\"count\": {}, \"total_ms\": ", s.count);
+            crate::json::write_f64(out, s.total_ns as f64 / 1e6);
+            out.push_str(", \"min_ms\": ");
+            crate::json::write_f64(out, s.min_ns as f64 / 1e6);
+            out.push_str(", \"max_ms\": ");
+            crate::json::write_f64(out, s.max_ns as f64 / 1e6);
+            out.push_str(", ");
+        }
+        out.push_str("\"children\": ");
+        write_children(out, child);
+        out.push('}');
+    }
+    if !node.children.is_empty() {
+        out.push(' ');
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled_guard() -> std::sync::MutexGuard<'static, ()> {
+        let g = crate::test_lock();
+        crate::set_enabled(true);
+        g
+    }
+
+    fn stat(path: &str) -> Option<SpanStat> {
+        snapshot()
+            .into_iter()
+            .find(|(p, _)| p == path)
+            .map(|(_, s)| s)
+    }
+
+    #[test]
+    fn nesting_builds_paths() {
+        let _g = enabled_guard();
+        {
+            let _a = span_at("test-span-root");
+            {
+                let _b = span("inner");
+                let _c = span("leaf");
+            }
+            let _d = span("inner");
+        }
+        crate::set_enabled(false);
+        assert_eq!(stat("test-span-root").unwrap().count, 1);
+        assert_eq!(stat("test-span-root/inner").unwrap().count, 2);
+        // `leaf` opened while `inner` was the innermost live span.
+        assert_eq!(stat("test-span-root/inner/leaf").unwrap().count, 1);
+    }
+
+    #[test]
+    fn span_at_ignores_nesting_but_hosts_children() {
+        let _g = enabled_guard();
+        {
+            let _a = span_at("test-span-outer");
+            let _b = span_at("test-span-absolute");
+            let _c = span("kid");
+        }
+        crate::set_enabled(false);
+        assert!(stat("test-span-absolute").is_some());
+        assert!(stat("test-span-absolute/kid").is_some());
+        assert!(stat("test-span-outer/test-span-absolute").is_none());
+    }
+
+    #[test]
+    fn stats_accumulate_and_time_is_sane() {
+        let _g = enabled_guard();
+        for _ in 0..3 {
+            let _s = span_at("test-span-acc");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        crate::set_enabled(false);
+        let s = stat("test-span-acc").unwrap();
+        assert_eq!(s.count, 3);
+        assert!(s.total_ns >= 3_000_000, "{}", s.total_ns);
+        assert!(s.min_ns <= s.max_ns);
+        assert!(total_ms("test-span-acc") >= 3.0);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = crate::test_lock();
+        crate::set_enabled(false);
+        {
+            let _s = span_at("test-span-disabled");
+        }
+        assert!(stat("test-span-disabled").is_none());
+    }
+
+    #[test]
+    fn tree_json_nests_children() {
+        let _g = enabled_guard();
+        {
+            let _a = span_at("test-tree");
+            let _b = span("phase");
+        }
+        crate::set_enabled(false);
+        let mut out = String::new();
+        write_tree_json(&mut out);
+        let tree_pos = out.find("\"test-tree\"").expect("root present");
+        let child_pos = out.find("\"phase\"").expect("child present");
+        assert!(child_pos > tree_pos, "child nested after parent:\n{out}");
+        assert!(out.contains("\"total_ms\""));
+    }
+
+    #[test]
+    fn cross_thread_spans_are_rooted_per_thread() {
+        let _g = enabled_guard();
+        {
+            let _a = span_at("test-span-main");
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _w = span("worker");
+                })
+                .join()
+                .unwrap();
+            });
+        }
+        crate::set_enabled(false);
+        // The worker thread had an empty stack, so its span is a root.
+        assert!(stat("worker").is_some());
+        assert!(stat("test-span-main/worker").is_none());
+    }
+}

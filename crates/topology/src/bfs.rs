@@ -153,6 +153,10 @@ impl<'g> Bfs<'g> {
     /// Run BFS from `source` into the internal scratch buffers, avoiding
     /// the copy that [`run`](Self::run) makes. Accessors below read the
     /// scratch state until the next call.
+    ///
+    /// When observability is enabled, each run bumps the `bfs.runs` and
+    /// `bfs.nodes_visited` counters (batched: two atomic adds per
+    /// traversal, nothing per node).
     pub fn run_scratch(&mut self, source: NodeId) {
         assert!(
             (source as usize) < self.graph.node_count(),
@@ -177,6 +181,10 @@ impl<'g> Bfs<'g> {
                     self.queue.push(w);
                 }
             }
+        }
+        if mcast_obs::enabled() {
+            mcast_obs::counter("bfs.runs").add(1);
+            mcast_obs::counter("bfs.nodes_visited").add(self.queue.len() as u64);
         }
     }
 

@@ -53,11 +53,16 @@ pub struct CurvePoint {
 }
 
 /// Per-source measurement engine: one BFS, then cheap repeated sampling.
+///
+/// Samples are tallied in a plain local counter and flushed to the
+/// global `tree.samples` metric on drop, so observability costs one
+/// non-atomic increment per sample and one atomic add per source.
 pub struct SourceMeasurer {
     sizer: DeliverySizer,
     pool: ReceiverPool,
     mean_dist: f64,
     buf: Vec<NodeId>,
+    samples: u64,
 }
 
 impl SourceMeasurer {
@@ -92,6 +97,7 @@ impl SourceMeasurer {
             pool,
             mean_dist,
             buf: Vec::new(),
+            samples: 0,
         }
     }
 
@@ -112,6 +118,7 @@ impl SourceMeasurer {
     /// Panics if `m` is zero or exceeds the pool.
     pub fn ratio_sample<R: Rng + ?Sized>(&mut self, m: usize, rng: &mut R) -> f64 {
         assert!(m > 0, "need at least one receiver");
+        self.samples += 1;
         sampling::distinct(&self.pool, m, rng, &mut self.buf);
         let (tree, unicast) = self.sizer.sample(&self.buf);
         debug_assert!(unicast > 0, "receivers at distance zero?");
@@ -121,6 +128,7 @@ impl SourceMeasurer {
     /// §3 sample: `n` with-replacement receivers; returns the raw tree
     /// size `L̂`.
     pub fn tree_sample<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) -> u64 {
+        self.samples += 1;
         sampling::with_replacement(&self.pool, n, rng, &mut self.buf);
         self.sizer.tree_links(&self.buf)
     }
@@ -131,6 +139,15 @@ impl SourceMeasurer {
         assert!(n > 0, "need at least one receiver");
         let l = self.tree_sample(n, rng);
         l as f64 / (n as f64 * self.mean_dist)
+    }
+}
+
+impl Drop for SourceMeasurer {
+    fn drop(&mut self) {
+        if self.samples > 0 && mcast_obs::enabled() {
+            mcast_obs::counter("tree.samples").add(self.samples);
+            mcast_obs::counter("tree.sources_measured").add(1);
+        }
     }
 }
 
