@@ -42,7 +42,9 @@ pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
     let r2 = if syy == 0.0 {
         1.0 // a constant-y dataset is fit perfectly by the horizontal line
     } else {
-        (sxy * sxy) / (sxx * syy)
+        // On (near-)collinear input, roundoff in the three sums can push
+        // the quotient a few ulps past 1; clamp to the documented range.
+        ((sxy * sxy) / (sxx * syy)).clamp(0.0, 1.0)
     };
     // Standard error of the slope: sqrt(residual variance / Sxx).
     let slope_std_err = if points.len() >= 3 {
@@ -132,6 +134,71 @@ mod tests {
         let horizontal = linear_fit(&[(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)]).unwrap();
         assert_eq!(horizontal.slope, 0.0);
         assert_eq!(horizontal.r2, 1.0);
+    }
+
+    #[test]
+    fn r2_never_exceeds_one_on_near_collinear_input() {
+        // Exactly-collinear points with awkward (non-dyadic) slopes and
+        // offsets: the three sums each round differently, and the raw
+        // quotient (sxy²)/(sxx·syy) lands a few ulps either side of 1.
+        // Regression for the clamp: r2 must stay inside [0, 1] for every
+        // fit, not just approximately.
+        let slopes = [
+            std::f64::consts::PI,
+            1.0 / 3.0,
+            -7.7e-3,
+            1e9 + 1.0 / 7.0,
+            -std::f64::consts::E * 1e-6,
+        ];
+        let intercepts = [0.1, -1e6, std::f64::consts::LN_2, 3.33e8, -0.125];
+        for &slope in &slopes {
+            for &intercept in &intercepts {
+                let pts: Vec<(f64, f64)> = (1..50)
+                    .map(|i| {
+                        let x = i as f64 * 0.37 + 0.011;
+                        (x, slope * x + intercept)
+                    })
+                    .collect();
+                let fit = linear_fit(&pts).unwrap();
+                assert!(
+                    (0.0..=1.0).contains(&fit.r2),
+                    "slope {slope} intercept {intercept}: r2 = {:.20}",
+                    fit.r2
+                );
+                // Only claim R² ≈ 1 when the slope-induced y-spread is
+                // resolvable against the intercept in f64: when the
+                // intercept dwarfs it, cancellation in (y − ȳ) genuinely
+                // erodes the fit and only the [0, 1] clamp is owed.
+                let y_spread = (slope * 49.0 * 0.37).abs();
+                if y_spread > 1e-9 * intercept.abs() {
+                    assert!(
+                        fit.r2 > 1.0 - 1e-6,
+                        "resolvable collinear fit should be ~1, got {:.20}",
+                        fit.r2
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn power_law_r2_inherits_the_clamp() {
+        // Exact power laws in log-log space are collinear lines; the
+        // propagated R² must respect the same [0, 1] contract.
+        for &(a, b) in &[(2.5, 0.8), (1e-3, 3.0), (7.0, -1.25), (0.9, 0.1)] {
+            let pts: Vec<(f64, f64)> = (1..60)
+                .map(|i| {
+                    let x = i as f64 * 1.3;
+                    (x, a * x.powf(b))
+                })
+                .collect();
+            let fit = power_law_fit(&pts).unwrap();
+            assert!(
+                (0.0..=1.0).contains(&fit.r2),
+                "a={a} b={b}: r2 = {:.20}",
+                fit.r2
+            );
+        }
     }
 
     #[test]

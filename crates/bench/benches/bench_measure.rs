@@ -1,0 +1,155 @@
+//! The measurement engine: per-source setup vs per-sample cost, and the
+//! source-dedup payoff on the paper's with-replacement source schedule.
+//!
+//! `workload/repeated_sources_*` is the acceptance pair: 100 source draws
+//! over ARPA's 47 nodes (≈ 44 distinct), naive one-BFS-per-index vs the
+//! dedup engine.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mcast_experiments::{networks, RunConfig};
+use mcast_gen::arpa::arpa;
+use mcast_topology::Graph;
+use mcast_tree::delivery::DeliverySizer;
+use mcast_tree::measure::{
+    measure_group, merge_indexed, pick_source, ratio_curve, source_rng, CurvePoint, MeasureConfig,
+    MeasureEngine, SampleKind, SourceMeasurer, SourcePlan,
+};
+use mcast_tree::sampling::{self, ReceiverPool};
+use mcast_tree::RunningStats;
+
+/// The pre-PR schedule, replicated with today's public API: a fresh
+/// BFS + sizer + ū scan per source index (`SourceMeasurer::new` did all
+/// three) and a fresh Floyd dedup set per sample (`sampling::distinct`),
+/// merged in index order. Draws the exact same RNG streams as the engine,
+/// so both sides produce bit-identical curves.
+fn naive_ratio_curve(graph: &Graph, xs: &[usize], cfg: &MeasureConfig) -> Vec<CurvePoint> {
+    let mut per_index = Vec::with_capacity(cfg.sources);
+    for index in 0..cfg.sources {
+        let source = pick_source(graph, cfg.seed, index);
+        let pool = ReceiverPool::AllExceptSource {
+            nodes: graph.node_count(),
+            source,
+        };
+        let mut sizer = DeliverySizer::from_graph(graph, source);
+        // ū over the pool: measurer construction always computed this,
+        // even on the §2 ratio path that doesn't read it.
+        let mut total = 0u64;
+        for i in 0..pool.len() {
+            if let Some(d) = sizer.distance(pool.site(i)) {
+                total += d as u64;
+            }
+        }
+        std::hint::black_box(total);
+        let mut rng = source_rng(cfg.seed, index);
+        let mut buf = Vec::new();
+        let mut per_x = Vec::with_capacity(xs.len());
+        for &x in xs {
+            let mut stats = RunningStats::new();
+            for _ in 0..cfg.receiver_sets {
+                sampling::distinct(&pool, x, &mut rng, &mut buf);
+                let (tree, unicast) = sizer.sample(&buf);
+                stats.push(tree as f64 * x as f64 / unicast as f64);
+            }
+            per_x.push(stats);
+        }
+        per_index.push(Some(per_x));
+    }
+    merge_indexed(xs, per_index)
+}
+
+/// The dedup schedule, spelled out so the bench measures exactly what the
+/// sequential/parallel drivers run.
+fn engine_ratio_curve(graph: &Graph, xs: &[usize], cfg: &MeasureConfig) -> Vec<CurvePoint> {
+    ratio_curve(graph, xs, cfg)
+}
+
+fn bench(c: &mut Criterion) {
+    let arpa = arpa();
+    let cfg = RunConfig::fast();
+    let ts1000 = networks::ts1000(&cfg).graph;
+
+    let mut g = c.benchmark_group("measure");
+
+    // Per-source setup: what binding one *new* source costs.
+    g.bench_function("setup/fresh_measurer_arpa47", |b| {
+        let mut s = 0u32;
+        b.iter(|| {
+            s = (s + 7) % 47;
+            SourceMeasurer::new(&arpa, s).mean_distance()
+        })
+    });
+    g.bench_function("setup/engine_rebind_arpa47", |b| {
+        let mut engine = MeasureEngine::new(&arpa);
+        let mut s = 0u32;
+        b.iter(|| {
+            s = (s + 7) % 47;
+            engine.bind(s).mean_distance()
+        })
+    });
+    g.bench_function("setup/fresh_measurer_ts1000", |b| {
+        let mut s = 0u32;
+        b.iter(|| {
+            s = (s + 37) % 1000;
+            SourceMeasurer::new(&ts1000, s).mean_distance()
+        })
+    });
+    g.bench_function("setup/engine_rebind_ts1000", |b| {
+        let mut engine = MeasureEngine::new(&ts1000);
+        let mut s = 0u32;
+        b.iter(|| {
+            s = (s + 37) % 1000;
+            engine.bind(s).mean_distance()
+        })
+    });
+
+    // Per-sample steady state: the zero-allocation hot path.
+    g.bench_function("sample/ratio_arpa47_m10", |b| {
+        let mut m = SourceMeasurer::new(&arpa, 0);
+        let mut rng = source_rng(1999, 0);
+        b.iter(|| m.ratio_sample(10, &mut rng))
+    });
+    g.bench_function("sample/ratio_ts1000_m100", |b| {
+        let mut m = SourceMeasurer::new(&ts1000, 0);
+        let mut rng = source_rng(1999, 0);
+        b.iter(|| m.ratio_sample(100, &mut rng))
+    });
+    g.bench_function("sample/cache_hit_bind_arpa47", |b| {
+        let mut engine = MeasureEngine::new(&arpa);
+        let _ = engine.bind(3);
+        b.iter(|| engine.bind(3).pool_size())
+    });
+
+    // The paper's repeated-source workload (§2: sources drawn with
+    // replacement): 100 draws over 47 nodes ≈ 44 distinct.
+    let mcfg = MeasureConfig {
+        sources: 100,
+        receiver_sets: 4,
+        seed: 1999,
+    };
+    let xs = [2usize, 8, 16];
+    let plan = SourcePlan::new(&arpa, &mcfg);
+    assert!(
+        plan.distinct() < plan.total(),
+        "workload must repeat sources"
+    );
+    let samples = (mcfg.sources * xs.len() * mcfg.receiver_sets) as u64;
+    g.throughput(Throughput::Elements(samples));
+    g.bench_function("workload/repeated_sources_arpa_naive", |b| {
+        b.iter(|| naive_ratio_curve(&arpa, &xs, &mcfg))
+    });
+    g.bench_function("workload/repeated_sources_arpa_engine", |b| {
+        b.iter(|| engine_ratio_curve(&arpa, &xs, &mcfg))
+    });
+
+    // Group-at-a-time measurement, the parallel drivers' unit of work.
+    g.bench_function("workload/measure_group_arpa", |b| {
+        let mut engine = MeasureEngine::new(&arpa);
+        let group = &plan.groups()[0];
+        b.iter(|| measure_group(&mut engine, group, &xs, &mcfg, SampleKind::Ratio))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

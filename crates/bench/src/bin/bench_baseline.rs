@@ -1,0 +1,120 @@
+//! Records the measurement-engine baseline as machine-readable JSON.
+//!
+//! Criterion tracks per-function timings interactively; this bin distils
+//! the one number the acceptance criteria pin — dedup-engine speedup on
+//! the repeated-source ARPA workload — into `BENCH_measure.json` so CI
+//! can archive it next to the metrics dump and future PRs can diff it.
+//!
+//! Usage: `bench_baseline [OUT_PATH]` (default `BENCH_measure.json`).
+
+use mcast_gen::arpa::arpa;
+use mcast_topology::Graph;
+use mcast_tree::delivery::DeliverySizer;
+use mcast_tree::measure::{
+    merge_indexed, pick_source, ratio_curve, source_rng, CurvePoint, MeasureConfig, SourcePlan,
+};
+use mcast_tree::sampling::{self, ReceiverPool};
+use mcast_tree::RunningStats;
+use std::time::Instant;
+
+/// The pre-PR schedule, replicated with today's public API: a fresh
+/// BFS + sizer + ū scan per source index (what `SourceMeasurer::new`
+/// always did) and a fresh Floyd dedup set per sample (what
+/// `sampling::distinct` allocates), merged in index order. Same RNG
+/// streams as the engine, so both sides agree bit-for-bit.
+fn naive_ratio_curve(graph: &Graph, xs: &[usize], cfg: &MeasureConfig) -> Vec<CurvePoint> {
+    let mut per_index = Vec::with_capacity(cfg.sources);
+    for index in 0..cfg.sources {
+        let source = pick_source(graph, cfg.seed, index);
+        let pool = ReceiverPool::AllExceptSource {
+            nodes: graph.node_count(),
+            source,
+        };
+        let mut sizer = DeliverySizer::from_graph(graph, source);
+        // ū over the pool: measurer construction always computed this,
+        // even on the §2 ratio path that doesn't read it.
+        let mut total = 0u64;
+        for i in 0..pool.len() {
+            if let Some(d) = sizer.distance(pool.site(i)) {
+                total += d as u64;
+            }
+        }
+        std::hint::black_box(total);
+        let mut rng = source_rng(cfg.seed, index);
+        let mut buf = Vec::new();
+        let mut per_x = Vec::with_capacity(xs.len());
+        for &x in xs {
+            let mut stats = RunningStats::new();
+            for _ in 0..cfg.receiver_sets {
+                sampling::distinct(&pool, x, &mut rng, &mut buf);
+                let (tree, unicast) = sizer.sample(&buf);
+                stats.push(tree as f64 * x as f64 / unicast as f64);
+            }
+            per_x.push(stats);
+        }
+        per_index.push(Some(per_x));
+    }
+    merge_indexed(xs, per_index)
+}
+
+/// Best-of-`reps` wall time of `f`, in nanoseconds (best-of suppresses
+/// scheduler noise better than a mean for short deterministic kernels).
+fn best_ns<F: FnMut() -> R, R>(reps: usize, mut f: F) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_nanos());
+    }
+    best
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_measure.json".to_string());
+
+    let graph = arpa();
+    let mcfg = MeasureConfig {
+        sources: 100,
+        receiver_sets: 4,
+        seed: 1999,
+    };
+    let xs = [2usize, 8, 16];
+    let plan = SourcePlan::new(&graph, &mcfg);
+    let samples = mcfg.sources * xs.len() * mcfg.receiver_sets;
+
+    // Sanity: both schedules must agree bit-for-bit before timing them.
+    let naive = naive_ratio_curve(&graph, &xs, &mcfg);
+    let engine = ratio_curve(&graph, &xs, &mcfg);
+    for (a, b) in naive.iter().zip(&engine) {
+        assert_eq!(a.stats.count(), b.stats.count());
+        assert_eq!(a.stats.mean().to_bits(), b.stats.mean().to_bits());
+    }
+
+    let reps = 30;
+    let naive_ns = best_ns(reps, || naive_ratio_curve(&graph, &xs, &mcfg));
+    let engine_ns = best_ns(reps, || ratio_curve(&graph, &xs, &mcfg));
+    let speedup = naive_ns as f64 / engine_ns as f64;
+
+    let json = format!(
+        "{{\n  \"bench\": \"measure\",\n  \"workload\": {{\n    \"topology\": \"arpa\",\n    \"nodes\": {nodes},\n    \"sources\": {sources},\n    \"distinct_sources\": {distinct},\n    \"receiver_sets\": {rsets},\n    \"group_sizes\": [2, 8, 16],\n    \"samples\": {samples},\n    \"seed\": {seed}\n  }},\n  \"naive_ns\": {naive_ns},\n  \"engine_ns\": {engine_ns},\n  \"speedup\": {speedup:.3},\n  \"samples_per_sec_engine\": {throughput:.0}\n}}\n",
+        nodes = graph.node_count(),
+        sources = mcfg.sources,
+        distinct = plan.distinct(),
+        rsets = mcfg.receiver_sets,
+        samples = samples,
+        seed = mcfg.seed,
+        naive_ns = naive_ns,
+        engine_ns = engine_ns,
+        speedup = speedup,
+        throughput = samples as f64 / (engine_ns as f64 / 1e9),
+    );
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    println!("{json}");
+    eprintln!(
+        "wrote {out_path}: {distinct}/{total} distinct sources, speedup {speedup:.2}x",
+        distinct = plan.distinct(),
+        total = plan.total(),
+    );
+}

@@ -18,14 +18,16 @@ pub fn measure_text(name: &str, text: &str, cfg: &RunConfig) -> Result<Report, T
     if graph.node_count() < 2 {
         return Err(TopologyError::Empty);
     }
-    Ok(measure_graph(name, &graph, cfg))
+    measure_graph(name, &graph, cfg)
 }
 
 /// Full measurement of one topology: Table-1-style statistics, the
 /// measured `L(m)/ū` curve with its fitted Chuang–Sirbu exponent, and
 /// the §4 reachability classification. Disconnected inputs are reduced
-/// to their largest component (with a note).
-pub fn measure_graph(name: &str, graph: &Graph, cfg: &RunConfig) -> Report {
+/// to their largest component (with a note); inputs whose largest
+/// component cannot be measured at all (fewer than two nodes, or a curve
+/// with empty/non-finite points) are an error rather than a NaN report.
+pub fn measure_graph(name: &str, graph: &Graph, cfg: &RunConfig) -> Result<Report, TopologyError> {
     let _span = mcast_obs::span_at("measure-cli".to_string());
     let mut report = Report::new("measure", format!("measurement of `{name}`"));
     report.meta = Some(cfg.run_meta());
@@ -38,6 +40,10 @@ pub fn measure_graph(name: &str, graph: &Graph, cfg: &RunConfig) -> Report {
         ));
     }
     let graph = &extracted.graph;
+    if graph.node_count() < 2 {
+        // Nothing to measure: every ratio sample would be degenerate.
+        return Err(TopologyError::Disconnected);
+    }
 
     // Statistics table.
     let stats = network_stats("input", NetworkKind::Real, graph);
@@ -80,6 +86,15 @@ pub fn measure_graph(name: &str, graph: &Graph, cfg: &RunConfig) -> Report {
     let cap = (graph.node_count() / 2).max(2);
     let ms = log_grid(cap, 4);
     let curve = parallel_ratio_curve(graph, &ms, &cfg.measure(), cfg);
+    // Degenerate samples (all receivers unreachable) are skipped by the
+    // measurer, so an unmeasurable topology shows up here as empty or
+    // non-finite points — surface it as an error instead of a NaN curve.
+    if curve
+        .iter()
+        .any(|p| p.stats.count() == 0 || !p.stats.mean().is_finite())
+    {
+        return Err(TopologyError::Disconnected);
+    }
     let points: Vec<(f64, f64)> = curve.iter().map(|p| (p.x as f64, p.stats.mean())).collect();
     let errors: Vec<f64> = curve.iter().map(|p| p.stats.std_err()).collect();
     let mid: Vec<(f64, f64)> = points
@@ -107,7 +122,7 @@ pub fn measure_graph(name: &str, graph: &Graph, cfg: &RunConfig) -> Report {
             ),
         ],
     });
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -146,5 +161,20 @@ mod tests {
         let cfg = RunConfig::fast();
         assert!(measure_text("x", "not an edge list", &cfg).is_err());
         assert!(measure_text("x", "", &cfg).is_err());
+    }
+
+    #[test]
+    fn unmeasurable_topology_is_an_error_not_a_nan_curve() {
+        // An edgeless graph's largest component is a single node: there
+        // is nothing to measure, and the old path emitted NaN curves.
+        let g = mcast_topology::graph::from_edges(3, &[]);
+        let cfg = RunConfig {
+            threads: 1,
+            ..RunConfig::fast()
+        };
+        assert_eq!(
+            measure_graph("isolated", &g, &cfg).unwrap_err(),
+            TopologyError::Disconnected
+        );
     }
 }

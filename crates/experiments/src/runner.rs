@@ -4,32 +4,55 @@
 //! (source, receiver-set) sample is independent, and per-source RNGs are
 //! derived from the root seed, so the sharded result is *identical* to the
 //! sequential one regardless of thread count.
+//!
+//! Work is distributed over [`SourcePlan`] groups (one per **distinct**
+//! source node) rather than raw source indices: each worker owns a
+//! [`MeasureEngine`] that persists across its items, so a group costs one
+//! BFS no matter how many times the paper's with-replacement draw repeated
+//! its node, and the steady-state sampling path allocates nothing.
 
 use crate::config::RunConfig;
 use mcast_obs::Progress;
 use mcast_topology::Graph;
-use mcast_tree::measure::{pick_source, source_rng, CurvePoint, MeasureConfig, SourceMeasurer};
+use mcast_tree::measure::{
+    measure_group, merge_indexed, CurvePoint, MeasureConfig, MeasureEngine, SampleKind, SourcePlan,
+};
 use mcast_tree::RunningStats;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-/// Run `f(index)` for every index in `0..count` across the configured
-/// worker threads (work-stealing via an atomic cursor), collecting outputs
-/// in index order.
+/// How many items one cursor claim hands a worker: large enough to
+/// amortise the atomic RMW and keep consecutive items (often cache hits
+/// for an engine-carrying worker) together, small enough to steal-balance
+/// tail latency across threads.
+fn cursor_batch(count: usize, threads: usize) -> usize {
+    (count / (threads.max(1) * 8)).clamp(1, 64)
+}
+
+/// Run `f(state, index)` for every index in `0..count` across the
+/// configured worker threads, where each worker first builds its own
+/// `state = init(worker)` and carries it across every item it processes
+/// (work-stealing via a batched atomic cursor), collecting outputs in
+/// index order.
+///
+/// Per-worker state is what makes zero-allocation measurement possible:
+/// a worker's BFS engine, sizer buffers, and scratch sets persist across
+/// items instead of being rebuilt per item.
 ///
 /// When observability is enabled, each worker reports how many items it
 /// processed (`runner.thread.<t>.tasks` — the spread across threads is
 /// the steal balance) and every item's wall time feeds the
 /// `runner.task_us` log-scale histogram; `runner.threads` records the
-/// worker count. The instrumented branch is taken per *item*, not per
-/// sample, so the disabled path costs one relaxed load per item.
-pub fn parallel_map<O, F>(count: usize, cfg: &RunConfig, f: F) -> Vec<O>
+/// worker count. Metric handles are resolved once per worker, so the
+/// per-item cost is one histogram record and one counter add — no name
+/// formatting or registry lookup on the hot path.
+pub fn parallel_map_with<S, O, I, F>(count: usize, cfg: &RunConfig, init: I, f: F) -> Vec<O>
 where
     O: Send,
-    F: Fn(usize) -> O + Sync,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize) -> O + Sync,
 {
     let threads = cfg.resolved_threads().min(count.max(1));
-    let mut slots: Vec<Option<O>> = (0..count).map(|_| None).collect();
     if count == 0 {
         return Vec::new();
     }
@@ -37,38 +60,60 @@ where
     if obs_on {
         mcast_obs::gauge("runner.threads").set(threads as i64);
     }
-    // Per-item instrumentation shared by both execution paths.
-    let run_item = |t: usize, i: usize| -> O {
-        if obs_on {
+    // Per-worker handles, resolved once: the per-item instrumentation
+    // must not format metric names or take the registry lock.
+    let worker_obs = |t: usize| {
+        obs_on.then(|| {
+            (
+                mcast_obs::histogram("runner.task_us"),
+                mcast_obs::counter(&format!("runner.thread.{t}.tasks")),
+            )
+        })
+    };
+    let run_item = |obs: &Option<(&'static mcast_obs::Histogram, &'static mcast_obs::Counter)>,
+                    state: &mut S,
+                    i: usize|
+     -> O {
+        if let Some((task_us, tasks)) = obs {
             let started = Instant::now();
-            let out = f(i);
+            let out = f(state, i);
             let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-            mcast_obs::histogram("runner.task_us").record(us);
-            mcast_obs::counter(&format!("runner.thread.{t}.tasks")).add(1);
+            task_us.record(us);
+            tasks.add(1);
             out
         } else {
-            f(i)
+            f(state, i)
         }
     };
+    let mut slots: Vec<Option<O>> = (0..count).map(|_| None).collect();
     if threads <= 1 {
+        let obs = worker_obs(0);
+        let mut state = init(0);
         for (i, slot) in slots.iter_mut().enumerate() {
-            *slot = Some(run_item(0, i));
+            *slot = Some(run_item(&obs, &mut state, i));
         }
     } else {
+        let batch = cursor_batch(count, threads);
         let cursor = AtomicUsize::new(0);
         let collected: Vec<(usize, O)> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     let cursor = &cursor;
+                    let init = &init;
                     let run_item = &run_item;
+                    let worker_obs = &worker_obs;
                     scope.spawn(move |_| {
+                        let obs = worker_obs(t);
+                        let mut state = init(t);
                         let mut local: Vec<(usize, O)> = Vec::new();
                         loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            if i >= count {
+                            let start = cursor.fetch_add(batch, Ordering::Relaxed);
+                            if start >= count {
                                 break;
                             }
-                            local.push((i, run_item(t, i)));
+                            for i in start..(start + batch).min(count) {
+                                local.push((i, run_item(&obs, &mut state, i)));
+                            }
                         }
                         local
                     })
@@ -87,66 +132,60 @@ where
     slots.into_iter().map(|s| s.expect("slot filled")).collect()
 }
 
-/// One source's contribution to a measured curve.
-fn measure_source(
-    graph: &Graph,
-    xs: &[usize],
-    mcfg: &MeasureConfig,
-    source_index: usize,
-    distinct: bool,
-) -> Vec<RunningStats> {
-    let source = pick_source(graph, mcfg.seed, source_index);
-    let mut measurer = SourceMeasurer::new(graph, source);
-    let mut rng = source_rng(mcfg.seed, source_index);
-    let mut out = vec![RunningStats::new(); xs.len()];
-    for (i, &x) in xs.iter().enumerate() {
-        for _ in 0..mcfg.receiver_sets {
-            let v = if distinct {
-                measurer.ratio_sample(x, &mut rng)
-            } else {
-                measurer.normalized_tree_sample(x, &mut rng)
-            };
-            out[i].push(v);
-        }
-    }
-    out
+/// Stateless [`parallel_map_with`]: run `f(index)` for every index in
+/// `0..count`, collecting outputs in index order.
+pub fn parallel_map<O, F>(count: usize, cfg: &RunConfig, f: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(usize) -> O + Sync,
+{
+    parallel_map_with(count, cfg, |_| (), move |(), i| f(i))
 }
 
-fn merge_curves(xs: &[usize], per_source: Vec<Vec<RunningStats>>) -> Vec<CurvePoint> {
-    let mut merged = vec![RunningStats::new(); xs.len()];
-    for src in per_source {
-        for (m, s) in merged.iter_mut().zip(src) {
-            m.merge(&s);
-        }
-    }
-    xs.iter()
-        .zip(merged)
-        .map(|(&x, stats)| CurvePoint { x, stats })
-        .collect()
-}
-
-/// Shared driver: measure every source in parallel under a `measure`
-/// span, reporting per-source progress (the span lives on the calling
-/// thread; workers only touch counters, so the span tree stays stable
-/// regardless of thread count).
+/// Shared driver: shard the deduplicated [`SourcePlan`] across workers
+/// under a `measure` span, each worker measuring whole groups on its
+/// persistent [`MeasureEngine`], then merge per-source statistics in
+/// source-index order — the same reduction the sequential drivers in
+/// `mcast_tree::measure` perform, so the result is bit-identical to
+/// theirs at every thread count.
+///
+/// Progress is reported per source index (the paper's unit of work), not
+/// per group, so the bar's total matches `N_source`. The span lives on
+/// the calling thread; workers only touch counters, so the span tree
+/// stays stable regardless of thread count.
 fn parallel_curve(
     graph: &Graph,
     xs: &[usize],
     mcfg: &MeasureConfig,
     cfg: &RunConfig,
-    distinct: bool,
+    kind: SampleKind,
 ) -> Vec<CurvePoint> {
     let _span = mcast_obs::span("measure");
-    let progress = Progress::new("measure", mcfg.sources as u64);
+    let plan = SourcePlan::new(graph, mcfg);
+    let progress = Progress::new("measure", plan.total() as u64);
     let samples_per_source = (xs.len() * mcfg.receiver_sets) as u64;
-    let per_source = parallel_map(mcfg.sources, cfg, |s| {
-        let out = measure_source(graph, xs, mcfg, s, distinct);
-        progress.add_samples(samples_per_source);
-        progress.item_done();
-        out
-    });
+    let per_group = parallel_map_with(
+        plan.groups().len(),
+        cfg,
+        |_worker| MeasureEngine::new(graph),
+        |engine, g| {
+            let group = &plan.groups()[g];
+            let out = measure_group(engine, group, xs, mcfg, kind);
+            for _ in &group.indices {
+                progress.add_samples(samples_per_source);
+                progress.item_done();
+            }
+            out
+        },
+    );
+    let mut per_index: Vec<Option<Vec<RunningStats>>> = vec![None; plan.total()];
+    for group_out in per_group {
+        for (index, stats) in group_out {
+            per_index[index] = Some(stats);
+        }
+    }
     progress.finish();
-    merge_curves(xs, per_source)
+    merge_indexed(xs, per_index)
 }
 
 /// Parallel version of [`mcast_tree::measure::ratio_curve`] (§2's
@@ -157,7 +196,7 @@ pub fn parallel_ratio_curve(
     mcfg: &MeasureConfig,
     cfg: &RunConfig,
 ) -> Vec<CurvePoint> {
-    parallel_curve(graph, ms, mcfg, cfg, true)
+    parallel_curve(graph, ms, mcfg, cfg, SampleKind::Ratio)
 }
 
 /// Parallel version of [`mcast_tree::measure::lhat_curve`] (§4's
@@ -168,7 +207,7 @@ pub fn parallel_lhat_curve(
     mcfg: &MeasureConfig,
     cfg: &RunConfig,
 ) -> Vec<CurvePoint> {
-    parallel_curve(graph, ns, mcfg, cfg, false)
+    parallel_curve(graph, ns, mcfg, cfg, SampleKind::NormalizedTree)
 }
 
 /// A log-spaced grid of integer group sizes from 1 to `max`, deduplicated:
@@ -219,6 +258,47 @@ mod tests {
     }
 
     #[test]
+    fn parallel_map_with_carries_worker_state() {
+        let cfg = RunConfig {
+            threads: 3,
+            ..RunConfig::fast()
+        };
+        // State = (worker id, items seen so far by this worker). Every
+        // output must report a sane worker id and a strictly positive
+        // per-worker sequence number, and ids must cover > 1 worker.
+        let out = parallel_map_with(
+            200,
+            &cfg,
+            |t| (t, 0usize),
+            |(t, seen), _i| {
+                *seen += 1;
+                (*t, *seen)
+            },
+        );
+        assert_eq!(out.len(), 200);
+        assert!(out.iter().all(|&(t, seen)| t < 3 && seen >= 1));
+        let total: usize = (0..3)
+            .map(|t| {
+                out.iter()
+                    .filter(|&&(w, _)| w == t)
+                    .map(|&(_, s)| s)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(total, 200, "per-worker sequence maxima must partition");
+    }
+
+    #[test]
+    fn cursor_batch_bounds() {
+        assert_eq!(cursor_batch(1, 8), 1);
+        assert_eq!(cursor_batch(0, 4), 1);
+        assert!(cursor_batch(1_000_000, 4) == 64);
+        let b = cursor_batch(200, 8);
+        assert!((1..=64).contains(&b), "{b}");
+    }
+
+    #[test]
     fn parallel_matches_sequential_exactly() {
         let g = binary_tree(6);
         let mcfg = MeasureConfig {
@@ -236,14 +316,14 @@ mod tests {
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.x, b.x);
             assert_eq!(a.stats.count(), b.stats.count());
-            assert!((a.stats.mean() - b.stats.mean()).abs() < 1e-12);
-            assert!((a.stats.variance() - b.stats.variance()).abs() < 1e-9);
+            assert_eq!(a.stats.mean().to_bits(), b.stats.mean().to_bits());
+            assert_eq!(a.stats.variance().to_bits(), b.stats.variance().to_bits());
         }
         let ns = [1usize, 16];
         let seq = lhat_curve(&g, &ns, &mcfg);
         let par = parallel_lhat_curve(&g, &ns, &mcfg, &cfg);
         for (a, b) in seq.iter().zip(&par) {
-            assert!((a.stats.mean() - b.stats.mean()).abs() < 1e-12);
+            assert_eq!(a.stats.mean().to_bits(), b.stats.mean().to_bits());
         }
     }
 

@@ -1,0 +1,106 @@
+//! Property tests of the source-dedup measurement engine: the parallel
+//! drivers (worker-owned [`mcast_tree::MeasureEngine`]s sharded over
+//! `parallel_map_with`) must reproduce the sequential curves bit-for-bit
+//! at every thread count — including the repeated-source regime, where a
+//! small graph and many with-replacement draws make the BFS cache mostly
+//! hits.
+
+use mcast_experiments::runner::{parallel_lhat_curve, parallel_ratio_curve};
+use mcast_experiments::RunConfig;
+use mcast_topology::graph::from_edges;
+use mcast_topology::Graph;
+use mcast_tree::measure::{lhat_curve, ratio_curve, MeasureConfig, SourcePlan};
+use proptest::prelude::*;
+
+/// Wheel graph: a hub adjacent to every rim node, rim forming a cycle.
+/// Small diameter, non-trivial path sharing, always connected.
+fn wheel(rim: u32) -> Graph {
+    let mut edges: Vec<(u32, u32)> = (1..=rim).map(|v| (0, v)).collect();
+    edges.extend((1..rim).map(|v| (v, v + 1)));
+    edges.push((rim, 1));
+    from_edges(rim as usize + 1, &edges)
+}
+
+fn assert_curves_bitwise_equal(
+    seq: &[mcast_tree::measure::CurvePoint],
+    par: &[mcast_tree::measure::CurvePoint],
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.iter().zip(par) {
+        prop_assert_eq!(a.x, b.x);
+        prop_assert_eq!(a.stats.count(), b.stats.count());
+        prop_assert_eq!(a.stats.mean().to_bits(), b.stats.mean().to_bits());
+        prop_assert_eq!(a.stats.variance().to_bits(), b.stats.variance().to_bits());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_engine_matches_sequential_bitwise(
+        seed in any::<u64>(),
+        sources in 1usize..48,
+        receiver_sets in 1usize..5,
+        threads in 1usize..5,
+    ) {
+        // 10 nodes against up to 47 source draws: the with-replacement
+        // schedule repeats nodes, so the dedup cache path is exercised in
+        // almost every case.
+        let g = wheel(9);
+        let mcfg = MeasureConfig { sources, receiver_sets, seed };
+        let cfg = RunConfig { threads, ..RunConfig::fast() };
+        let xs = [1usize, 3, 6];
+
+        assert_curves_bitwise_equal(
+            &ratio_curve(&g, &xs, &mcfg),
+            &parallel_ratio_curve(&g, &xs, &mcfg, &cfg),
+        )?;
+        assert_curves_bitwise_equal(
+            &lhat_curve(&g, &xs, &mcfg),
+            &parallel_lhat_curve(&g, &xs, &mcfg, &cfg),
+        )?;
+    }
+}
+
+#[test]
+fn repeated_source_case_dedups_and_stays_exact() {
+    // Pin one heavy case: 100 draws over 5 nodes means ≤ 5 BFS runs
+    // serve 100 source indices, and every thread count must agree with
+    // the sequential reference bit-for-bit.
+    let g = wheel(4);
+    let mcfg = MeasureConfig {
+        sources: 100,
+        receiver_sets: 3,
+        seed: 0xC5,
+    };
+    let plan = SourcePlan::new(&g, &mcfg);
+    assert_eq!(plan.total(), 100);
+    assert!(plan.distinct() <= 5, "distinct {}", plan.distinct());
+    let xs = [1usize, 2, 4];
+    let seq = ratio_curve(&g, &xs, &mcfg);
+    assert_eq!(seq[0].stats.count(), 300); // no sample skipped: connected
+    for threads in 1..=4 {
+        let cfg = RunConfig {
+            threads,
+            ..RunConfig::fast()
+        };
+        let par = parallel_ratio_curve(&g, &xs, &mcfg, &cfg);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.stats.count(), b.stats.count(), "threads {threads}");
+            assert_eq!(
+                a.stats.mean().to_bits(),
+                b.stats.mean().to_bits(),
+                "threads {threads} x {}",
+                a.x
+            );
+            assert_eq!(
+                a.stats.variance().to_bits(),
+                b.stats.variance().to_bits(),
+                "threads {threads} x {}",
+                a.x
+            );
+        }
+    }
+}

@@ -158,34 +158,34 @@ impl<'g> Bfs<'g> {
     /// `bfs.nodes_visited` counters (batched: two atomic adds per
     /// traversal, nothing per node).
     pub fn run_scratch(&mut self, source: NodeId) {
-        assert!(
-            (source as usize) < self.graph.node_count(),
-            "source {source} out of range"
+        traverse(
+            self.graph,
+            source,
+            &mut self.dist,
+            &mut self.parent,
+            &mut self.queue,
         );
-        self.dist.fill(UNREACHED);
-        self.parent.fill(UNREACHED);
-        self.queue.clear();
+    }
 
-        self.dist[source as usize] = 0;
-        self.parent[source as usize] = source;
-        self.queue.push(source);
-        let mut head = 0usize;
-        while head < self.queue.len() {
-            let u = self.queue[head];
-            head += 1;
-            let du = self.dist[u as usize];
-            for &w in self.graph.neighbors(u) {
-                if self.dist[w as usize] == UNREACHED {
-                    self.dist[w as usize] = du + 1;
-                    self.parent[w as usize] = u;
-                    self.queue.push(w);
-                }
-            }
-        }
-        if mcast_obs::enabled() {
-            mcast_obs::counter("bfs.runs").add(1);
-            mcast_obs::counter("bfs.nodes_visited").add(self.queue.len() as u64);
-        }
+    /// Run BFS from `source` directly into caller-owned `dist`/`parent`
+    /// buffers, so a long-lived consumer (e.g. a delivery-tree sizer)
+    /// can be refilled in place without any allocation: the buffers are
+    /// resized once to the node count (a no-op when, as in the steady
+    /// state, they already match) and overwritten. Only the engine's
+    /// internal queue is used for the frontier; the scratch
+    /// `dist`/`parent` from a previous [`run_scratch`](Self::run_scratch)
+    /// are left untouched.
+    ///
+    /// Counter behaviour matches `run_scratch` (`bfs.runs`,
+    /// `bfs.nodes_visited`).
+    ///
+    /// # Panics
+    /// Panics if `source` is out of range.
+    pub fn run_into(&mut self, source: NodeId, dist: &mut Vec<u32>, parent: &mut Vec<NodeId>) {
+        let n = self.graph.node_count();
+        dist.resize(n, UNREACHED);
+        parent.resize(n, UNREACHED);
+        traverse(self.graph, source, dist, parent, &mut self.queue);
     }
 
     /// Scratch distances from the last [`run_scratch`](Self::run_scratch).
@@ -204,6 +204,46 @@ impl<'g> Bfs<'g> {
     #[inline]
     pub fn scratch_order(&self) -> &[NodeId] {
         &self.queue
+    }
+}
+
+/// The single BFS core shared by [`Bfs::run_scratch`] and
+/// [`Bfs::run_into`]: fills `dist`/`parent` (which must already be
+/// node-count sized) and leaves the discovery order in `queue`.
+fn traverse(
+    graph: &Graph,
+    source: NodeId,
+    dist: &mut [u32],
+    parent: &mut [NodeId],
+    queue: &mut Vec<NodeId>,
+) {
+    assert!(
+        (source as usize) < graph.node_count(),
+        "source {source} out of range"
+    );
+    dist.fill(UNREACHED);
+    parent.fill(UNREACHED);
+    queue.clear();
+
+    dist[source as usize] = 0;
+    parent[source as usize] = source;
+    queue.push(source);
+    let mut head = 0usize;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        let du = dist[u as usize];
+        for &w in graph.neighbors(u) {
+            if dist[w as usize] == UNREACHED {
+                dist[w as usize] = du + 1;
+                parent[w as usize] = u;
+                queue.push(w);
+            }
+        }
+    }
+    if mcast_obs::enabled() {
+        mcast_obs::counter("bfs.runs").add(1);
+        mcast_obs::counter("bfs.nodes_visited").add(queue.len() as u64);
     }
 }
 
@@ -277,6 +317,56 @@ mod tests {
         // Re-running from another source fully resets state.
         bfs.run_scratch(0);
         assert_eq!(bfs.scratch_distances()[2], 2);
+    }
+
+    #[test]
+    fn run_into_matches_scratch_and_reuses_capacity() {
+        let g = from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 5)]);
+        let mut bfs = Bfs::new(&g);
+        let mut dist = Vec::new();
+        let mut parent = Vec::new();
+        bfs.run_into(1, &mut dist, &mut parent);
+        bfs.run_scratch(1);
+        assert_eq!(dist, bfs.scratch_distances());
+        assert_eq!(parent, bfs.scratch_parents());
+
+        // Refilling from another source reuses the same allocations and
+        // fully overwrites stale state.
+        let dist_ptr = dist.as_ptr();
+        let parent_ptr = parent.as_ptr();
+        bfs.run_into(4, &mut dist, &mut parent);
+        assert_eq!(dist_ptr, dist.as_ptr());
+        assert_eq!(parent_ptr, parent.as_ptr());
+        bfs.run_scratch(4);
+        assert_eq!(dist, bfs.scratch_distances());
+        assert_eq!(parent, bfs.scratch_parents());
+    }
+
+    #[test]
+    fn run_into_resizes_wrongly_sized_buffers() {
+        let g = path_graph(4);
+        let mut bfs = Bfs::new(&g);
+        // Too small and too large both end up exactly node-count sized.
+        let mut dist = vec![7u32; 2];
+        let mut parent = vec![9 as NodeId; 11];
+        bfs.run_into(0, &mut dist, &mut parent);
+        assert_eq!(dist.len(), 4);
+        assert_eq!(parent.len(), 4);
+        assert_eq!(dist, vec![0, 1, 2, 3]);
+        assert_eq!(parent, vec![0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn run_into_leaves_scratch_state_alone() {
+        let g = path_graph(5);
+        let mut bfs = Bfs::new(&g);
+        bfs.run_scratch(0);
+        let before = bfs.scratch_distances().to_vec();
+        let mut dist = Vec::new();
+        let mut parent = Vec::new();
+        bfs.run_into(4, &mut dist, &mut parent);
+        assert_eq!(bfs.scratch_distances(), &before[..]);
+        assert_eq!(dist[0], 4); // the run_into result is from source 4
     }
 
     #[test]

@@ -89,6 +89,27 @@ impl DeliverySizer {
         }
     }
 
+    /// Re-root the sizer at a new `source` on the same graph, reusing
+    /// every buffer: `bfs` refills `parent`/`dist` in place via
+    /// [`Bfs::run_into`], and the epoch-stamped `mark` buffer carries
+    /// over untouched (stale marks belong to older epochs and can never
+    /// match a future one). In the steady state this performs no
+    /// allocation at all — it is the "refill" half of the worker-owned
+    /// measurement engine.
+    ///
+    /// # Panics
+    /// Panics if `bfs`'s graph has a different node count than the one
+    /// this sizer was built for, or if `source` is out of range.
+    pub fn rebind(&mut self, bfs: &mut Bfs<'_>, source: NodeId) {
+        assert_eq!(
+            bfs.graph().node_count(),
+            self.mark.len(),
+            "rebind requires a graph with the same node count"
+        );
+        bfs.run_into(source, &mut self.dist, &mut self.parent);
+        self.source = source;
+    }
+
     /// The source the delivery trees are rooted at.
     pub fn source(&self) -> NodeId {
         self.source
@@ -250,6 +271,47 @@ mod tests {
         assert_eq!(s.tree_links(&[2]), 4);
         // 8 shares 7's parent 3: path 7->3->8 is 2 links.
         assert_eq!(s.tree_links(&[8]), 2);
+    }
+
+    #[test]
+    fn rebind_matches_fresh_construction() {
+        let g = binary_tree();
+        let mut bfs = Bfs::new(&g);
+        let mut s = DeliverySizer::from_graph(&g, 0);
+        for src in [7u32, 3, 0, 14, 7] {
+            s.rebind(&mut bfs, src);
+            let mut fresh = DeliverySizer::from_graph(&g, src);
+            assert_eq!(s.source(), src);
+            for set in [&[2u32, 5][..], &[7, 8, 9][..], &[0][..], &[14][..]] {
+                assert_eq!(s.tree_links(set), fresh.tree_links(set), "src {src}");
+                assert_eq!(s.unicast_links(set), fresh.unicast_links(set), "src {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn rebind_reuses_buffers_in_place() {
+        let g = binary_tree();
+        let mut bfs = Bfs::new(&g);
+        let mut s = DeliverySizer::from_graph(&g, 0);
+        let (p0, d0, m0) = (s.parent.as_ptr(), s.dist.as_ptr(), s.mark.as_ptr());
+        for src in [1u32, 9, 4] {
+            s.rebind(&mut bfs, src);
+            let _ = s.tree_links(&[13, 2]);
+        }
+        assert_eq!(s.parent.as_ptr(), p0, "parent buffer reallocated");
+        assert_eq!(s.dist.as_ptr(), d0, "dist buffer reallocated");
+        assert_eq!(s.mark.as_ptr(), m0, "mark buffer reallocated");
+    }
+
+    #[test]
+    #[should_panic(expected = "same node count")]
+    fn rebind_rejects_mismatched_graph() {
+        let big = binary_tree();
+        let small = from_edges(3, &[(0, 1), (1, 2)]);
+        let mut bfs = Bfs::new(&big);
+        let mut s = DeliverySizer::from_graph(&small, 0);
+        s.rebind(&mut bfs, 1);
     }
 
     #[test]

@@ -46,5 +46,5 @@ pub mod stats;
 pub mod steiner;
 
 pub use delivery::DeliverySizer;
-pub use measure::{MeasureConfig, SourceMeasurer};
+pub use measure::{MeasureConfig, MeasureEngine, SampleKind, SourceMeasurer, SourcePlan};
 pub use stats::RunningStats;

@@ -95,6 +95,10 @@ pub fn with_replacement<R: Rng + ?Sized>(
 /// model). Uses Floyd's algorithm, O(m) expected, no pool-sized
 /// allocation.
 ///
+/// Allocates a fresh dedup set per call; measurement inner loops should
+/// use [`distinct_with`] with a persistent scratch set, or the
+/// hash-free [`distinct_marked`], instead.
+///
 /// # Panics
 /// Panics if `m` exceeds the pool size.
 pub fn distinct<R: Rng + ?Sized>(
@@ -103,11 +107,29 @@ pub fn distinct<R: Rng + ?Sized>(
     rng: &mut R,
     out: &mut Vec<NodeId>,
 ) {
+    let mut chosen: HashSet<usize> = HashSet::with_capacity(m * 2);
+    distinct_with(pool, m, rng, out, &mut chosen);
+}
+
+/// [`distinct`] with a caller-owned scratch set, so steady-state sampling
+/// performs no allocation at all: `chosen` is cleared (capacity kept) and
+/// reused, and `out` is refilled in place. Draws the exact same RNG
+/// stream as [`distinct`].
+///
+/// # Panics
+/// Panics if `m` exceeds the pool size.
+pub fn distinct_with<R: Rng + ?Sized>(
+    pool: &ReceiverPool,
+    m: usize,
+    rng: &mut R,
+    out: &mut Vec<NodeId>,
+    chosen: &mut HashSet<usize>,
+) {
     let len = pool.len();
     assert!(m <= len, "cannot draw {m} distinct sites from {len}");
     out.clear();
+    chosen.clear();
     // Floyd's sampling: for j in len-m..len, pick t in [0, j]; insert t or j.
-    let mut chosen: HashSet<usize> = HashSet::with_capacity(m * 2);
     for j in (len - m)..len {
         let t = rng.gen_range(0..=j);
         let pick = if chosen.insert(t) {
@@ -120,12 +142,99 @@ pub fn distinct<R: Rng + ?Sized>(
     }
 }
 
+/// Epoch-marked membership scratch for Floyd sampling: `O(1)` insert with
+/// no hashing and no steady-state allocation. A `u32` stamp per pool slot
+/// marks membership in the *current* draw; starting a new draw bumps the
+/// epoch instead of clearing, so a draw costs `O(m)` regardless of pool
+/// size once the mark vector has grown to the pool's high-water mark.
+///
+/// This is the measurement hot path's replacement for the `HashSet`
+/// scratch: SipHash on every Floyd insert was the single largest
+/// per-sample cost on small group sizes.
+#[derive(Clone, Debug, Default)]
+pub struct DedupMarks {
+    marks: Vec<u32>,
+    epoch: u32,
+}
+
+impl DedupMarks {
+    /// Empty scratch; the mark vector grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a new draw over a pool of `len` slots.
+    fn begin(&mut self, len: usize) {
+        if self.marks.len() < len {
+            self.marks.resize(len, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // One epoch wrap every 2^32 draws: re-zero and restart.
+            self.marks.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Mark slot `i`; returns whether it was newly inserted this draw.
+    fn insert(&mut self, i: usize) -> bool {
+        if self.marks[i] == self.epoch {
+            false
+        } else {
+            self.marks[i] = self.epoch;
+            true
+        }
+    }
+}
+
+/// [`distinct`] with an epoch-marked scratch instead of a hash set: the
+/// same Floyd algorithm consuming the exact same RNG stream and choosing
+/// the exact same sites (membership semantics are identical), but each
+/// insert is one array compare instead of a SipHash probe. This is what
+/// [`crate::measure::SourceMeasurer`] runs per sample.
+///
+/// # Panics
+/// Panics if `m` exceeds the pool size.
+pub fn distinct_marked<R: Rng + ?Sized>(
+    pool: &ReceiverPool,
+    m: usize,
+    rng: &mut R,
+    out: &mut Vec<NodeId>,
+    dedup: &mut DedupMarks,
+) {
+    let len = pool.len();
+    assert!(m <= len, "cannot draw {m} distinct sites from {len}");
+    out.clear();
+    dedup.begin(len);
+    // Floyd's sampling: for j in len-m..len, pick t in [0, j]; insert t or j.
+    for j in (len - m)..len {
+        let t = rng.gen_range(0..=j);
+        let pick = if dedup.insert(t) {
+            t
+        } else {
+            dedup.insert(j);
+            j
+        };
+        out.push(pool.site(pick));
+    }
+}
+
 /// The expected number of **distinct** sites after `n` with-replacement
 /// draws from `m_total` sites: the paper's Eq 1 occupancy relation,
 /// `m̄ = M·(1 − (1 − 1/M)^n)`.
+///
+/// Total over the whole domain: the degenerate corners are pinned to
+/// their combinatorial values rather than left to floating point.
+/// `M = 1` in particular would otherwise evaluate `n · ln(0)`, which is
+/// `0 · −∞ = NaN` for `n = 0` (and `−∞` noise for `n > 0`).
 pub fn expected_distinct(m_total: usize, n: usize) -> f64 {
-    if m_total == 0 {
+    if m_total == 0 || n == 0 {
+        // No sites, or no draws: nothing can be occupied.
         return 0.0;
+    }
+    if m_total == 1 {
+        // Every draw lands on the single site.
+        return 1.0;
     }
     let m = m_total as f64;
     m * (1.0 - ((n as f64) * (-1.0 / m).ln_1p()).exp())
@@ -200,6 +309,77 @@ mod tests {
     }
 
     #[test]
+    fn distinct_with_matches_distinct_and_reuses_scratch() {
+        let pool = ReceiverPool::IdRange(0..80);
+        let mut scratch = HashSet::new();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for m in [1usize, 5, 40, 80] {
+            // Same seed → same RNG stream → identical draws.
+            let mut r1 = SmallRng::seed_from_u64(77);
+            let mut r2 = SmallRng::seed_from_u64(77);
+            distinct(&pool, m, &mut r1, &mut a);
+            distinct_with(&pool, m, &mut r2, &mut b, &mut scratch);
+            assert_eq!(a, b, "m={m}");
+        }
+    }
+
+    #[test]
+    fn distinct_marked_matches_distinct_exactly() {
+        // The epoch-marked fast path must choose the same sites from the
+        // same RNG stream as the hash-set reference, across repeated
+        // draws (epoch bumps) and across pools of different sizes
+        // (mark-vector growth).
+        let mut dedup = DedupMarks::new();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for (round, pool) in [
+            ReceiverPool::IdRange(0..80),
+            ReceiverPool::Explicit(vec![4, 8, 15, 16, 23, 42]),
+            ReceiverPool::IdRange(100..160),
+            ReceiverPool::AllExceptSource {
+                nodes: 30,
+                source: 7,
+            },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            for m in [1usize, 2, 5] {
+                let m = m.min(pool.len());
+                let mut r1 = SmallRng::seed_from_u64(round as u64 * 31 + m as u64);
+                let mut r2 = SmallRng::seed_from_u64(round as u64 * 31 + m as u64);
+                distinct(&pool, m, &mut r1, &mut a);
+                distinct_marked(&pool, m, &mut r2, &mut b, &mut dedup);
+                assert_eq!(a, b, "round={round} m={m}");
+            }
+            // Full-pool draws stress the collision branch hardest.
+            let full = pool.len();
+            let mut r1 = SmallRng::seed_from_u64(round as u64 + 1000);
+            let mut r2 = SmallRng::seed_from_u64(round as u64 + 1000);
+            distinct(&pool, full, &mut r1, &mut a);
+            distinct_marked(&pool, full, &mut r2, &mut b, &mut dedup);
+            assert_eq!(a, b, "round={round} full pool");
+        }
+    }
+
+    #[test]
+    fn dedup_marks_epoch_wrap_resets_cleanly() {
+        // Force the epoch counter through its wrap: membership from the
+        // pre-wrap draw must not leak into the post-wrap draw.
+        let mut dedup = DedupMarks::new();
+        dedup.begin(4);
+        assert!(dedup.insert(2));
+        assert!(!dedup.insert(2));
+        dedup.epoch = u32::MAX;
+        dedup.marks.fill(u32::MAX); // every slot "in" the pre-wrap draw
+        dedup.begin(4);
+        assert_eq!(dedup.epoch, 1, "wrap restarts the epoch");
+        assert!(dedup.insert(2), "pre-wrap membership must not leak");
+        assert!(!dedup.insert(2));
+    }
+
+    #[test]
     fn distinct_full_pool_is_a_permutation() {
         let pool = ReceiverPool::Explicit(vec![4, 8, 15, 16, 23, 42]);
         let mut rng = SmallRng::seed_from_u64(3);
@@ -237,6 +417,31 @@ mod tests {
         for (site, &c) in counts.iter().enumerate() {
             let f = c as f64 / trials as f64;
             assert!((f - 0.5).abs() < 0.05, "site {site}: {f}");
+        }
+    }
+
+    #[test]
+    fn expected_distinct_degenerate_corners_are_exact() {
+        // Regression: M = 1, n = 0 used to evaluate 0 · ln(0) = NaN.
+        assert_eq!(expected_distinct(1, 0), 0.0);
+        // M = 1 with any draws occupies the single site exactly.
+        assert_eq!(expected_distinct(1, 1), 1.0);
+        assert_eq!(expected_distinct(1, 1_000_000), 1.0);
+        // Zero sites can never be occupied, draws or not.
+        assert_eq!(expected_distinct(0, 0), 0.0);
+        assert_eq!(expected_distinct(0, 7), 0.0);
+        // The whole small-domain corner is finite and within [0, M].
+        for m_total in 0..=4usize {
+            for n in 0..=4usize {
+                let e = expected_distinct(m_total, n);
+                assert!(e.is_finite(), "M={m_total} n={n}: {e}");
+                assert!(
+                    (0.0..=m_total as f64).contains(&e),
+                    "M={m_total} n={n}: {e}"
+                );
+                // Eq 1 never predicts more occupied sites than draws.
+                assert!(e <= n as f64 + 1e-12, "M={m_total} n={n}: {e}");
+            }
         }
     }
 
