@@ -23,7 +23,9 @@
 //! * [`analysis`] — the paper's closed forms: Eq 4/5/6/21 exact k-ary
 //!   sizes, `h(x)`, asymptotics, reachability-driven predictions, fits;
 //! * [`experiments`] — runnable reproductions of Table 1 and Figs 1–9
-//!   (also exposed via the `mcs` binary).
+//!   (also exposed via the `mcs` binary);
+//! * [`store`] — content-addressed result cache, binary topology format,
+//!   and checkpoint/resume files behind `mcs --cache-dir`/`--resume`.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +51,7 @@
 pub use mcast_analysis as analysis;
 pub use mcast_experiments as experiments;
 pub use mcast_gen as gen;
+pub use mcast_store as store;
 pub use mcast_topology as topology;
 pub use mcast_tree as tree;
 

@@ -3,7 +3,12 @@
 //!
 //! ```text
 //! mcs [OPTIONS] <EXPERIMENT>...
+//! mcs [OPTIONS] suite [--only <id,id,...>]
 //! mcs [OPTIONS] measure <edge-list-file>
+//! mcs topo pack <edge-list-file> <out.mct>
+//! mcs topo unpack <in.mct> <out-edge-list>
+//! mcs topo verify <in.mct>
+//! mcs --cache-dir DIR cache <ls|verify|gc>
 //!
 //! EXPERIMENT:  table1 | fig1 | … | fig9 | ablate-* | churn | all | list
 //!
@@ -15,6 +20,11 @@
 //!   --out <dir>      also write <dir>/<id>.{json,csv,dat,svg} artefacts
 //!   --metrics <file> write a JSON observability dump (spans, counters,
 //!                    histograms, run metadata) after the run
+//!   --cache-dir <dir> content-addressed result cache: unchanged figures
+//!                    and curves are served from disk, bit-identical
+//!   --resume         with --cache-dir: reuse partial checkpoints left by
+//!                    a killed run (curves stay bit-identical)
+//!   --only <ids>     with suite: run only these comma-separated ids
 //!   --verbose, -v    progress lines + info-level JSONL events on stderr
 //!   --quiet, -q      suppress the stdout report and all stderr events
 //!
@@ -26,8 +36,17 @@
 //! connected component, and reports Table-1-style statistics, the fitted
 //! Chuang–Sirbu exponent, and the reachability classification.
 //!
+//! `topo` converts between text edge lists and the versioned, checksummed
+//! binary topology format (`.mct`); `verify` checks a file's header and
+//! payload checksums and prints its dimensions.
+//!
+//! `cache` inspects a `--cache-dir`: `ls` lists objects, `verify` re-checks
+//! every checksum, `gc` removes corrupt objects, temp litter, and stale
+//! checkpoints.
+//!
 //! Observability never changes the numbers: report artefacts are
-//! byte-identical whether or not `--metrics`/`--verbose` are given.
+//! byte-identical whether or not `--metrics`/`--verbose` are given, and
+//! all artefacts are written atomically (temp file + rename).
 //! ```
 
 use mcast_experiments::render;
@@ -41,19 +60,25 @@ struct Args {
     cfg: RunConfig,
     out: Option<PathBuf>,
     metrics: Option<PathBuf>,
+    cache_dir: Option<PathBuf>,
+    resume: bool,
+    only: Option<String>,
     verbose: bool,
     quiet: bool,
     experiments: Vec<String>,
 }
 
 fn usage() -> &'static str {
-    "usage: mcs [--paper|--fast] [--seed N] [--threads N] [--out DIR] [--metrics FILE] [--verbose|--quiet] <table1|fig1..fig9|ablate-*|churn|all|list>...\n       mcs [OPTIONS] measure <edge-list-file>"
+    "usage: mcs [--paper|--fast] [--seed N] [--threads N] [--out DIR] [--metrics FILE] [--cache-dir DIR] [--resume] [--verbose|--quiet] <table1|fig1..fig9|ablate-*|churn|all|list>...\n       mcs [OPTIONS] suite [--only ID,ID,...]\n       mcs [OPTIONS] measure <edge-list-file>\n       mcs topo <pack|unpack|verify> <files...>\n       mcs --cache-dir DIR cache <ls|verify|gc>"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut cfg = RunConfig::default();
     let mut out = None;
     let mut metrics = None;
+    let mut cache_dir = None;
+    let mut resume = false;
+    let mut only = None;
     let mut verbose = false;
     let mut quiet = false;
     let mut experiments = Vec::new();
@@ -83,6 +108,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 let v = it.next().ok_or("--metrics needs a file")?;
                 metrics = Some(PathBuf::from(v));
             }
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir needs a directory")?;
+                cache_dir = Some(PathBuf::from(v));
+            }
+            "--resume" => resume = true,
+            "--only" => {
+                let v = it.next().ok_or("--only needs a comma-separated id list")?;
+                only = Some(v.clone());
+            }
             "--verbose" | "-v" => verbose = true,
             "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => return Err(usage().to_string()),
@@ -94,6 +128,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if verbose && quiet {
         return Err("--verbose and --quiet are mutually exclusive".into());
+    }
+    if resume && cache_dir.is_none() {
+        return Err("--resume requires --cache-dir (there is nowhere to resume from)".into());
+    }
+    if only.is_some() && experiments.first().map(String::as_str) != Some("suite") {
+        return Err("--only is only valid with the `suite` subcommand".into());
     }
     if experiments.is_empty() {
         return Err(usage().to_string());
@@ -109,15 +149,21 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         cfg,
         out,
         metrics,
+        cache_dir,
+        resume,
+        only,
         verbose,
         quiet,
         experiments,
     })
 }
 
-/// Write one artefact file, wrapping any I/O error with the failing path.
+/// Write one artefact file atomically (temp file + rename: a killed run
+/// never leaves a truncated artefact), wrapping any error with the
+/// failing path.
 fn write_file(path: &Path, contents: &str) -> Result<(), String> {
-    std::fs::write(path, contents).map_err(|e| format!("cannot write `{}`: {e}", path.display()))
+    mcast_store::write_atomic_str(path, contents)
+        .map_err(|e| format!("cannot write `{}`: {e}", path.display()))
 }
 
 fn write_artefacts(dir: &Path, report: &mcast_experiments::Report) -> Result<(), String> {
@@ -178,6 +224,86 @@ fn write_metrics(
     write_file(path, &dump)
 }
 
+/// `mcs topo pack|unpack|verify`: convert between text edge lists and
+/// the binary topology format, or check a binary file's integrity.
+fn run_topo(cmd: &[String]) -> Result<(), String> {
+    let fail = |e: &dyn std::fmt::Display, path: &str| format!("`{path}`: {e}");
+    match cmd {
+        [op, input, output] if op == "pack" => {
+            let text = std::fs::read_to_string(input).map_err(|e| fail(&e, input))?;
+            let graph =
+                mcast_topology::io::parse_edge_list(&text).map_err(|e| fail(&e, input))?;
+            mcast_store::save_graph(Path::new(output), &graph)
+                .map_err(|e| fail(&e, output))?;
+            println!(
+                "packed {} nodes / {} edges -> {output}",
+                graph.node_count(),
+                graph.edge_count()
+            );
+            Ok(())
+        }
+        [op, input, output] if op == "unpack" => {
+            let graph = mcast_store::load_graph(Path::new(input)).map_err(|e| fail(&e, input))?;
+            write_file(
+                Path::new(output),
+                &mcast_topology::io::write_edge_list(&graph),
+            )?;
+            println!(
+                "unpacked {} nodes / {} edges -> {output}",
+                graph.node_count(),
+                graph.edge_count()
+            );
+            Ok(())
+        }
+        [op, input] if op == "verify" => {
+            let data = std::fs::read(input).map_err(|e| fail(&e, input))?;
+            let header = mcast_store::format::decode_header(&data).map_err(|e| fail(&e, input))?;
+            mcast_store::decode_graph(&data).map_err(|e| fail(&e, input))?;
+            println!(
+                "{input}: OK (format v{}, {} nodes, {} edges, payload {} bytes, sha256 {})",
+                header.version, header.nodes, header.edges, header.payload_len, header.payload_sha
+            );
+            Ok(())
+        }
+        _ => Err(format!(
+            "topo takes `pack <edge-list> <out.mct>`, `unpack <in.mct> <out-edge-list>`, or `verify <in.mct>`\n{}",
+            usage()
+        )),
+    }
+}
+
+/// `mcs cache ls|verify|gc` against the `--cache-dir` store.
+fn run_cache(cmd: &[String], cache_dir: Option<&Path>) -> Result<(), String> {
+    let dir = cache_dir.ok_or("cache commands need --cache-dir")?;
+    let cache =
+        mcast_store::DiskCache::open(dir).map_err(|e| format!("cannot open cache: {e}"))?;
+    match cmd {
+        [op] if op == "ls" => {
+            let entries = cache.ls();
+            for e in &entries {
+                println!("{} {:>7} {:>12} B", e.key, e.kind, e.payload_len);
+            }
+            println!("{} object(s)", entries.len());
+            Ok(())
+        }
+        [op] if op == "verify" => {
+            let report = cache.verify_all();
+            println!("{} ok, {} corrupt", report.ok, report.corrupt);
+            if report.corrupt > 0 {
+                Err("cache verification failed (run `mcs cache gc` to drop corrupt objects)".into())
+            } else {
+                Ok(())
+            }
+        }
+        [op] if op == "gc" => {
+            let removed = cache.gc();
+            println!("removed {removed} file(s)");
+            Ok(())
+        }
+        _ => Err(format!("cache takes one of: ls, verify, gc\n{}", usage())),
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -189,6 +315,36 @@ fn main() -> ExitCode {
     };
     init_obs(&args);
     let started = Instant::now();
+
+    // Offline subcommands that never measure anything.
+    match args.experiments.first().map(String::as_str) {
+        Some("topo") => {
+            return match run_topo(&args.experiments[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Some("cache") => {
+            return match run_cache(&args.experiments[1..], args.cache_dir.as_deref()) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        _ => {}
+    }
+
+    if let Some(dir) = &args.cache_dir {
+        if let Err(e) = mcast_store::configure(dir, args.resume) {
+            eprintln!("cannot open cache dir `{}`: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
 
     // `measure <file>` consumes the following positional argument.
     if args.experiments.first().map(String::as_str) == Some("measure") {
@@ -229,8 +385,8 @@ fn main() -> ExitCode {
         }
     }
 
-    // Expand `all` / handle `list`.
-    let mut ids: Vec<String> = Vec::new();
+    // Expand `suite [--only ...]` / `all` / handle `list`.
+    let mut requested: Vec<String> = Vec::new();
     for e in &args.experiments {
         match e.as_str() {
             "list" => {
@@ -241,10 +397,25 @@ fn main() -> ExitCode {
                     return ExitCode::SUCCESS;
                 }
             }
-            "all" => ids.extend(suite::EXPERIMENT_IDS.iter().map(|s| s.to_string())),
-            other => ids.push(other.to_string()),
+            "suite" => match &args.only {
+                Some(list) => requested.extend(
+                    list.split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from),
+                ),
+                None => requested.push("all".to_string()),
+            },
+            other => requested.push(other.to_string()),
         }
     }
+    let ids = match suite::resolve_ids(&requested) {
+        Ok(ids) => ids,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     for id in &ids {
         mcast_obs::info!("mcs", "running experiment `{id}`");

@@ -13,12 +13,15 @@
 
 use crate::config::RunConfig;
 use mcast_obs::Progress;
+use mcast_store::checkpoint::{CheckpointWriter, GroupRecord, IndexStats};
+use mcast_store::{CacheHandle, Key, KeyBuilder, ObjectKind};
 use mcast_topology::Graph;
 use mcast_tree::measure::{
     measure_group, merge_indexed, CurvePoint, MeasureConfig, MeasureEngine, SampleKind, SourcePlan,
 };
 use mcast_tree::RunningStats;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// How many items one cursor claim hands a worker: large enough to
@@ -161,16 +164,72 @@ fn parallel_curve(
     kind: SampleKind,
 ) -> Vec<CurvePoint> {
     let _span = mcast_obs::span("measure");
+    match mcast_store::active() {
+        Some(handle) => cached_curve(&handle, graph, xs, mcfg, cfg, kind),
+        None => measure_curve(graph, xs, mcfg, cfg, kind, Vec::new(), None),
+    }
+}
+
+/// The measurement loop proper: shard pending groups across workers,
+/// optionally appending each finished group to a checkpoint, then merge
+/// everything (resumed + fresh) in source-index order.
+///
+/// `done` carries per-index statistics recovered from a checkpoint; a
+/// group is *pending* iff any of its indices is still missing. Group
+/// results are deterministic functions of `(graph, mcfg, index)`, so the
+/// merged curve is bit-identical however the work was split between a
+/// previous (killed) run and this one.
+fn measure_curve(
+    graph: &Graph,
+    xs: &[usize],
+    mcfg: &MeasureConfig,
+    cfg: &RunConfig,
+    kind: SampleKind,
+    mut done: Vec<Option<Vec<RunningStats>>>,
+    ckpt: Option<Mutex<CheckpointWriter>>,
+) -> Vec<CurvePoint> {
     let plan = SourcePlan::new(graph, mcfg);
+    done.resize(plan.total(), None);
+    let pending: Vec<usize> = plan
+        .groups()
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| g.indices.iter().any(|&i| done[i].is_none()))
+        .map(|(gi, _)| gi)
+        .collect();
     let progress = Progress::new("measure", plan.total() as u64);
     let samples_per_source = (xs.len() * mcfg.receiver_sets) as u64;
+    let resumed_indices = plan.total()
+        - pending
+            .iter()
+            .map(|&gi| plan.groups()[gi].indices.len())
+            .sum::<usize>();
+    for _ in 0..resumed_indices {
+        progress.item_done();
+    }
+    let ckpt = &ckpt;
     let per_group = parallel_map_with(
-        plan.groups().len(),
+        pending.len(),
         cfg,
         |_worker| MeasureEngine::new(graph),
-        |engine, g| {
-            let group = &plan.groups()[g];
+        |engine, k| {
+            let group = &plan.groups()[pending[k]];
             let out = measure_group(engine, group, xs, mcfg, kind);
+            if let Some(writer) = ckpt {
+                let record = GroupRecord {
+                    entries: out
+                        .iter()
+                        .map(|(index, stats)| IndexStats {
+                            index: *index as u64,
+                            stats: stats.iter().map(RunningStats::to_parts).collect(),
+                        })
+                        .collect(),
+                };
+                let result = writer.lock().expect("checkpoint lock").append(&record);
+                if let Err(e) = result {
+                    mcast_obs::warn!("store", "checkpoint append failed: {e}");
+                }
+            }
             for _ in &group.indices {
                 progress.add_samples(samples_per_source);
                 progress.item_done();
@@ -178,14 +237,139 @@ fn parallel_curve(
             out
         },
     );
-    let mut per_index: Vec<Option<Vec<RunningStats>>> = vec![None; plan.total()];
     for group_out in per_group {
         for (index, stats) in group_out {
-            per_index[index] = Some(stats);
+            done[index] = Some(stats);
         }
     }
     progress.finish();
-    merge_indexed(xs, per_index)
+    merge_indexed(xs, done)
+}
+
+/// Cache key for one measured curve: every input that determines the
+/// numbers. Thread count is deliberately absent — results are
+/// bit-identical at any thread count, which is what makes the cache
+/// shareable between differently-parallel runs.
+fn curve_key(graph: &Graph, xs: &[usize], mcfg: &MeasureConfig, kind: SampleKind) -> Key {
+    let kind_name = match kind {
+        SampleKind::Ratio => "ratio",
+        SampleKind::NormalizedTree => "normalized-tree",
+    };
+    let xs64: Vec<u64> = xs.iter().map(|&x| x as u64).collect();
+    KeyBuilder::new("curve")
+        .bytes("topology", &mcast_store::encode_graph(graph))
+        .u64("seed", mcfg.seed)
+        .u64("sources", mcfg.sources as u64)
+        .u64("receiver_sets", mcfg.receiver_sets as u64)
+        .str("kind", kind_name)
+        .u64s("xs", &xs64)
+        .u64("format", u64::from(mcast_store::FORMAT_VERSION))
+        .u64("codec", CURVE_CODEC_VERSION)
+        .finish()
+}
+
+/// Version of the cached-curve payload encoding below; bump on any
+/// change so stale objects become misses instead of garbage.
+const CURVE_CODEC_VERSION: u64 = 1;
+
+/// Serialise a measured curve bit-exactly: per point `x`, sample count,
+/// and the mean/m2 accumulator floats as IEEE-754 bit patterns.
+fn encode_curve(points: &[CurvePoint]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + points.len() * 32);
+    out.extend_from_slice(&(points.len() as u64).to_le_bytes());
+    for p in points {
+        let (count, mean, m2) = p.stats.to_parts();
+        out.extend_from_slice(&(p.x as u64).to_le_bytes());
+        out.extend_from_slice(&count.to_le_bytes());
+        out.extend_from_slice(&mean.to_bits().to_le_bytes());
+        out.extend_from_slice(&m2.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Inverse of [`encode_curve`]; `None` when the payload does not echo
+/// the requested x grid (a codec or key-derivation bug, treated as a
+/// cache miss).
+fn decode_curve(bytes: &[u8], xs: &[usize]) -> Option<Vec<CurvePoint>> {
+    let n = u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?) as usize;
+    if n != xs.len() || bytes.len() != 8 + n * 32 {
+        return None;
+    }
+    let mut points = Vec::with_capacity(n);
+    for (i, chunk) in bytes[8..].chunks_exact(32).enumerate() {
+        let x = u64::from_le_bytes(chunk[0..8].try_into().ok()?) as usize;
+        if x != xs[i] {
+            return None;
+        }
+        let count = u64::from_le_bytes(chunk[8..16].try_into().ok()?);
+        let mean = f64::from_bits(u64::from_le_bytes(chunk[16..24].try_into().ok()?));
+        let m2 = f64::from_bits(u64::from_le_bytes(chunk[24..32].try_into().ok()?));
+        points.push(CurvePoint {
+            x,
+            stats: RunningStats::from_parts(count, mean, m2),
+        });
+    }
+    Some(points)
+}
+
+/// The cache-aware measurement path: serve the whole curve from the
+/// store when its key hits; otherwise measure (checkpointing each
+/// finished group, and — under `--resume` — starting from whatever a
+/// previous killed run already finished), then publish the curve and
+/// drop the now-redundant checkpoint.
+fn cached_curve(
+    handle: &CacheHandle,
+    graph: &Graph,
+    xs: &[usize],
+    mcfg: &MeasureConfig,
+    cfg: &RunConfig,
+    kind: SampleKind,
+) -> Vec<CurvePoint> {
+    let key = curve_key(graph, xs, mcfg, kind);
+    if let Some(bytes) = handle.cache.get(&key, ObjectKind::Curve) {
+        if let Some(points) = decode_curve(&bytes, xs) {
+            return points;
+        }
+        mcast_obs::warn!("store", "cached curve {key} failed to decode; remeasuring");
+    }
+    let ckpt_dir = handle.cache.checkpoint_dir();
+    if !handle.resume {
+        mcast_store::checkpoint::remove(&ckpt_dir, &key);
+    }
+    let (writer, records) = match {
+        let _span = mcast_obs::span("checkpoint");
+        mcast_store::checkpoint::open(&ckpt_dir, &key, xs.len() as u32)
+    } {
+        Ok((w, r)) => (Some(Mutex::new(w)), r),
+        Err(e) => {
+            mcast_obs::warn!("store", "checkpoint unavailable ({e}); measuring without");
+            (None, Vec::new())
+        }
+    };
+    let mut done: Vec<Option<Vec<RunningStats>>> = Vec::new();
+    for record in records {
+        for entry in record.entries {
+            let index = entry.index as usize;
+            if index >= done.len() {
+                done.resize(index + 1, None);
+            }
+            if entry.stats.len() == xs.len() {
+                done[index] = Some(
+                    entry
+                        .stats
+                        .iter()
+                        .map(|&(c, mean, m2)| RunningStats::from_parts(c, mean, m2))
+                        .collect(),
+                );
+            }
+        }
+    }
+    let points = measure_curve(graph, xs, mcfg, cfg, kind, done, writer);
+    match handle.cache.put(&key, ObjectKind::Curve, &encode_curve(&points)) {
+        Ok(()) => mcast_store::checkpoint::remove(&ckpt_dir, &key),
+        Err(e) => mcast_obs::warn!("store", "cache write failed: {e}"),
+    }
+    points
 }
 
 /// Parallel version of [`mcast_tree::measure::ratio_curve`] (§2's
@@ -232,7 +416,7 @@ pub fn log_grid(max: usize, per_decade: usize) -> Vec<usize> {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use mcast_topology::graph::from_edges;
     use mcast_tree::measure::{lhat_curve, ratio_curve};
@@ -325,6 +509,181 @@ mod tests {
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.stats.mean().to_bits(), b.stats.mean().to_bits());
         }
+    }
+
+    #[test]
+    fn curve_codec_round_trips_bit_exactly() {
+        let points: Vec<CurvePoint> = [(1usize, 0.25f64), (10, 1.0 / 3.0), (100, 1e-30)]
+            .iter()
+            .map(|&(x, v)| {
+                let mut stats = RunningStats::new();
+                stats.push(v);
+                stats.push(v * 2.0);
+                CurvePoint { x, stats }
+            })
+            .collect();
+        let xs = [1usize, 10, 100];
+        let bytes = encode_curve(&points);
+        let back = decode_curve(&bytes, &xs).unwrap();
+        for (a, b) in points.iter().zip(&back) {
+            assert_eq!(a.x, b.x);
+            assert_eq!(a.stats.count(), b.stats.count());
+            assert_eq!(a.stats.mean().to_bits(), b.stats.mean().to_bits());
+            assert_eq!(a.stats.variance().to_bits(), b.stats.variance().to_bits());
+        }
+        // Wrong grid or truncated payload is a miss, not garbage.
+        assert!(decode_curve(&bytes, &[1, 10]).is_none());
+        assert!(decode_curve(&bytes, &[1, 10, 99]).is_none());
+        assert!(decode_curve(&bytes[..bytes.len() - 1], &xs).is_none());
+    }
+
+    /// Serialises tests that bind the process-global cache.
+    pub(crate) fn cache_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn cached_curve_is_bit_identical_to_uncached_and_reused() {
+        let _guard = cache_test_lock();
+        let g = binary_tree(5);
+        let mcfg = MeasureConfig {
+            sources: 5,
+            receiver_sets: 6,
+            seed: 41,
+        };
+        let cfg = RunConfig {
+            threads: 2,
+            ..RunConfig::fast()
+        };
+        let ms = [1usize, 4, 16];
+        mcast_store::deactivate();
+        let plain = parallel_ratio_curve(&g, &ms, &mcfg, &cfg);
+
+        let root = std::env::temp_dir().join(format!("mcs-runner-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        mcast_store::configure(&root, false).unwrap();
+        let first = parallel_ratio_curve(&g, &ms, &mcfg, &cfg);
+        let key = curve_key(&g, &ms, &mcfg, SampleKind::Ratio);
+        let handle = mcast_store::active().unwrap();
+        assert!(handle.cache.contains(&key), "curve object persisted");
+        // Completed curve leaves no checkpoint behind.
+        assert!(!mcast_store::checkpoint::checkpoint_path(
+            &handle.cache.checkpoint_dir(),
+            &key
+        )
+        .exists());
+        // Second run must be served from the object; corrupt nothing and
+        // the numbers stay bit-identical to the uncached measurement.
+        let second = parallel_ratio_curve(&g, &ms, &mcfg, &cfg);
+        mcast_store::deactivate();
+        let _ = std::fs::remove_dir_all(&root);
+        for ((a, b), c) in plain.iter().zip(&first).zip(&second) {
+            assert_eq!(a.x, b.x);
+            assert_eq!(a.stats.mean().to_bits(), b.stats.mean().to_bits());
+            assert_eq!(a.stats.variance().to_bits(), b.stats.variance().to_bits());
+            assert_eq!(b.stats.mean().to_bits(), c.stats.mean().to_bits());
+            assert_eq!(b.stats.variance().to_bits(), c.stats.variance().to_bits());
+            assert_eq!(b.stats.count(), c.stats.count());
+        }
+    }
+
+    #[test]
+    fn killed_run_resumes_bit_identically_at_any_thread_count() {
+        let _guard = cache_test_lock();
+        let g = binary_tree(6);
+        let mcfg = MeasureConfig {
+            sources: 9,
+            receiver_sets: 7,
+            seed: 123,
+        };
+        let xs = [1usize, 3, 9, 27];
+        let reference_cfg = RunConfig {
+            threads: 1,
+            ..RunConfig::fast()
+        };
+        mcast_store::deactivate();
+        let reference = parallel_ratio_curve(&g, &xs, &mcfg, &reference_cfg);
+
+        for threads in [1usize, 2, 3] {
+            let cfg = RunConfig {
+                threads,
+                ..RunConfig::fast()
+            };
+            let root = std::env::temp_dir().join(format!(
+                "mcs-resume-{}-{threads}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&root);
+            // Simulate a run killed mid-measure: checkpoint only a prefix
+            // of the plan's groups (what a dead process leaves behind),
+            // then resume and require bit-identical curves.
+            let key = curve_key(&g, &xs, &mcfg, SampleKind::Ratio);
+            {
+                let cache = mcast_store::DiskCache::open(&root).unwrap();
+                let (mut writer, prior) =
+                    mcast_store::checkpoint::open(&cache.checkpoint_dir(), &key, xs.len() as u32)
+                        .unwrap();
+                assert!(prior.is_empty());
+                let plan = SourcePlan::new(&g, &mcfg);
+                let survivors = plan.groups().len() / 2;
+                assert!(survivors >= 1, "test needs at least one finished group");
+                let mut engine = MeasureEngine::new(&g);
+                for group in &plan.groups()[..survivors] {
+                    let out = measure_group(&mut engine, group, &xs, &mcfg, SampleKind::Ratio);
+                    writer
+                        .append(&GroupRecord {
+                            entries: out
+                                .iter()
+                                .map(|(index, stats)| IndexStats {
+                                    index: *index as u64,
+                                    stats: stats.iter().map(RunningStats::to_parts).collect(),
+                                })
+                                .collect(),
+                        })
+                        .unwrap();
+                }
+            }
+            mcast_store::configure(&root, true).unwrap();
+            let resumed = parallel_ratio_curve(&g, &xs, &mcfg, &cfg);
+            mcast_store::deactivate();
+            let _ = std::fs::remove_dir_all(&root);
+            for (a, b) in reference.iter().zip(&resumed) {
+                assert_eq!(a.x, b.x);
+                assert_eq!(a.stats.count(), b.stats.count(), "threads={threads}");
+                assert_eq!(
+                    a.stats.mean().to_bits(),
+                    b.stats.mean().to_bits(),
+                    "threads={threads}"
+                );
+                assert_eq!(
+                    a.stats.variance().to_bits(),
+                    b.stats.variance().to_bits(),
+                    "threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn curve_key_separates_inputs() {
+        let g = binary_tree(3);
+        let g2 = binary_tree(4);
+        let mcfg = MeasureConfig {
+            sources: 3,
+            receiver_sets: 3,
+            seed: 1,
+        };
+        let base = curve_key(&g, &[1, 2], &mcfg, SampleKind::Ratio);
+        assert_eq!(base, curve_key(&g, &[1, 2], &mcfg, SampleKind::Ratio));
+        assert_ne!(base, curve_key(&g2, &[1, 2], &mcfg, SampleKind::Ratio));
+        assert_ne!(base, curve_key(&g, &[1, 3], &mcfg, SampleKind::Ratio));
+        assert_ne!(
+            base,
+            curve_key(&g, &[1, 2], &mcfg, SampleKind::NormalizedTree)
+        );
+        let reseeded = MeasureConfig { seed: 2, ..mcfg };
+        assert_ne!(base, curve_key(&g, &[1, 2], &reseeded, SampleKind::Ratio));
     }
 
     #[test]

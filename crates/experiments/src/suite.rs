@@ -1,8 +1,15 @@
 //! Registry mapping experiment ids to runners.
+//!
+//! When a cache is bound (`mcs --cache-dir`), whole figure reports are
+//! served content-addressed: the key covers everything that determines a
+//! report's numbers (experiment id, scale, seed, sample counts, codec
+//! versions), so a second run of an unchanged suite re-renders every
+//! artifact from cached reports without measuring anything.
 
 use crate::config::RunConfig;
 use crate::dataset::Report;
 use crate::figures;
+use mcast_store::{Key, KeyBuilder, ObjectKind};
 
 /// All experiment ids, in paper order.
 pub const EXPERIMENT_IDS: [&str; 16] = [
@@ -47,15 +54,60 @@ pub fn describe(id: &str) -> Option<&'static str> {
     })
 }
 
+/// Version of the cached-report payload (pretty JSON via
+/// [`crate::render::report_json`]); bump when the report schema or the
+/// serialisation changes so stale objects read as misses.
+const REPORT_CODEC_VERSION: u64 = 1;
+
+/// Cache key for one figure report. Thread count is deliberately
+/// excluded: reports are bit-identical at any thread count.
+fn figure_key(id: &str, cfg: &RunConfig) -> Key {
+    let m = cfg.measure();
+    KeyBuilder::new("figure")
+        .str("id", id)
+        .str("scale", cfg.scale_name())
+        .u64("seed", cfg.seed)
+        .u64("sources", m.sources as u64)
+        .u64("receiver_sets", m.receiver_sets as u64)
+        .u64("format", u64::from(mcast_store::FORMAT_VERSION))
+        .u64("codec", REPORT_CODEC_VERSION)
+        .finish()
+}
+
 /// Run one experiment by id.
 ///
 /// The whole experiment runs under a span named after the id (so phase
 /// spans like `generate`/`measure` nest beneath it in `mcs --metrics`
 /// dumps), and the returned report is stamped with the run's
 /// [`crate::dataset::RunMeta`].
+///
+/// With a cache bound, the report is fetched from (or published to) the
+/// store keyed by [`figure_key`]. Cached reports are re-stamped with the
+/// *current* run's metadata, so the `threads` fields always describe the
+/// run that emitted the artifact (the numbers don't depend on them).
 pub fn run(id: &str, cfg: &RunConfig) -> Option<Report> {
     describe(id)?; // unknown ids bail before opening a span
     let _span = mcast_obs::span_at(id.to_string());
+    if let Some(handle) = mcast_store::active() {
+        let key = figure_key(id, cfg);
+        if let Some(bytes) = handle.cache.get(&key, ObjectKind::Report) {
+            if let Some(mut report) = std::str::from_utf8(&bytes)
+                .ok()
+                .and_then(|text| serde_json::from_str::<Report>(text).ok())
+            {
+                report.meta = Some(cfg.run_meta());
+                return Some(report);
+            }
+            mcast_obs::warn!("store", "cached report {key} failed to decode; re-running");
+        }
+        let mut report = run_inner(id, cfg)?;
+        report.meta = Some(cfg.run_meta());
+        let json = crate::render::report_json(&report);
+        if let Err(e) = handle.cache.put(&key, ObjectKind::Report, json.as_bytes()) {
+            mcast_obs::warn!("store", "cache write failed for {id}: {e}");
+        }
+        return Some(report);
+    }
     let mut report = run_inner(id, cfg)?;
     report.meta = Some(cfg.run_meta());
     Some(report)
@@ -91,6 +143,27 @@ pub fn run_all(cfg: &RunConfig) -> Vec<Report> {
         .collect()
 }
 
+/// Expand and validate a list of requested experiment names: `all`
+/// expands to the full paper-order suite, duplicates are kept in request
+/// order, and any unknown name is an error that lists every valid id.
+pub fn resolve_ids<S: AsRef<str>>(requested: &[S]) -> Result<Vec<String>, String> {
+    let mut ids = Vec::new();
+    for name in requested {
+        let name = name.as_ref();
+        if name == "all" {
+            ids.extend(EXPERIMENT_IDS.iter().map(|s| s.to_string()));
+        } else if describe(name).is_some() {
+            ids.push(name.to_string());
+        } else {
+            return Err(format!(
+                "unknown experiment `{name}`; known experiments: {}",
+                EXPERIMENT_IDS.join(", ")
+            ));
+        }
+    }
+    Ok(ids)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,7 +178,59 @@ mod tests {
     }
 
     #[test]
+    fn resolve_ids_expands_and_rejects() {
+        assert_eq!(
+            resolve_ids(&["fig2", "fig3"]).unwrap(),
+            vec!["fig2".to_string(), "fig3".to_string()]
+        );
+        assert_eq!(resolve_ids(&["all"]).unwrap().len(), EXPERIMENT_IDS.len());
+        let err = resolve_ids(&["fig2", "fig99"]).unwrap_err();
+        assert!(err.contains("fig99"), "{err}");
+        assert!(err.contains("table1") && err.contains("verdict"), "{err}");
+        assert!(resolve_ids::<&str>(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn figure_keys_separate_inputs() {
+        let fast = RunConfig::fast();
+        let base = figure_key("fig2", &fast);
+        assert_eq!(base, figure_key("fig2", &fast));
+        assert_ne!(base, figure_key("fig3", &fast));
+        assert_ne!(base, figure_key("fig2", &RunConfig::paper()));
+        let reseeded = RunConfig { seed: 7, ..fast };
+        assert_ne!(base, figure_key("fig2", &reseeded));
+        // Thread count must NOT perturb the key.
+        let threaded = RunConfig { threads: 5, ..fast };
+        assert_eq!(base, figure_key("fig2", &threaded));
+    }
+
+    #[test]
+    fn cached_figure_reports_round_trip() {
+        let _guard = crate::runner::tests::cache_test_lock();
+        mcast_store::deactivate();
+        let cfg = RunConfig::fast();
+        let plain = run("fig2", &cfg).unwrap();
+        let root = std::env::temp_dir().join(format!("mcs-suite-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        mcast_store::configure(&root, false).unwrap();
+        let first = run("fig2", &cfg).unwrap();
+        let second = run("fig2", &cfg).unwrap();
+        mcast_store::deactivate();
+        let _ = std::fs::remove_dir_all(&root);
+        assert_eq!(plain, first);
+        assert_eq!(first, second, "cache hit must reproduce the report exactly");
+        assert_eq!(
+            crate::render::report_json(&first),
+            crate::render::report_json(&second),
+            "rendered artifacts must be byte-identical"
+        );
+    }
+
+    #[test]
     fn cheap_experiments_run_and_report_their_ids() {
+        // Hold the cache lock: run() consults the process-global cache,
+        // and a concurrently configured one would serialise reports here.
+        let _guard = crate::runner::tests::cache_test_lock();
         // Exact-computation experiments are fast enough for a unit test.
         for id in ["fig2", "fig3", "fig4", "fig5", "fig8"] {
             let r = run(id, &RunConfig::fast()).unwrap();

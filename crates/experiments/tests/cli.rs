@@ -177,6 +177,215 @@ fn metrics_dump_is_valid_json_with_spans_and_meta() {
 }
 
 #[test]
+fn suite_only_rejects_unknown_ids_listing_known_ones() {
+    let out = mcs()
+        .args(["--fast", "--only", "fig2,nope", "suite"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown experiment `nope`"), "stderr: {err}");
+    for id in mcast_experiments::suite::EXPERIMENT_IDS {
+        assert!(err.contains(id), "error must list known id {id}: {err}");
+    }
+
+    // --only outside `suite` is rejected up front.
+    let out = mcs().args(["--only", "fig2", "fig2"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("suite"), "stderr: {err}");
+}
+
+#[test]
+fn suite_only_runs_exactly_the_requested_figures() {
+    let out = mcs()
+        .args(["--fast", "--only", "fig2, fig8", "suite"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("fig2"));
+    assert!(stdout.contains("fig8"));
+    assert!(!stdout.contains("fig3"), "fig3 was not requested");
+}
+
+#[test]
+fn resume_without_cache_dir_is_rejected() {
+    let out = mcs().args(["--resume", "fig2"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--cache-dir"), "stderr: {err}");
+}
+
+#[test]
+fn topo_pack_verify_unpack_round_trips() {
+    let dir = std::env::temp_dir().join(format!("mcs-topo-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let edges = dir.join("in.txt");
+    std::fs::write(&edges, "0 1\n1 2\n2 3\n3 0\n1 3\n").unwrap();
+    let packed = dir.join("g.mct");
+    let unpacked = dir.join("out.txt");
+
+    let out = mcs()
+        .args(["topo", "pack", edges.to_str().unwrap(), packed.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8(out.stdout).unwrap().contains("4 nodes / 5 edges"));
+
+    let out = mcs()
+        .args(["topo", "verify", packed.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("OK"), "verify output: {stdout}");
+    assert!(stdout.contains("4 nodes"));
+
+    let out = mcs()
+        .args(["topo", "unpack", packed.to_str().unwrap(), unpacked.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    // Pack(unpack(x)) is a fixed point: same graph, same bytes.
+    let repacked = dir.join("g2.mct");
+    let out = mcs()
+        .args(["topo", "pack", unpacked.to_str().unwrap(), repacked.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(
+        std::fs::read(&packed).unwrap(),
+        std::fs::read(&repacked).unwrap(),
+        "pack → unpack → pack must reproduce identical bytes"
+    );
+
+    // A flipped byte makes verify fail with a typed complaint.
+    let mut bytes = std::fs::read(&packed).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    std::fs::write(&packed, &bytes).unwrap();
+    let out = mcs()
+        .args(["topo", "verify", packed.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("payload"), "stderr: {err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn second_cached_run_hits_at_least_95_percent_and_is_byte_identical() {
+    let base = std::env::temp_dir().join(format!("mcs-cache-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let cache = base.join("cache");
+    let run = |out_dir: &std::path::Path, metrics: &std::path::Path| {
+        let out = mcs()
+            .args([
+                "--fast", "--seed", "5", "--threads", "2", "--quiet",
+                "--cache-dir", cache.to_str().unwrap(),
+                "--out", out_dir.to_str().unwrap(),
+                "--metrics", metrics.to_str().unwrap(),
+                "--only", "fig1,fig2,fig8", "suite",
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    let (out1, out2) = (base.join("out1"), base.join("out2"));
+    let (m1, m2) = (base.join("m1.json"), base.join("m2.json"));
+    run(&out1, &m1);
+    run(&out2, &m2);
+
+    // The second identical run is served from the cache: ≥95% hit rate.
+    let text = std::fs::read_to_string(&m2).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let hits = v["counters"]["store.cache.hit"].as_u64().unwrap_or(0);
+    let misses = v["counters"]["store.cache.miss"].as_u64().unwrap_or(0);
+    assert!(hits > 0, "second run recorded no cache hits: {text}");
+    let rate = hits as f64 / (hits + misses) as f64;
+    assert!(rate >= 0.95, "hit rate {rate:.3} ({hits} hits / {misses} misses)");
+
+    // ... and reproduces every artefact byte for byte.
+    for entry in std::fs::read_dir(&out1).unwrap() {
+        let name = entry.unwrap().file_name();
+        assert_eq!(
+            std::fs::read(out1.join(&name)).unwrap(),
+            std::fs::read(out2.join(&name)).unwrap(),
+            "artefact {name:?} differs between cold and warm runs"
+        );
+    }
+
+    // The cache subcommands see a healthy store.
+    let cache_cmd = |op: &str| {
+        mcs()
+            .args(["--cache-dir", cache.to_str().unwrap(), "cache", op])
+            .output()
+            .unwrap()
+    };
+    let out = cache_cmd("ls");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(!stdout.contains("0 object(s)"), "ls: {stdout}");
+    assert!(stdout.contains("report"), "ls should show report objects: {stdout}");
+    let out = cache_cmd("verify");
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("0 corrupt"));
+    // Nothing stale to collect after clean completions.
+    let out = cache_cmd("gc");
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("removed 0"));
+
+    // A corrupted object is reported by verify and collected by gc.
+    let objects: Vec<std::path::PathBuf> = walk_mco(&cache.join("objects"));
+    assert!(!objects.is_empty());
+    let victim = &objects[0];
+    let mut bytes = std::fs::read(victim).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    std::fs::write(victim, &bytes).unwrap();
+    let out = cache_cmd("verify");
+    assert!(!out.status.success(), "verify must fail on a corrupt object");
+    let out = cache_cmd("gc");
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("removed 1"));
+    assert!(!victim.exists(), "gc must remove the corrupt object");
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+fn walk_mco(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut found = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return found;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            found.extend(walk_mco(&path));
+        } else if path.extension().is_some_and(|e| e == "mco") {
+            found.push(path);
+        }
+    }
+    found.sort();
+    found
+}
+
+#[test]
 fn metrics_flag_never_changes_artefacts() {
     let base = std::env::temp_dir().join(format!("mcs-obs-identity-{}", std::process::id()));
     let plain = base.join("plain");

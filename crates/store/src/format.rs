@@ -1,0 +1,326 @@
+//! The versioned binary topology format (`.mct`).
+//!
+//! Layout (all integers little-endian, regardless of host byte order):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"MCTB"
+//! 4       4     format version (u32, currently 1)
+//! 8       8     node count (u64)
+//! 16      8     undirected edge count (u64)
+//! 24      8     payload length in bytes (u64)
+//! 32      32    SHA-256 of the payload
+//! 64      32    SHA-256 of header bytes 0..64
+//! 96      …     payload:
+//!                 (node count + 1) × u64   CSR offsets
+//!                 2 × edge count   × u32   CSR neighbour ids
+//! ```
+//!
+//! The header is checksummed separately from the payload so a reader can
+//! cheaply distinguish "not a topology file / damaged header" from
+//! "valid header, damaged payload", and `verify` can report which. The
+//! CSR arrays are persisted verbatim — loading performs **no** rebuild,
+//! but every graph invariant (sorted adjacency, symmetry, no self-loops)
+//! is re-validated through [`mcast_topology::graph::try_from_csr`], so a
+//! forged payload cannot smuggle in a graph the builder could not have
+//! produced (which would silently change BFS tie-breaks).
+
+use crate::atomic::write_atomic;
+use crate::error::StoreError;
+use crate::hash::{sha256, Digest};
+use mcast_topology::graph::{try_from_csr, NodeId};
+use mcast_topology::Graph;
+use std::path::Path;
+
+/// Magic bytes of a packed topology file.
+pub const MAGIC: [u8; 4] = *b"MCTB";
+/// Current (and only) format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Total header length in bytes.
+pub const HEADER_LEN: usize = 96;
+
+/// Encode a graph into the binary topology format.
+pub fn encode_graph(graph: &Graph) -> Vec<u8> {
+    let offsets = graph.csr_offsets();
+    let neighbors = graph.csr_neighbors();
+    let payload_len = offsets.len() * 8 + neighbors.len() * 4;
+    let mut out = Vec::with_capacity(HEADER_LEN + payload_len);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(graph.node_count() as u64).to_le_bytes());
+    out.extend_from_slice(&(graph.edge_count() as u64).to_le_bytes());
+    out.extend_from_slice(&(payload_len as u64).to_le_bytes());
+
+    let mut payload = Vec::with_capacity(payload_len);
+    for &o in offsets {
+        payload.extend_from_slice(&(o as u64).to_le_bytes());
+    }
+    for &v in neighbors {
+        payload.extend_from_slice(&v.to_le_bytes());
+    }
+    debug_assert_eq!(payload.len(), payload_len);
+
+    out.extend_from_slice(&sha256(&payload).0);
+    let header_hash = sha256(&out[..64]);
+    out.extend_from_slice(&header_hash.0);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Parsed header of a packed topology (exposed for `mcs topo verify`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TopologyHeader {
+    /// Format version.
+    pub version: u32,
+    /// Node count.
+    pub nodes: u64,
+    /// Undirected edge count.
+    pub edges: u64,
+    /// Payload length in bytes.
+    pub payload_len: u64,
+    /// Payload checksum.
+    pub payload_sha: Digest,
+}
+
+/// Decode and validate the 96-byte header.
+pub fn decode_header(data: &[u8]) -> Result<TopologyHeader, StoreError> {
+    if data.len() < HEADER_LEN {
+        return Err(StoreError::Truncated {
+            expected: HEADER_LEN,
+            found: data.len(),
+        });
+    }
+    let mut found = [0u8; 4];
+    found.copy_from_slice(&data[0..4]);
+    if found != MAGIC {
+        return Err(StoreError::BadMagic {
+            found,
+            expected: MAGIC,
+        });
+    }
+    let stored = &data[64..96];
+    if sha256(&data[..64]).0 != *stored {
+        return Err(StoreError::HeaderCorrupt);
+    }
+    let version = u32::from_le_bytes(data[4..8].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let mut sha = [0u8; 32];
+    sha.copy_from_slice(&data[32..64]);
+    Ok(TopologyHeader {
+        version,
+        nodes: u64::from_le_bytes(data[8..16].try_into().expect("8 bytes")),
+        edges: u64::from_le_bytes(data[16..24].try_into().expect("8 bytes")),
+        payload_len: u64::from_le_bytes(data[24..32].try_into().expect("8 bytes")),
+        payload_sha: Digest(sha),
+    })
+}
+
+/// Decode a packed topology, validating header checksum, payload
+/// checksum, and every graph invariant.
+pub fn decode_graph(data: &[u8]) -> Result<Graph, StoreError> {
+    let header = decode_header(data)?;
+    let expected_payload = (header.nodes as usize + 1)
+        .checked_mul(8)
+        .and_then(|o| o.checked_add(header.edges as usize * 2 * 4))
+        .ok_or(StoreError::PayloadCorrupt)?;
+    if header.payload_len as usize != expected_payload {
+        return Err(StoreError::PayloadCorrupt);
+    }
+    let expected_total = HEADER_LEN + expected_payload;
+    if data.len() < expected_total {
+        return Err(StoreError::Truncated {
+            expected: expected_total,
+            found: data.len(),
+        });
+    }
+    if data.len() > expected_total {
+        return Err(StoreError::PayloadCorrupt);
+    }
+    let payload = &data[HEADER_LEN..];
+    if sha256(payload) != header.payload_sha {
+        return Err(StoreError::PayloadCorrupt);
+    }
+    let n = header.nodes as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for chunk in payload[..(n + 1) * 8].chunks_exact(8) {
+        let v = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+        let v: usize = v
+            .try_into()
+            .map_err(|_| StoreError::InvalidTopology("offset exceeds usize".into()))?;
+        offsets.push(v);
+    }
+    let mut neighbors: Vec<NodeId> = Vec::with_capacity(header.edges as usize * 2);
+    for chunk in payload[(n + 1) * 8..].chunks_exact(4) {
+        neighbors.push(u32::from_le_bytes(chunk.try_into().expect("4 bytes")));
+    }
+    let graph = try_from_csr(offsets, neighbors)
+        .map_err(|e| StoreError::InvalidTopology(e.to_string()))?;
+    if graph.edge_count() as u64 != header.edges {
+        return Err(StoreError::InvalidTopology(
+            "header edge count disagrees with payload".into(),
+        ));
+    }
+    Ok(graph)
+}
+
+/// Save a graph to `path` (atomically).
+pub fn save_graph(path: &Path, graph: &Graph) -> Result<(), StoreError> {
+    write_atomic(path, &encode_graph(graph))
+}
+
+/// Load a graph from `path`.
+pub fn load_graph(path: &Path) -> Result<Graph, StoreError> {
+    let data = std::fs::read(path).map_err(|e| StoreError::io(path, e))?;
+    decode_graph(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::graph::from_edges;
+
+    fn demo_graph() -> Graph {
+        from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (4, 5)])
+    }
+
+    #[test]
+    fn round_trip_preserves_graph_exactly() {
+        let g = demo_graph();
+        let bytes = encode_graph(&g);
+        let back = decode_graph(&bytes).unwrap();
+        assert_eq!(g, back);
+        // Isolated node 6 survives.
+        assert_eq!(back.node_count(), 7);
+        assert_eq!(back.degree(6), 0);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let g = demo_graph();
+        assert_eq!(encode_graph(&g), encode_graph(&g));
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = from_edges(0, &[]);
+        let back = decode_graph(&encode_graph(&g)).unwrap();
+        assert_eq!(back.node_count(), 0);
+        assert_eq!(back.edge_count(), 0);
+    }
+
+    #[test]
+    fn header_reports_counts() {
+        let g = demo_graph();
+        let h = decode_header(&encode_graph(&g)).unwrap();
+        assert_eq!(h.version, FORMAT_VERSION);
+        assert_eq!(h.nodes, 7);
+        assert_eq!(h.edges, 6);
+        assert_eq!(h.payload_len, 8 * 8 + 12 * 4);
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_are_typed() {
+        let g = demo_graph();
+        let bytes = encode_graph(&g);
+        assert!(matches!(
+            decode_graph(&bytes[..10]),
+            Err(StoreError::Truncated { .. })
+        ));
+        let mut forged = bytes.clone();
+        forged[0] = b'X';
+        assert!(matches!(
+            decode_graph(&forged),
+            Err(StoreError::BadMagic { .. })
+        ));
+        // Truncated payload (header intact).
+        assert!(matches!(
+            decode_graph(&bytes[..bytes.len() - 1]),
+            Err(StoreError::Truncated { .. })
+        ));
+        // Trailing garbage.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(matches!(
+            decode_graph(&extended),
+            Err(StoreError::PayloadCorrupt)
+        ));
+    }
+
+    #[test]
+    fn corrupted_header_fields_are_detected() {
+        let g = demo_graph();
+        let bytes = encode_graph(&g);
+        // Any header byte flip (after magic) → HeaderCorrupt, because the
+        // header hash no longer matches. A version flip is also caught by
+        // the checksum before the version check runs.
+        for idx in [5usize, 9, 17, 25, 40] {
+            let mut forged = bytes.clone();
+            forged[idx] ^= 0xff;
+            assert!(
+                matches!(decode_graph(&forged), Err(StoreError::HeaderCorrupt)),
+                "byte {idx}"
+            );
+        }
+        // A *consistently re-checksummed* wrong version is typed.
+        let mut forged = bytes.clone();
+        forged[4..8].copy_from_slice(&99u32.to_le_bytes());
+        let rehash = sha256(&forged[..64]);
+        forged[64..96].copy_from_slice(&rehash.0);
+        assert!(matches!(
+            decode_graph(&forged),
+            Err(StoreError::UnsupportedVersion {
+                found: 99,
+                supported: FORMAT_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn corrupted_payload_is_detected() {
+        let g = demo_graph();
+        let bytes = encode_graph(&g);
+        for idx in [HEADER_LEN, HEADER_LEN + 9, bytes.len() - 1] {
+            let mut forged = bytes.clone();
+            forged[idx] ^= 0x01;
+            assert!(
+                matches!(decode_graph(&forged), Err(StoreError::PayloadCorrupt)),
+                "byte {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn forged_but_rechecksummed_payload_fails_invariants() {
+        // Rewrite a neighbour id and fix up both checksums: the CSR
+        // validator must still reject it (asymmetric edge).
+        let g = demo_graph();
+        let mut bytes = encode_graph(&g);
+        let ndir = g.csr_neighbors().len();
+        let last = HEADER_LEN + (g.node_count() + 1) * 8 + (ndir - 1) * 4;
+        bytes[last..last + 4].copy_from_slice(&0u32.to_le_bytes());
+        let payload_sha = sha256(&bytes[HEADER_LEN..]);
+        bytes[32..64].copy_from_slice(&payload_sha.0);
+        let header_sha = sha256(&bytes[..64]);
+        bytes[64..96].copy_from_slice(&header_sha.0);
+        assert!(matches!(
+            decode_graph(&bytes),
+            Err(StoreError::InvalidTopology(_))
+        ));
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("mcast-store-fmt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("demo.mct");
+        let g = demo_graph();
+        save_graph(&path, &g).unwrap();
+        assert_eq!(load_graph(&path).unwrap(), g);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

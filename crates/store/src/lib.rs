@@ -1,0 +1,48 @@
+//! `mcast-store`: the durability substrate for the multicast-scaling
+//! workspace.
+//!
+//! The Monte-Carlo pipeline behind the Chuang–Sirbu study re-runs the
+//! same expensive measurements constantly — tweak one figure, re-render
+//! the suite, re-measure everything. This crate makes those runs
+//! *incremental* and *interruptible* without compromising the
+//! workspace's reproducibility contract (bit-identical curves at any
+//! thread count):
+//!
+//! * [`format`] — a versioned, checksummed binary topology format
+//!   (`.mct`): CSR arrays persisted verbatim, endian-stable, with every
+//!   graph invariant re-validated on load. `mcs topo pack/unpack/verify`
+//!   front it on the CLI.
+//! * [`cache`] — a content-addressed result cache. Curves and figure
+//!   reports are stored under a SHA-256 key derived from *all* of their
+//!   inputs (topology bytes, measure config, seed, format version), so a
+//!   second run of an unchanged suite is nearly pure cache hits and its
+//!   artifacts are byte-identical to the first.
+//! * [`checkpoint`] — append-only, torn-tail-tolerant checkpoints of
+//!   partial measurement state. A killed measure resumed with `--resume`
+//!   produces curves bit-identical to an uninterrupted run, because
+//!   checkpoints hold only *fully measured* dedup groups and the merge
+//!   discipline is index-ordered either way.
+//! * [`hash`] — plain-`std` SHA-256 and the [`hash::KeyBuilder`] cache-key
+//!   derivation (byte-order- and field-order-stable).
+//! * [`atomic`] — temp-file + rename writes used for every artifact the
+//!   workspace persists.
+//!
+//! Like `mcast-obs`, the crate is `std`-only and sits below the
+//! experiment layer: it depends only on `mcast-topology` (to encode
+//! graphs) and `mcast-obs` (to count hits/misses and checkpoint events).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod cache;
+pub mod checkpoint;
+pub mod error;
+pub mod format;
+pub mod hash;
+
+pub use atomic::{write_atomic, write_atomic_str};
+pub use cache::{active, configure, deactivate, CacheHandle, DiskCache, ObjectKind};
+pub use error::StoreError;
+pub use format::{decode_graph, encode_graph, load_graph, save_graph, FORMAT_VERSION};
+pub use hash::{sha256, Digest, Key, KeyBuilder};

@@ -1,0 +1,223 @@
+//! Property-based tests for the store's persistence formats.
+//!
+//! Three invariants the whole caching story rests on:
+//!
+//! 1. the binary topology format round-trips **any** graph the generators
+//!    can produce, bit-exactly, at every scale the paper uses;
+//! 2. damaged bytes never decode into a graph — every corruption is
+//!    rejected with a typed [`StoreError`];
+//! 3. cache keys depend only on field *values*, never on insertion
+//!    order, and distinguish every distinct input.
+//!
+//! Strategies are seed-driven (`any::<u64>()` fans out into generator
+//! choice, size, and corruption site) so the same tests run under both
+//! real proptest and the offline harness's sampled-loop stub.
+
+use mcast_gen::kary::KaryTree;
+use mcast_gen::random::{gnp_connected, random_with_degree};
+use mcast_gen::transit_stub::{transit_stub, TransitStubParams};
+use mcast_store::checkpoint::{open, GroupRecord, IndexStats};
+use mcast_store::{decode_graph, encode_graph, Key, KeyBuilder, StoreError};
+use mcast_topology::graph::from_edges;
+use mcast_topology::Graph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// An arbitrary topology: the seed picks a generator family and its size,
+/// covering trees, sparse random graphs, and degenerate shapes (empty,
+/// isolated nodes, single edges).
+fn arbitrary_graph(seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match seed % 5 {
+        0 => {
+            let n = 2 + (seed >> 8) as usize % 60;
+            gnp_connected(n, 0.15, &mut rng).expect("gnp")
+        }
+        1 => {
+            let k = 2 + (seed >> 8) as u32 % 3;
+            let depth = 1 + (seed >> 16) as u32 % 4;
+            KaryTree::new(k, depth).expect("kary").into_graph()
+        }
+        2 => {
+            let n = 4 + (seed >> 8) as usize % 40;
+            random_with_degree(n, 3.0, &mut rng).expect("degree")
+        }
+        3 => {
+            // Degenerate shapes: empty, isolated nodes, one edge.
+            match (seed >> 8) % 3 {
+                0 => from_edges(0, &[]),
+                1 => from_edges(5, &[]),
+                _ => from_edges(3, &[(0, 1)]),
+            }
+        }
+        _ => {
+            // Raw edge soup with duplicates and self-loops; the builder
+            // cleans it, the codec must preserve what the builder made.
+            let n = 3 + (seed >> 8) as usize % 20;
+            let mut edges = Vec::new();
+            let mut s = seed;
+            for _ in 0..(2 * n) {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let u = (s >> 33) as u32 % n as u32;
+                let v = (s >> 13) as u32 % n as u32;
+                edges.push((u, v));
+            }
+            from_edges(n, &edges)
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn format_round_trips_arbitrary_topologies(seed in any::<u64>()) {
+        let g = arbitrary_graph(seed);
+        let bytes = encode_graph(&g);
+        let back = decode_graph(&bytes).expect("round trip");
+        prop_assert_eq!(&g, &back);
+        // Encoding is a pure function of the graph.
+        prop_assert_eq!(bytes, encode_graph(&back));
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_rejected(seed in any::<u64>()) {
+        let g = arbitrary_graph(seed);
+        let mut bytes = encode_graph(&g);
+        let idx = (seed >> 7) as usize % bytes.len();
+        bytes[idx] ^= 1 + (seed >> 3) as u8 % 255;
+        match decode_graph(&bytes) {
+            Ok(_) => prop_assert!(false, "flip at byte {} decoded", idx),
+            Err(e) => prop_assert!(
+                e.is_corruption(),
+                "flip at byte {} gave non-corruption error {}", idx, e
+            ),
+        }
+    }
+
+    #[test]
+    fn any_strict_prefix_is_rejected(seed in any::<u64>()) {
+        let g = arbitrary_graph(seed);
+        let bytes = encode_graph(&g);
+        let cut = (seed >> 9) as usize % bytes.len();
+        match decode_graph(&bytes[..cut]) {
+            Ok(_) => prop_assert!(false, "prefix of {} bytes decoded", cut),
+            Err(e) => prop_assert!(e.is_corruption()),
+        }
+    }
+
+    #[test]
+    fn keys_ignore_field_order_but_not_values(a in any::<u64>(), b in any::<u64>()) {
+        let fwd = KeyBuilder::new("prop")
+            .u64("alpha", a)
+            .u64("beta", b)
+            .u64s("xs", &[a, b])
+            .finish();
+        let rev = KeyBuilder::new("prop")
+            .u64s("xs", &[a, b])
+            .u64("beta", b)
+            .u64("alpha", a)
+            .finish();
+        prop_assert_eq!(fwd, rev);
+        if a != b {
+            // Swapping values across fields must change the key.
+            let swapped = KeyBuilder::new("prop")
+                .u64("alpha", b)
+                .u64("beta", a)
+                .u64s("xs", &[a, b])
+                .finish();
+            prop_assert!(fwd != swapped);
+            // So must reordering a sequence-valued field.
+            let resequenced = KeyBuilder::new("prop")
+                .u64("alpha", a)
+                .u64("beta", b)
+                .u64s("xs", &[b, a])
+                .finish();
+            prop_assert!(fwd != resequenced);
+        }
+        // Keys survive a hex round trip.
+        prop_assert_eq!(Key::from_hex(&fwd.hex()), Some(fwd));
+    }
+
+    #[test]
+    fn checkpoint_records_round_trip_bit_exactly(seed in any::<u64>()) {
+        // Stats carry raw IEEE-754 bit patterns; the checkpoint file must
+        // not perturb a single bit, including NaN payloads and -0.0.
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s
+        };
+        let xs_len = 1 + (next() % 6) as u32;
+        let records: Vec<GroupRecord> = (0..1 + next() % 3)
+            .map(|_| GroupRecord {
+                entries: (0..1 + next() % 4)
+                    .map(|_| IndexStats {
+                        index: next(),
+                        stats: (0..xs_len)
+                            .map(|_| (next(), f64::from_bits(next()), f64::from_bits(next())))
+                            .collect(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        let dir = std::env::temp_dir().join(format!(
+            "mcast-store-prop-ckpt-{}-{seed:x}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let k = KeyBuilder::new("prop-ckpt").u64("seed", seed).finish();
+        let (mut w, existing) = open(&dir, &k, xs_len).expect("open");
+        prop_assert!(existing.is_empty());
+        for r in &records {
+            w.append(r).expect("append");
+        }
+        drop(w);
+        let (_w, back) = open(&dir, &k, xs_len).expect("reopen");
+        prop_assert_eq!(records.len(), back.len());
+        for (rec, got) in records.iter().zip(&back) {
+            prop_assert_eq!(rec.entries.len(), got.entries.len());
+            for (a, b) in rec.entries.iter().zip(&got.entries) {
+                prop_assert_eq!(a.index, b.index);
+                for ((ca, ma, va), (cb, mb, vb)) in a.stats.iter().zip(&b.stats) {
+                    prop_assert_eq!(ca, cb);
+                    prop_assert_eq!(ma.to_bits(), mb.to_bits());
+                    prop_assert_eq!(va.to_bits(), vb.to_bits());
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Paper-scale graphs are too slow for a sampled loop but must round-trip
+/// too: ts1000 (the paper's transit-stub internet model) and an r100-like
+/// 100-node random graph.
+#[test]
+fn paper_scale_topologies_round_trip() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let ts = transit_stub(TransitStubParams::ts1000(), &mut rng).expect("ts1000");
+    let back = decode_graph(&encode_graph(&ts)).expect("ts1000 round trip");
+    assert_eq!(ts, back);
+
+    let r100 = random_with_degree(100, 3.0, &mut StdRng::seed_from_u64(7)).expect("r100");
+    let back = decode_graph(&encode_graph(&r100)).expect("r100 round trip");
+    assert_eq!(r100, back);
+}
+
+/// A version bump alone (consistently re-checksummed) is a typed
+/// non-corruption error — callers can tell "damaged" from "too new".
+#[test]
+fn future_version_is_unsupported_not_corrupt() {
+    use mcast_store::sha256;
+    let g = arbitrary_graph(3);
+    let mut bytes = encode_graph(&g);
+    bytes[4..8].copy_from_slice(&2u32.to_le_bytes());
+    let rehash = sha256(&bytes[..64]);
+    bytes[64..96].copy_from_slice(&rehash.0);
+    match decode_graph(&bytes) {
+        Err(e @ StoreError::UnsupportedVersion { found: 2, .. }) => {
+            assert!(!e.is_corruption());
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}

@@ -19,6 +19,11 @@ pub enum TopologyError {
         /// Number of nodes available.
         node_count: usize,
     },
+    /// Raw CSR arrays violated a graph invariant (deserialisation path).
+    InvalidCsr {
+        /// Which invariant failed.
+        reason: &'static str,
+    },
     /// The operation requires a connected graph but the input was not.
     Disconnected,
     /// The operation requires a non-empty graph.
@@ -35,6 +40,7 @@ impl fmt::Display for TopologyError {
                     "node id {id} out of range (graph has {node_count} nodes)"
                 )
             }
+            Self::InvalidCsr { reason } => write!(f, "invalid CSR arrays: {reason}"),
             Self::Disconnected => write!(f, "graph is not connected"),
             Self::Empty => write!(f, "graph is empty"),
         }
