@@ -74,21 +74,35 @@ pub struct PowerLawFit {
     pub prefactor: f64,
     /// R² of the log-log line fit.
     pub r2: f64,
+    /// Input points silently excluded from the fit because one coordinate
+    /// was non-positive (logarithms undefined). Non-zero values flag that
+    /// the fit describes fewer points than the caller supplied.
+    pub skipped: usize,
 }
 
 /// Fit `y = a·x^b` through strictly positive points. Non-positive points
-/// are skipped; returns `None` if fewer than two remain.
+/// are skipped (and counted in [`PowerLawFit::skipped`], with an obs
+/// warning); returns `None` if fewer than two remain.
 pub fn power_law_fit(points: &[(f64, f64)]) -> Option<PowerLawFit> {
     let logs: Vec<(f64, f64)> = points
         .iter()
         .filter(|p| p.0 > 0.0 && p.1 > 0.0)
         .map(|p| (p.0.ln(), p.1.ln()))
         .collect();
+    let skipped = points.len() - logs.len();
+    if skipped > 0 {
+        mcast_obs::warn!(
+            "fit",
+            "power_law_fit skipped {skipped} of {} non-positive point(s)",
+            points.len()
+        );
+    }
     let line = linear_fit(&logs)?;
     Some(PowerLawFit {
         exponent: line.slope,
         prefactor: line.intercept.exp(),
         r2: line.r2,
+        skipped,
     })
 }
 
@@ -226,7 +240,11 @@ mod tests {
         ];
         let fit = power_law_fit(&pts).unwrap();
         assert!((fit.exponent - 1.5).abs() < 1e-9);
+        assert_eq!(fit.skipped, 2, "both non-positive points counted");
         assert!(power_law_fit(&[(0.0, 1.0), (-2.0, 1.0)]).is_none());
+        // A clean input reports zero skipped.
+        let clean = power_law_fit(&[(1.0, 1.0), (2.0, 4.0), (3.0, 9.0)]).unwrap();
+        assert_eq!(clean.skipped, 0);
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! Records the suite-scheduler baseline as machine-readable JSON.
+//!
+//! The workload is the full paper suite (`mcs suite`, all sixteen
+//! experiments). Run sequentially, `verdict` regenerates Figs 1–9 from
+//! scratch on top of their own runs — including re-measuring all
+//! sixteen Fig 1/Fig 6 Monte-Carlo curves and re-building every
+//! topology. The scheduler's in-process memos (curves, topologies,
+//! figure reports) make each of those a single computation per run.
+//! Both sides must agree bit-for-bit before they are timed. The result
+//! goes to `BENCH_suite.json` so CI can archive it and future PRs can
+//! diff the scheduling win. (The second lever, overlapping experiments
+//! across `--threads` workers, is invisible on a single-core runner —
+//! this baseline isolates the deduplication win.)
+//!
+//! Usage: `bench_suite [OUT_PATH]` (default `BENCH_suite.json`).
+
+use mcast_experiments::{sched, suite, RunConfig};
+use std::time::Instant;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_suite.json".to_string());
+
+    let cfg = RunConfig {
+        threads: 4,
+        ..RunConfig::fast()
+    };
+    let ids: Vec<String> = suite::EXPERIMENT_IDS.iter().map(|s| s.to_string()).collect();
+
+    // One rep per side: these are multi-second macro runs, and the
+    // duplicated-work gap dwarfs scheduler noise.
+    let t = Instant::now();
+    let sequential = suite::run_all(&cfg);
+    let sequential_ns = t.elapsed().as_nanos();
+
+    let t = Instant::now();
+    let run = sched::run_suite(&ids, &cfg, &sched::SchedPolicy::default());
+    let scheduled_ns = t.elapsed().as_nanos();
+
+    assert_eq!(run.status, sched::SuiteStatus::Complete);
+    assert_eq!(run.reports.len(), sequential.len());
+    for (a, b) in sequential.iter().zip(&run.reports) {
+        assert_eq!(a, b, "scheduled report {} must be bit-identical", a.id);
+    }
+
+    let speedup = sequential_ns as f64 / scheduled_ns as f64;
+    let json = format!(
+        "{{\n  \"bench\": \"suite\",\n  \"workload\": {{\n    \"ids\": \"all ({n} experiments)\",\n    \"scale\": \"{scale}\",\n    \"seed\": {seed},\n    \"threads\": {threads},\n    \"figure_runs_deduplicated_by_memo\": 9,\n    \"curve_measurements_deduplicated_by_memo\": 16\n  }},\n  \"sequential_ns\": {sequential_ns},\n  \"scheduled_ns\": {scheduled_ns},\n  \"speedup\": {speedup:.3}\n}}\n",
+        n = ids.len(),
+        scale = cfg.scale_name(),
+        seed = cfg.seed,
+        threads = cfg.threads,
+        sequential_ns = sequential_ns,
+        scheduled_ns = scheduled_ns,
+        speedup = speedup,
+    );
+    std::fs::write(&out_path, &json).expect("write suite baseline json");
+    println!("{json}");
+    eprintln!("wrote {out_path}: speedup {speedup:.2}x");
+}

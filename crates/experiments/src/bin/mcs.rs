@@ -25,6 +25,13 @@
 //!   --resume         with --cache-dir: reuse partial checkpoints left by
 //!                    a killed run (curves stay bit-identical)
 //!   --only <ids>     with suite: run only these comma-separated ids
+//!   --keep-going     with suite: retry then quarantine a panicking task
+//!                    and finish the rest of the suite (exit code 2 marks
+//!                    a partial run)
+//!   --fail-fast      with suite: abort at the first task failure (the
+//!                    default; mutually exclusive with --keep-going)
+//!   --max-retries <n> with suite --keep-going: retries before quarantine
+//!                    (default 1)
 //!   --verbose, -v    progress lines + info-level JSONL events on stderr
 //!   --quiet, -q      suppress the stdout report and all stderr events
 //!
@@ -47,8 +54,14 @@
 //! Observability never changes the numbers: report artefacts are
 //! byte-identical whether or not `--metrics`/`--verbose` are given, and
 //! all artefacts are written atomically (temp file + rename).
+//!
+//! The `suite` subcommand runs through the fault-isolated scheduler
+//! (`mcast_experiments::sched`): experiments overlap up to `--threads`,
+//! artefacts stay bit-identical to a sequential run, and the exit code
+//! distinguishes complete (0) / partial (2) / failed (1) runs.
 //! ```
 
+use mcast_experiments::sched;
 use mcast_experiments::render;
 use mcast_experiments::suite;
 use mcast_experiments::{RunConfig, Scale};
@@ -63,13 +76,15 @@ struct Args {
     cache_dir: Option<PathBuf>,
     resume: bool,
     only: Option<String>,
+    keep_going: bool,
+    max_retries: u32,
     verbose: bool,
     quiet: bool,
     experiments: Vec<String>,
 }
 
 fn usage() -> &'static str {
-    "usage: mcs [--paper|--fast] [--seed N] [--threads N] [--out DIR] [--metrics FILE] [--cache-dir DIR] [--resume] [--verbose|--quiet] <table1|fig1..fig9|ablate-*|churn|all|list>...\n       mcs [OPTIONS] suite [--only ID,ID,...]\n       mcs [OPTIONS] measure <edge-list-file>\n       mcs topo <pack|unpack|verify> <files...>\n       mcs --cache-dir DIR cache <ls|verify|gc>"
+    "usage: mcs [--paper|--fast] [--seed N] [--threads N] [--out DIR] [--metrics FILE] [--cache-dir DIR] [--resume] [--verbose|--quiet] <table1|fig1..fig9|ablate-*|churn|all|list>...\n       mcs [OPTIONS] suite [--only ID,ID,...] [--keep-going|--fail-fast] [--max-retries N]\n       mcs [OPTIONS] measure <edge-list-file>\n       mcs topo <pack|unpack|verify> <files...>\n       mcs --cache-dir DIR cache <ls|verify|gc>"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -79,6 +94,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut cache_dir = None;
     let mut resume = false;
     let mut only = None;
+    let mut keep_going = false;
+    let mut fail_fast = false;
+    let mut max_retries: Option<u32> = None;
     let mut verbose = false;
     let mut quiet = false;
     let mut experiments = Vec::new();
@@ -117,6 +135,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 let v = it.next().ok_or("--only needs a comma-separated id list")?;
                 only = Some(v.clone());
             }
+            "--keep-going" => keep_going = true,
+            "--fail-fast" => fail_fast = true,
+            "--max-retries" => {
+                let v = it.next().ok_or("--max-retries needs a value")?;
+                max_retries = Some(v.parse().map_err(|_| format!("bad retry count `{v}`"))?);
+            }
             "--verbose" | "-v" => verbose = true,
             "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => return Err(usage().to_string()),
@@ -132,8 +156,18 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if resume && cache_dir.is_none() {
         return Err("--resume requires --cache-dir (there is nowhere to resume from)".into());
     }
-    if only.is_some() && experiments.first().map(String::as_str) != Some("suite") {
+    let is_suite = experiments.first().map(String::as_str) == Some("suite");
+    if only.is_some() && !is_suite {
         return Err("--only is only valid with the `suite` subcommand".into());
+    }
+    if keep_going && fail_fast {
+        return Err("--keep-going and --fail-fast are mutually exclusive".into());
+    }
+    if (keep_going || fail_fast || max_retries.is_some()) && !is_suite {
+        return Err(
+            "--keep-going/--fail-fast/--max-retries are only valid with the `suite` subcommand"
+                .into(),
+        );
     }
     if experiments.is_empty() {
         return Err(usage().to_string());
@@ -152,6 +186,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         cache_dir,
         resume,
         only,
+        keep_going,
+        max_retries: max_retries.unwrap_or(1),
         verbose,
         quiet,
         experiments,
@@ -304,6 +340,107 @@ fn run_cache(cmd: &[String], cache_dir: Option<&Path>) -> Result<(), String> {
     }
 }
 
+/// Drive the resolved ids through the fault-isolated suite scheduler,
+/// print reports (request order) plus a task summary, and map the run
+/// status to the exit code: complete → 0, partial → 2, failed → 1.
+fn run_scheduled(args: &Args, ids: &[String], started: Instant) -> ExitCode {
+    let policy = sched::SchedPolicy {
+        keep_going: args.keep_going,
+        max_retries: args.max_retries,
+    };
+    let run = sched::run_suite(ids, &args.cfg, &policy);
+
+    for report in &run.reports {
+        let _render_span = mcast_obs::span_at(format!("{}/render", report.id));
+        if !args.quiet {
+            print!("{}", render::report_ascii(report));
+            println!();
+        }
+        if let Some(dir) = &args.out {
+            if let Err(e) = write_artefacts(dir, report) {
+                eprintln!("failed to write artefacts for {}: {e}", report.id);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let failed: Vec<_> = run.failures().collect();
+    if !args.quiet {
+        let ok = run
+            .outcomes
+            .iter()
+            .filter(|o| o.status == sched::TaskStatus::Ok)
+            .count();
+        let skipped = run
+            .outcomes
+            .iter()
+            .filter(|o| o.status == sched::TaskStatus::Skipped)
+            .count();
+        println!(
+            "suite summary ({}): {} task(s): {} ok, {} failed, {} skipped",
+            match run.status {
+                sched::SuiteStatus::Complete => "complete",
+                sched::SuiteStatus::Partial => "partial",
+                sched::SuiteStatus::Failed => "failed",
+            },
+            run.outcomes.len(),
+            ok,
+            failed.len(),
+            skipped
+        );
+        println!("  {:<12} {:>8}  task", "status", "attempts");
+        for o in &run.outcomes {
+            match &o.failure {
+                Some(f) => println!(
+                    "  {:<12} {:>8}  {} [{}]: {}",
+                    o.status.as_str(),
+                    o.attempts,
+                    o.label,
+                    o.experiment,
+                    f.payload
+                ),
+                None => println!(
+                    "  {:<12} {:>8}  {}",
+                    o.status.as_str(),
+                    o.attempts,
+                    o.label
+                ),
+            }
+        }
+    }
+    // Failures also go to stderr so `--quiet` runs still say what broke
+    // and where (experiment + source group).
+    for o in &failed {
+        let f = o.failure.as_ref().expect("failed outcomes carry context");
+        eprintln!(
+            "{}: task {} (experiment {}) after {} attempt(s): {}",
+            o.status.as_str(),
+            o.label,
+            o.experiment,
+            o.attempts,
+            f.payload
+        );
+        for g in &f.groups {
+            eprintln!(
+                "  source group {} (node {}, source indices {:?}): {}",
+                g.group_index, g.source, g.source_indices, g.payload
+            );
+        }
+    }
+
+    if let Some(mpath) = &args.metrics {
+        if let Err(e) = write_metrics(mpath, &args.cfg, ids, started) {
+            eprintln!("failed to write metrics: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match run.status {
+        sched::SuiteStatus::Complete => ExitCode::SUCCESS,
+        sched::SuiteStatus::Partial => ExitCode::from(2),
+        sched::SuiteStatus::Failed => ExitCode::FAILURE,
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -416,6 +553,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // `suite` goes through the fault-isolated scheduler; plain experiment
+    // lists keep the simple sequential loop.
+    if args.experiments.iter().any(|e| e == "suite") {
+        return run_scheduled(&args, &ids, started);
+    }
 
     for id in &ids {
         mcast_obs::info!("mcs", "running experiment `{id}`");

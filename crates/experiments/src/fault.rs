@@ -1,0 +1,201 @@
+//! Deliberate fault injection for scheduler and resilience tests.
+//!
+//! Compiled to no-ops unless the `fault-inject` cargo feature is on; the
+//! hooks then panic at well-defined points so tests (and the CI fault
+//! drill) can prove that one poisoned task cannot destroy a suite run.
+//!
+//! Two hook points exist:
+//!
+//! - **task**: [`hit_task`] fires at the start of a scheduled suite task
+//!   (`crate::sched`), matched by its label (e.g. `fig1/Internet`).
+//! - **group**: [`hit_group`] fires just before one source group of a
+//!   curve measurement (`crate::runner`), matched by its plan index.
+//!   When a task filter is also armed, the group only fires inside that
+//!   task (the scheduler sets a thread-local task context).
+//!
+//! Arming is programmatic ([`arm`]/[`disarm`]) or, for `mcs` end-to-end
+//! drills, via the environment (read once, on first hook evaluation):
+//!
+//! - `MCS_FAULT_TASK=<label>` — panic in the task with this label;
+//! - `MCS_FAULT_GROUP=<index>` — panic in this source-group plan index;
+//! - `MCS_FAULT_TIMES=<n>` — total number of panics to inject (default
+//!   1); the budget is global, so `n = max-retries + 1` quarantines a
+//!   task while every retry beyond the budget succeeds.
+
+#[cfg(feature = "fault-inject")]
+mod armed {
+    use std::cell::RefCell;
+    use std::sync::{Mutex, Once};
+
+    #[derive(Clone, Debug)]
+    struct Armed {
+        task: Option<String>,
+        group: Option<usize>,
+        remaining: u64,
+    }
+
+    static ARMED: Mutex<Option<Armed>> = Mutex::new(None);
+    static ENV: Once = Once::new();
+
+    thread_local! {
+        static CONTEXT: RefCell<Option<String>> = const { RefCell::new(None) };
+    }
+
+    fn read_env() {
+        ENV.call_once(|| {
+            let task = std::env::var("MCS_FAULT_TASK").ok();
+            let group = std::env::var("MCS_FAULT_GROUP")
+                .ok()
+                .and_then(|v| v.parse().ok());
+            if task.is_none() && group.is_none() {
+                return;
+            }
+            let remaining = std::env::var("MCS_FAULT_TIMES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1);
+            *ARMED.lock().unwrap_or_else(|e| e.into_inner()) = Some(Armed {
+                task,
+                group,
+                remaining,
+            });
+        });
+    }
+
+    /// Arm the injector: panic up to `times` times at the matching hook.
+    /// `task` matches a scheduler task label, `group` a source-group plan
+    /// index; when both are given, the group must fire inside that task.
+    pub fn arm(task: Option<&str>, group: Option<usize>, times: u64) {
+        read_env(); // consume the env before overriding it
+        *ARMED.lock().unwrap_or_else(|e| e.into_inner()) = Some(Armed {
+            task: task.map(str::to_string),
+            group,
+            remaining: times,
+        });
+    }
+
+    /// Disarm the injector; subsequent hooks are inert.
+    pub fn disarm() {
+        read_env();
+        *ARMED.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    /// RAII task-context marker; see [`context`].
+    pub struct ContextGuard(());
+
+    impl Drop for ContextGuard {
+        fn drop(&mut self) {
+            let _ = CONTEXT.try_with(|c| c.borrow_mut().take());
+        }
+    }
+
+    /// Mark the current thread as running the scheduler task `label`
+    /// until the guard drops, so group hooks can be task-filtered.
+    pub fn context(label: &str) -> ContextGuard {
+        CONTEXT.with(|c| *c.borrow_mut() = Some(label.to_string()));
+        ContextGuard(())
+    }
+
+    /// Task-level hook: panics iff armed for exactly this label (and no
+    /// group filter narrows the fault to inside the task).
+    pub fn hit_task(label: &str) {
+        read_env();
+        let mut armed = ARMED.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(a) = armed.as_mut() else { return };
+        if a.remaining > 0 && a.group.is_none() && a.task.as_deref() == Some(label) {
+            a.remaining -= 1;
+            drop(armed);
+            panic!("injected fault at task {label}");
+        }
+    }
+
+    /// Group-level hook: panics iff armed for this plan index (and, when
+    /// a task filter is armed too, only inside that task's context).
+    pub fn hit_group(group_index: usize) {
+        read_env();
+        let mut armed = ARMED.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(a) = armed.as_mut() else { return };
+        if a.remaining == 0 || a.group != Some(group_index) {
+            return;
+        }
+        let task_matches = match &a.task {
+            None => true,
+            Some(t) => CONTEXT
+                .try_with(|c| c.borrow().as_deref() == Some(t.as_str()))
+                .unwrap_or(false),
+        };
+        if task_matches {
+            a.remaining -= 1;
+            drop(armed);
+            panic!("injected fault at source group {group_index}");
+        }
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+pub use armed::*;
+
+#[cfg(not(feature = "fault-inject"))]
+mod inert {
+    /// RAII task-context marker; inert without `fault-inject`.
+    pub struct ContextGuard(());
+
+    /// Inert without the `fault-inject` feature.
+    pub fn context(_label: &str) -> ContextGuard {
+        ContextGuard(())
+    }
+
+    /// Inert without the `fault-inject` feature.
+    #[inline(always)]
+    pub fn hit_task(_label: &str) {}
+
+    /// Inert without the `fault-inject` feature.
+    #[inline(always)]
+    pub fn hit_group(_group_index: usize) {}
+}
+
+#[cfg(not(feature = "fault-inject"))]
+pub use inert::*;
+
+#[cfg(all(test, feature = "fault-inject"))]
+pub(crate) mod tests {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Serialises tests that arm the process-global injector.
+    pub(crate) fn fault_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn budget_and_filters() {
+        let _guard = fault_test_lock();
+        super::arm(Some("t"), None, 2);
+        super::hit_task("other"); // no match, no fire, no budget spent
+        super::hit_group(3); // group filter not armed
+        let p = catch_unwind(AssertUnwindSafe(|| super::hit_task("t")));
+        assert!(p.is_err());
+        let p = catch_unwind(AssertUnwindSafe(|| super::hit_task("t")));
+        assert!(p.is_err(), "budget of 2 allows a second fire");
+        super::hit_task("t"); // budget exhausted: inert
+        super::disarm();
+    }
+
+    #[test]
+    fn group_hook_respects_task_context() {
+        let _guard = fault_test_lock();
+        super::arm(Some("fig1/Internet"), Some(2), 1);
+        super::hit_group(2); // outside any task context: inert
+        {
+            let _ctx = super::context("fig6/Internet");
+            super::hit_group(2); // wrong task: inert
+        }
+        {
+            let _ctx = super::context("fig1/Internet");
+            super::hit_group(1); // wrong group: inert
+            let p = catch_unwind(AssertUnwindSafe(|| super::hit_group(2)));
+            assert!(p.is_err(), "matching task+group fires");
+        }
+        super::disarm();
+    }
+}

@@ -12,16 +12,23 @@ use crate::figures::chuang_sirbu_reference;
 use crate::networks::{self, Network};
 use crate::runner::{log_grid, parallel_ratio_curve};
 use mcast_analysis::fit::power_law_fit;
+use mcast_topology::Graph;
+
+/// The receiver-count grid Figure 1 measures for `graph`. The paper plots
+/// up to roughly half the network; the cap keeps room for the distinct
+/// sampler. Shared with the suite scheduler so its pre-warmed curves hit
+/// the same cache keys as panel assembly.
+pub(crate) fn grid(graph: &Graph) -> Vec<usize> {
+    log_grid((graph.node_count() / 2).max(2), 4)
+}
 
 fn panel(cfg: &RunConfig, id: &str, title: &str, nets: &[Network], report: &mut Report) {
     let mcfg = cfg.measure();
     let mut series = Vec::new();
     let mut max_m = 0usize;
     for net in nets {
-        // The paper plots up to roughly half the network; cap the grid so
-        // the distinct sampler always has room.
         let cap = (net.graph.node_count() / 2).max(2);
-        let ms = log_grid(cap, 4);
+        let ms = grid(&net.graph);
         max_m = max_m.max(cap);
         let curve = parallel_ratio_curve(&net.graph, &ms, &mcfg, cfg);
         let points: Vec<(f64, f64)> = curve.iter().map(|p| (p.x as f64, p.stats.mean())).collect();

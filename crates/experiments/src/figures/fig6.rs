@@ -16,9 +16,17 @@ use mcast_analysis::fit::linear_fit;
 use mcast_analysis::reachability::empirical_all_sites;
 use mcast_topology::bfs::Bfs;
 use mcast_topology::reachability::Reachability;
+use mcast_topology::Graph;
 
 /// Cap on the receiver-draw count (the paper plots to 10^4).
 const MAX_N: usize = 10_000;
+
+/// The receiver-draw grid Figure 6 measures for `graph`. Shared with the
+/// suite scheduler so its pre-warmed curves hit the same cache keys as
+/// panel assembly.
+pub(crate) fn grid(graph: &Graph) -> Vec<usize> {
+    log_grid(graph.node_count().min(MAX_N), 4)
+}
 
 /// Eq 30 prediction for one network, averaged over a few spread sources
 /// and normalised like the measurement.
@@ -49,8 +57,7 @@ fn panel(cfg: &RunConfig, id: &str, title: &str, nets: &[Network], report: &mut 
     let mcfg = cfg.measure();
     let mut series = Vec::new();
     for net in nets {
-        let cap = net.graph.node_count().min(MAX_N);
-        let ns = log_grid(cap, 4);
+        let ns = grid(&net.graph);
         let curve = parallel_lhat_curve(&net.graph, &ns, &mcfg, cfg);
         let points: Vec<(f64, f64)> = curve.iter().map(|p| (p.x as f64, p.stats.mean())).collect();
         let errors: Vec<f64> = curve.iter().map(|p| p.stats.std_err()).collect();

@@ -19,11 +19,13 @@
 
 pub mod config;
 pub mod dataset;
+pub mod fault;
 pub mod figures;
 pub mod measure_cli;
 pub mod networks;
 pub mod render;
 pub mod runner;
+pub mod sched;
 pub mod suite;
 pub mod svg;
 

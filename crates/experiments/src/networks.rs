@@ -15,6 +15,8 @@ use mcast_gen::transit_stub::{transit_stub, TransitStubParams};
 use mcast_topology::Graph;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Whether a suite member models a real map or a generator output.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,95 +42,117 @@ fn rng_for(cfg: &RunConfig, tag: &str) -> StdRng {
     StdRng::seed_from_u64(cfg.sub_seed(tag))
 }
 
-/// The embedded ARPANET reconstruction (47 nodes).
-pub fn arpa(_cfg: &RunConfig) -> Network {
-    Network {
-        name: "ARPA",
-        kind: NetworkKind::Real,
-        graph: mcast_gen::arpa::arpa(),
+/// In-process memo of built topologies, keyed by everything a build
+/// depends on: `(name, seed, scale)`. `None` (the default) means
+/// disabled; [`crate::sched::run_suite`] enables it for the duration of
+/// a scheduled run so curve tasks and figure assemblies share one build
+/// per topology instead of regenerating it. Builders are deterministic
+/// and a clone is the same graph, so serving from the memo never changes
+/// a number.
+#[allow(clippy::type_complexity)]
+static NET_MEMO: Mutex<Option<HashMap<(&'static str, u64, &'static str), Graph>>> =
+    Mutex::new(None);
+
+/// Turn the topology memo on (fresh and empty) or off (releasing it).
+pub(crate) fn memo_set_enabled(on: bool) {
+    let mut memo = NET_MEMO.lock().unwrap_or_else(|e| e.into_inner());
+    *memo = on.then(HashMap::new);
+}
+
+fn memoized(
+    name: &'static str,
+    kind: NetworkKind,
+    cfg: &RunConfig,
+    build: impl FnOnce() -> Graph,
+) -> Network {
+    let key = (name, cfg.seed, cfg.scale_name());
+    {
+        let memo = NET_MEMO.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(graph) = memo.as_ref().and_then(|m| m.get(&key)) {
+            if mcast_obs::enabled() {
+                mcast_obs::counter("networks.memo.hit").add(1);
+            }
+            return Network {
+                name,
+                kind,
+                graph: graph.clone(),
+            };
+        }
     }
+    // Build outside the lock so scheduler workers can generate different
+    // topologies concurrently; a racing duplicate build produces the
+    // same bytes and the last insert wins.
+    let graph = build();
+    let mut memo = NET_MEMO.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(m) = memo.as_mut() {
+        m.insert(key, graph.clone());
+    }
+    drop(memo);
+    Network { name, kind, graph }
+}
+
+/// The embedded ARPANET reconstruction (47 nodes).
+pub fn arpa(cfg: &RunConfig) -> Network {
+    memoized("ARPA", NetworkKind::Real, cfg, mcast_gen::arpa::arpa)
 }
 
 /// MBone stand-in: cluster-and-tunnel overlay, ≈ 3,980 nodes.
 pub fn mbone(cfg: &RunConfig) -> Network {
-    let graph = overlay(OverlayParams::mbone(), &mut rng_for(cfg, "mbone"))
-        .expect("mbone parameters are valid");
-    Network {
-        name: "MBone",
-        kind: NetworkKind::Real,
-        graph,
-    }
+    memoized("MBone", NetworkKind::Real, cfg, || {
+        overlay(OverlayParams::mbone(), &mut rng_for(cfg, "mbone"))
+            .expect("mbone parameters are valid")
+    })
 }
 
 /// Internet router-map stand-in: power-law graph. Paper scale: 56,317
 /// nodes; fast scale: 12,000.
 pub fn internet(cfg: &RunConfig) -> Network {
-    let mut params = PowerLawParams::internet_map();
-    if cfg.scale == Scale::Fast {
-        params.nodes = 12_000;
-    }
-    let graph =
-        power_law(params, &mut rng_for(cfg, "internet")).expect("internet parameters are valid");
-    Network {
-        name: "Internet",
-        kind: NetworkKind::Real,
-        graph,
-    }
+    memoized("Internet", NetworkKind::Real, cfg, || {
+        let mut params = PowerLawParams::internet_map();
+        if cfg.scale == Scale::Fast {
+            params.nodes = 12_000;
+        }
+        power_law(params, &mut rng_for(cfg, "internet")).expect("internet parameters are valid")
+    })
 }
 
 /// NLANR AS-map stand-in: power-law graph, 4,902 nodes.
 pub fn as_map(cfg: &RunConfig) -> Network {
-    let graph = power_law(PowerLawParams::as_map(), &mut rng_for(cfg, "as"))
-        .expect("AS parameters are valid");
-    Network {
-        name: "AS",
-        kind: NetworkKind::Real,
-        graph,
-    }
+    memoized("AS", NetworkKind::Real, cfg, || {
+        power_law(PowerLawParams::as_map(), &mut rng_for(cfg, "as"))
+            .expect("AS parameters are valid")
+    })
 }
 
 /// GT-ITM-style flat random graph, 100 nodes, average degree ≈ 4.
 pub fn r100(cfg: &RunConfig) -> Network {
-    let graph =
-        random_with_degree(100, 4.0, &mut rng_for(cfg, "r100")).expect("r100 parameters are valid");
-    Network {
-        name: "r100",
-        kind: NetworkKind::Generated,
-        graph,
-    }
+    memoized("r100", NetworkKind::Generated, cfg, || {
+        random_with_degree(100, 4.0, &mut rng_for(cfg, "r100")).expect("r100 parameters are valid")
+    })
 }
 
 /// Transit-stub, 1000 nodes, average degree ≈ 3.6.
 pub fn ts1000(cfg: &RunConfig) -> Network {
-    let graph = transit_stub(TransitStubParams::ts1000(), &mut rng_for(cfg, "ts1000"))
-        .expect("ts1000 parameters are valid");
-    Network {
-        name: "ts1000",
-        kind: NetworkKind::Generated,
-        graph,
-    }
+    memoized("ts1000", NetworkKind::Generated, cfg, || {
+        transit_stub(TransitStubParams::ts1000(), &mut rng_for(cfg, "ts1000"))
+            .expect("ts1000 parameters are valid")
+    })
 }
 
 /// Transit-stub, 1008 nodes, average degree ≈ 7.5.
 pub fn ts1008(cfg: &RunConfig) -> Network {
-    let graph = transit_stub(TransitStubParams::ts1008(), &mut rng_for(cfg, "ts1008"))
-        .expect("ts1008 parameters are valid");
-    Network {
-        name: "ts1008",
-        kind: NetworkKind::Generated,
-        graph,
-    }
+    memoized("ts1008", NetworkKind::Generated, cfg, || {
+        transit_stub(TransitStubParams::ts1008(), &mut rng_for(cfg, "ts1008"))
+            .expect("ts1008 parameters are valid")
+    })
 }
 
 /// TIERS-style WAN/MAN/LAN hierarchy, 5000 nodes.
 pub fn ti5000(cfg: &RunConfig) -> Network {
-    let graph = tiers(TiersParams::ti5000(), &mut rng_for(cfg, "ti5000"))
-        .expect("ti5000 parameters are valid");
-    Network {
-        name: "ti5000",
-        kind: NetworkKind::Generated,
-        graph,
-    }
+    memoized("ti5000", NetworkKind::Generated, cfg, || {
+        tiers(TiersParams::ti5000(), &mut rng_for(cfg, "ti5000"))
+            .expect("ti5000 parameters are valid")
+    })
 }
 
 /// The generated panel (Fig 1a / 6a / 7a order).
@@ -194,6 +218,23 @@ mod tests {
         assert_eq!(params.nodes, 56_317);
         params.nodes = 1000;
         assert!(params.validate().is_ok());
+    }
+
+    #[test]
+    fn memo_serves_bit_identical_graphs_only_while_enabled() {
+        // Safe to flip concurrently with other tests: memo-served graphs
+        // are clones of deterministic builds, so every caller sees the
+        // same bytes whether or not the memo is on.
+        let cfg = RunConfig::fast();
+        let cold = ts1000(&cfg).graph;
+        memo_set_enabled(true);
+        let first = ts1000(&cfg).graph;
+        let second = ts1000(&cfg).graph;
+        memo_set_enabled(false);
+        let after = ts1000(&cfg).graph;
+        assert_eq!(cold, first);
+        assert_eq!(first, second);
+        assert_eq!(after, cold);
     }
 
     #[test]

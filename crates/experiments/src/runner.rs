@@ -15,14 +15,65 @@ use crate::config::RunConfig;
 use mcast_obs::Progress;
 use mcast_store::checkpoint::{CheckpointWriter, GroupRecord, IndexStats};
 use mcast_store::{CacheHandle, Key, KeyBuilder, ObjectKind};
-use mcast_topology::Graph;
+use mcast_topology::{Graph, NodeId};
 use mcast_tree::measure::{
     measure_group, merge_indexed, CurvePoint, MeasureConfig, MeasureEngine, SampleKind, SourcePlan,
 };
 use mcast_tree::RunningStats;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// A panic captured from one item of a fallible map.
+#[derive(Debug, Clone)]
+pub struct ItemFailure {
+    /// Index of the failing item in `0..count`.
+    pub index: usize,
+    /// The panic payload rendered to text (`String`/`&str` payloads are
+    /// preserved verbatim).
+    pub payload: String,
+}
+
+/// Error of [`try_parallel_map_with`]: at least one item panicked. Every
+/// other item still ran to completion (surviving workers drain the whole
+/// cursor before reporting), so side effects such as checkpoint appends
+/// cover everything except the listed failures.
+#[derive(Debug, Clone)]
+pub struct MapError {
+    /// Every captured failure, in ascending item order.
+    pub failures: Vec<ItemFailure>,
+    /// How many items completed successfully.
+    pub completed: usize,
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let first = &self.failures[0];
+        write!(
+            f,
+            "{} item(s) panicked ({} completed); first: item {}: {}",
+            self.failures.len(),
+            self.completed,
+            first.index,
+            first.payload
+        )
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// Render a caught panic payload to text.
+pub(crate) fn payload_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// How many items one cursor claim hands a worker: large enough to
 /// amortise the atomic RMW and keep consecutive items (often cache hits
@@ -55,9 +106,40 @@ where
     I: Fn(usize) -> S + Sync,
     F: Fn(&mut S, usize) -> O + Sync,
 {
+    match try_parallel_map_with(count, cfg, init, f) {
+        Ok(out) => out,
+        // Callers of the infallible API keep the historical contract
+        // (panics propagate), but only after every surviving item ran
+        // and the failure was diagnosed with its item index.
+        Err(e) => std::panic::resume_unwind(Box::new(e.to_string())),
+    }
+}
+
+/// Fault-isolating [`parallel_map_with`]: each item runs under
+/// `catch_unwind`, a panicking item is recorded as an [`ItemFailure`]
+/// (with its index and payload) instead of unwinding the driver, and the
+/// surviving workers drain every remaining item before `Err` is returned.
+///
+/// A worker whose item panicked rebuilds its state via `init` before the
+/// next item — a half-updated engine must never contribute to another
+/// group's numbers — so results for the non-failing items stay
+/// bit-identical to a clean run at every thread count. The sequential
+/// (`threads <= 1`) path captures the same way, so `--threads 1` reports
+/// the failing index too.
+pub fn try_parallel_map_with<S, O, I, F>(
+    count: usize,
+    cfg: &RunConfig,
+    init: I,
+    f: F,
+) -> Result<Vec<O>, MapError>
+where
+    O: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize) -> O + Sync,
+{
     let threads = cfg.resolved_threads().min(count.max(1));
     if count == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let obs_on = mcast_obs::enabled();
     if obs_on {
@@ -88,26 +170,65 @@ where
             f(state, i)
         }
     };
+    // One item, fault-isolated: (re)build worker state if the previous
+    // item poisoned it, run under catch_unwind, and turn a panic into a
+    // typed failure. An `init` panic is captured the same way (and
+    // re-attempted on the next item, so a transient init fault doesn't
+    // doom the whole range).
+    let process = |obs: &Option<(&'static mcast_obs::Histogram, &'static mcast_obs::Counter)>,
+                   state: &mut Option<S>,
+                   worker: usize,
+                   i: usize|
+     -> Result<O, ItemFailure> {
+        if state.is_none() {
+            match catch_unwind(AssertUnwindSafe(|| init(worker))) {
+                Ok(s) => *state = Some(s),
+                Err(p) => {
+                    return Err(ItemFailure {
+                        index: i,
+                        payload: format!("worker state init panicked: {}", payload_text(p)),
+                    })
+                }
+            }
+        }
+        let st = state.as_mut().expect("state initialised above");
+        match catch_unwind(AssertUnwindSafe(|| run_item(obs, st, i))) {
+            Ok(o) => Ok(o),
+            Err(p) => {
+                *state = None;
+                Err(ItemFailure {
+                    index: i,
+                    payload: payload_text(p),
+                })
+            }
+        }
+    };
     let mut slots: Vec<Option<O>> = (0..count).map(|_| None).collect();
+    let mut failures: Vec<ItemFailure>;
     if threads <= 1 {
         let obs = worker_obs(0);
-        let mut state = init(0);
+        let mut state = None;
+        failures = Vec::new();
         for (i, slot) in slots.iter_mut().enumerate() {
-            *slot = Some(run_item(&obs, &mut state, i));
+            match process(&obs, &mut state, 0, i) {
+                Ok(o) => *slot = Some(o),
+                Err(fail) => failures.push(fail),
+            }
         }
     } else {
         let batch = cursor_batch(count, threads);
         let cursor = AtomicUsize::new(0);
+        let shared_failures: Mutex<Vec<ItemFailure>> = Mutex::new(Vec::new());
         let collected: Vec<(usize, O)> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     let cursor = &cursor;
-                    let init = &init;
-                    let run_item = &run_item;
+                    let process = &process;
                     let worker_obs = &worker_obs;
+                    let shared_failures = &shared_failures;
                     scope.spawn(move |_| {
                         let obs = worker_obs(t);
-                        let mut state = init(t);
+                        let mut state = None;
                         let mut local: Vec<(usize, O)> = Vec::new();
                         loop {
                             let start = cursor.fetch_add(batch, Ordering::Relaxed);
@@ -115,7 +236,13 @@ where
                                 break;
                             }
                             for i in start..(start + batch).min(count) {
-                                local.push((i, run_item(&obs, &mut state, i)));
+                                match process(&obs, &mut state, t, i) {
+                                    Ok(o) => local.push((i, o)),
+                                    Err(fail) => shared_failures
+                                        .lock()
+                                        .unwrap_or_else(|e| e.into_inner())
+                                        .push(fail),
+                                }
                             }
                         }
                         local
@@ -131,8 +258,20 @@ where
         for (i, o) in collected {
             slots[i] = Some(o);
         }
+        failures = shared_failures.into_inner().unwrap_or_else(|e| e.into_inner());
     }
-    slots.into_iter().map(|s| s.expect("slot filled")).collect()
+    if failures.is_empty() {
+        return Ok(slots.into_iter().map(|s| s.expect("slot filled")).collect());
+    }
+    failures.sort_by_key(|f| f.index);
+    let completed = slots.iter().filter(|s| s.is_some()).count();
+    for fail in &failures {
+        mcast_obs::error!("runner", "item {} panicked: {}", fail.index, fail.payload);
+    }
+    if obs_on {
+        mcast_obs::counter("runner.item.panic").add(failures.len() as u64);
+    }
+    Err(MapError { failures, completed })
 }
 
 /// Stateless [`parallel_map_with`]: run `f(index)` for every index in
@@ -143,6 +282,89 @@ where
     F: Fn(usize) -> O + Sync,
 {
     parallel_map_with(count, cfg, |_| (), move |(), i| f(i))
+}
+
+/// One measurement group that panicked during a curve measurement.
+#[derive(Debug, Clone)]
+pub struct GroupFailure {
+    /// Index of the group in the curve's [`SourcePlan`].
+    pub group_index: usize,
+    /// The distinct source node the group measures.
+    pub source: NodeId,
+    /// The with-replacement source indices the group covers.
+    pub source_indices: Vec<usize>,
+    /// Rendered panic payload.
+    pub payload: String,
+}
+
+/// Error of a fallible curve measurement: one or more source groups
+/// panicked. Every surviving group was measured — and, when a store is
+/// bound, appended to the curve's checkpoint — before this was returned,
+/// so a later `--resume` only re-measures the failed groups.
+#[derive(Debug, Clone)]
+pub struct CurveError {
+    /// Per-group captures, in ascending plan order.
+    pub failures: Vec<GroupFailure>,
+    /// Groups measured successfully by this call.
+    pub completed: usize,
+}
+
+impl std::fmt::Display for CurveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let first = &self.failures[0];
+        write!(
+            f,
+            "{} source group(s) panicked ({} completed); first: group {} (source node {}, source indices {:?}): {}",
+            self.failures.len(),
+            self.completed,
+            first.group_index,
+            first.source,
+            first.source_indices,
+            first.payload
+        )
+    }
+}
+
+impl std::error::Error for CurveError {}
+
+/// In-process curve memo used by the suite scheduler (`crate::sched`):
+/// while enabled, measured curves are shared across experiments in this
+/// process, keyed by the same [`curve_key`] the on-disk cache uses — so
+/// e.g. `verdict`, which re-runs Fig 1's and Fig 6's measurements to
+/// extract its criteria, reuses the scheduler's curves instead of
+/// re-measuring all sixteen. `None` (the default) disables it; sharing
+/// memory across unrelated library calls must be opt-in.
+static CURVE_MEMO: Mutex<Option<HashMap<Key, Vec<CurvePoint>>>> = Mutex::new(None);
+
+/// Enable (fresh and empty) or disable-and-clear the curve memo.
+pub(crate) fn memo_set_enabled(on: bool) {
+    let mut memo = CURVE_MEMO.lock().unwrap_or_else(|e| e.into_inner());
+    *memo = if on { Some(HashMap::new()) } else { None };
+}
+
+fn memo_enabled() -> bool {
+    CURVE_MEMO
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .is_some()
+}
+
+fn memo_get(key: &Key) -> Option<Vec<CurvePoint>> {
+    CURVE_MEMO
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+        .and_then(|map| map.get(key).cloned())
+}
+
+fn memo_put(key: Key, points: &[CurvePoint]) {
+    if let Some(map) = CURVE_MEMO
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_mut()
+    {
+        map.insert(key, points.to_vec());
+    }
 }
 
 /// Shared driver: shard the deduplicated [`SourcePlan`] across workers
@@ -156,18 +378,43 @@ where
 /// per group, so the bar's total matches `N_source`. The span lives on
 /// the calling thread; workers only touch counters, so the span tree
 /// stays stable regardless of thread count.
-fn parallel_curve(
+fn try_parallel_curve(
     graph: &Graph,
     xs: &[usize],
     mcfg: &MeasureConfig,
     cfg: &RunConfig,
     kind: SampleKind,
-) -> Vec<CurvePoint> {
+) -> Result<Vec<CurvePoint>, CurveError> {
     let _span = mcast_obs::span("measure");
-    match mcast_store::active() {
-        Some(handle) => cached_curve(&handle, graph, xs, mcfg, cfg, kind),
-        None => measure_curve(graph, xs, mcfg, cfg, kind, Vec::new(), None),
+    let store = mcast_store::active();
+    let memo_on = memo_enabled();
+    // The key covers every number-determining input; computed once and
+    // shared between the memo and the on-disk cache.
+    let key = (memo_on || store.is_some()).then(|| curve_key(graph, xs, mcfg, kind));
+    if memo_on {
+        if let Some(points) = memo_get(key.as_ref().expect("key computed when memo on")) {
+            if mcast_obs::enabled() {
+                mcast_obs::counter("runner.memo.hit").add(1);
+            }
+            return Ok(points);
+        }
     }
+    let points = match store {
+        Some(handle) => try_cached_curve(
+            &handle,
+            key.expect("key computed when store active"),
+            graph,
+            xs,
+            mcfg,
+            cfg,
+            kind,
+        )?,
+        None => try_measure_curve(graph, xs, mcfg, cfg, kind, Vec::new(), None)?,
+    };
+    if memo_on {
+        memo_put(key.expect("key computed when memo on"), &points);
+    }
+    Ok(points)
 }
 
 /// The measurement loop proper: shard pending groups across workers,
@@ -179,7 +426,12 @@ fn parallel_curve(
 /// results are deterministic functions of `(graph, mcfg, index)`, so the
 /// merged curve is bit-identical however the work was split between a
 /// previous (killed) run and this one.
-fn measure_curve(
+///
+/// On `Err`, every group the surviving workers finished has already been
+/// appended (and flushed) to `ckpt`, and the returned [`CurveError`]
+/// names each failed group's plan index, source node, and source
+/// indices.
+fn try_measure_curve(
     graph: &Graph,
     xs: &[usize],
     mcfg: &MeasureConfig,
@@ -187,7 +439,7 @@ fn measure_curve(
     kind: SampleKind,
     mut done: Vec<Option<Vec<RunningStats>>>,
     ckpt: Option<Mutex<CheckpointWriter>>,
-) -> Vec<CurvePoint> {
+) -> Result<Vec<CurvePoint>, CurveError> {
     let plan = SourcePlan::new(graph, mcfg);
     done.resize(plan.total(), None);
     let pending: Vec<usize> = plan
@@ -208,12 +460,14 @@ fn measure_curve(
         progress.item_done();
     }
     let ckpt = &ckpt;
-    let per_group = parallel_map_with(
+    let per_group = try_parallel_map_with(
         pending.len(),
         cfg,
         |_worker| MeasureEngine::new(graph),
         |engine, k| {
-            let group = &plan.groups()[pending[k]];
+            let gi = pending[k];
+            crate::fault::hit_group(gi);
+            let group = &plan.groups()[gi];
             let out = measure_group(engine, group, xs, mcfg, kind);
             if let Some(writer) = ckpt {
                 let record = GroupRecord {
@@ -225,7 +479,12 @@ fn measure_curve(
                         })
                         .collect(),
                 };
-                let result = writer.lock().expect("checkpoint lock").append(&record);
+                // into_inner: a panic elsewhere must not poison the
+                // surviving workers' checkpoint appends.
+                let result = writer
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .append(&record);
                 if let Err(e) = result {
                     mcast_obs::warn!("store", "checkpoint append failed: {e}");
                 }
@@ -237,13 +496,49 @@ fn measure_curve(
             out
         },
     );
+    progress.finish();
+    // The checkpoint writer flushes every append, so simply dropping
+    // `ckpt` on either path below leaves a complete record of all
+    // surviving groups for `--resume`.
+    let per_group = match per_group {
+        Ok(per_group) => per_group,
+        Err(map_err) => {
+            let failures: Vec<GroupFailure> = map_err
+                .failures
+                .iter()
+                .map(|fail| {
+                    let gi = pending[fail.index];
+                    let group = &plan.groups()[gi];
+                    GroupFailure {
+                        group_index: gi,
+                        source: group.node,
+                        source_indices: group.indices.clone(),
+                        payload: fail.payload.clone(),
+                    }
+                })
+                .collect();
+            for fail in &failures {
+                mcast_obs::error!(
+                    "runner",
+                    "source group {} (node {}, source indices {:?}) panicked: {}",
+                    fail.group_index,
+                    fail.source,
+                    fail.source_indices,
+                    fail.payload
+                );
+            }
+            return Err(CurveError {
+                failures,
+                completed: map_err.completed,
+            });
+        }
+    };
     for group_out in per_group {
         for (index, stats) in group_out {
             done[index] = Some(stats);
         }
     }
-    progress.finish();
-    merge_indexed(xs, done)
+    Ok(merge_indexed(xs, done))
 }
 
 /// Cache key for one measured curve: every input that determines the
@@ -317,18 +612,22 @@ fn decode_curve(bytes: &[u8], xs: &[usize]) -> Option<Vec<CurvePoint>> {
 /// finished group, and — under `--resume` — starting from whatever a
 /// previous killed run already finished), then publish the curve and
 /// drop the now-redundant checkpoint.
-fn cached_curve(
+///
+/// On a measurement failure nothing is published and the checkpoint is
+/// *kept*: it holds every surviving group, so a later `--resume` only
+/// has to re-measure the groups that panicked.
+fn try_cached_curve(
     handle: &CacheHandle,
+    key: Key,
     graph: &Graph,
     xs: &[usize],
     mcfg: &MeasureConfig,
     cfg: &RunConfig,
     kind: SampleKind,
-) -> Vec<CurvePoint> {
-    let key = curve_key(graph, xs, mcfg, kind);
+) -> Result<Vec<CurvePoint>, CurveError> {
     if let Some(bytes) = handle.cache.get(&key, ObjectKind::Curve) {
         if let Some(points) = decode_curve(&bytes, xs) {
-            return points;
+            return Ok(points);
         }
         mcast_obs::warn!("store", "cached curve {key} failed to decode; remeasuring");
     }
@@ -364,12 +663,22 @@ fn cached_curve(
             }
         }
     }
-    let points = measure_curve(graph, xs, mcfg, cfg, kind, done, writer);
+    let points = try_measure_curve(graph, xs, mcfg, cfg, kind, done, writer)?;
     match handle.cache.put(&key, ObjectKind::Curve, &encode_curve(&points)) {
         Ok(()) => mcast_store::checkpoint::remove(&ckpt_dir, &key),
         Err(e) => mcast_obs::warn!("store", "cache write failed: {e}"),
     }
-    points
+    Ok(points)
+}
+
+fn unwrap_curve(result: Result<Vec<CurvePoint>, CurveError>) -> Vec<CurvePoint> {
+    match result {
+        Ok(points) => points,
+        // The infallible API keeps the historical contract (panics
+        // propagate) — but only after surviving groups were measured,
+        // checkpointed, and the failure diagnosed with group context.
+        Err(e) => std::panic::resume_unwind(Box::new(e.to_string())),
+    }
 }
 
 /// Parallel version of [`mcast_tree::measure::ratio_curve`] (§2's
@@ -380,7 +689,7 @@ pub fn parallel_ratio_curve(
     mcfg: &MeasureConfig,
     cfg: &RunConfig,
 ) -> Vec<CurvePoint> {
-    parallel_curve(graph, ms, mcfg, cfg, SampleKind::Ratio)
+    unwrap_curve(try_parallel_ratio_curve(graph, ms, mcfg, cfg))
 }
 
 /// Parallel version of [`mcast_tree::measure::lhat_curve`] (§4's
@@ -391,7 +700,31 @@ pub fn parallel_lhat_curve(
     mcfg: &MeasureConfig,
     cfg: &RunConfig,
 ) -> Vec<CurvePoint> {
-    parallel_curve(graph, ns, mcfg, cfg, SampleKind::NormalizedTree)
+    unwrap_curve(try_parallel_lhat_curve(graph, ns, mcfg, cfg))
+}
+
+/// Fault-isolating [`parallel_ratio_curve`]: a panicking source group
+/// becomes a [`CurveError`] naming the group instead of unwinding, and
+/// every surviving group is still measured (and checkpointed when a
+/// store is bound).
+pub fn try_parallel_ratio_curve(
+    graph: &Graph,
+    ms: &[usize],
+    mcfg: &MeasureConfig,
+    cfg: &RunConfig,
+) -> Result<Vec<CurvePoint>, CurveError> {
+    try_parallel_curve(graph, ms, mcfg, cfg, SampleKind::Ratio)
+}
+
+/// Fault-isolating [`parallel_lhat_curve`]; see
+/// [`try_parallel_ratio_curve`].
+pub fn try_parallel_lhat_curve(
+    graph: &Graph,
+    ns: &[usize],
+    mcfg: &MeasureConfig,
+    cfg: &RunConfig,
+) -> Result<Vec<CurvePoint>, CurveError> {
+    try_parallel_curve(graph, ns, mcfg, cfg, SampleKind::NormalizedTree)
 }
 
 /// A log-spaced grid of integer group sizes from 1 to `max`, deduplicated:
@@ -662,6 +995,155 @@ pub(crate) mod tests {
                     "threads={threads}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn sequential_capture_reports_failing_index() {
+        let cfg = RunConfig {
+            threads: 1,
+            ..RunConfig::fast()
+        };
+        let err = try_parallel_map_with(
+            6,
+            &cfg,
+            |_| (),
+            |(), i| {
+                if i == 3 {
+                    panic!("boom at {i}");
+                }
+                i * 10
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.failures.len(), 1);
+        assert_eq!(err.failures[0].index, 3);
+        assert_eq!(err.failures[0].payload, "boom at 3");
+        assert_eq!(err.completed, 5);
+        assert!(err.to_string().contains("item 3"), "{err}");
+    }
+
+    #[test]
+    fn parallel_capture_drains_survivors_and_rebuilds_state() {
+        let cfg = RunConfig {
+            threads: 3,
+            ..RunConfig::fast()
+        };
+        // State counts items since the last rebuild. A panic poisons the
+        // worker's state, which must be rebuilt (fresh counter) before
+        // the next item — stale state never contributes.
+        let err = try_parallel_map_with(
+            50,
+            &cfg,
+            |_t| 0usize,
+            |since_rebuild, i| {
+                *since_rebuild += 1;
+                if i == 7 || i == 23 {
+                    panic!("injected");
+                }
+                i
+            },
+        )
+        .unwrap_err();
+        let indices: Vec<usize> = err.failures.iter().map(|f| f.index).collect();
+        assert_eq!(indices, vec![7, 23], "sorted, both captured");
+        assert_eq!(err.completed, 48, "every surviving item ran");
+    }
+
+    #[test]
+    fn init_panic_is_captured_not_propagated() {
+        let cfg = RunConfig {
+            threads: 1,
+            ..RunConfig::fast()
+        };
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        // First init attempt panics; the item it would have served is
+        // reported failed, and the retried init serves the rest.
+        let err = try_parallel_map_with(
+            3,
+            &cfg,
+            |_| {
+                if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("init fault");
+                }
+            },
+            |(), i| i,
+        )
+        .unwrap_err();
+        assert_eq!(err.failures.len(), 1);
+        assert_eq!(err.failures[0].index, 0);
+        assert!(
+            err.failures[0].payload.contains("init panicked"),
+            "{}",
+            err.failures[0].payload
+        );
+        assert_eq!(err.completed, 2);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn failed_group_keeps_checkpoint_and_resume_completes_bit_identically() {
+        let _cache_guard = cache_test_lock();
+        let _fault_guard = crate::fault::tests::fault_test_lock();
+        let g = binary_tree(5);
+        let mcfg = MeasureConfig {
+            sources: 7,
+            receiver_sets: 5,
+            seed: 99,
+        };
+        let cfg = RunConfig {
+            threads: 2,
+            ..RunConfig::fast()
+        };
+        let xs = [1usize, 4, 12];
+        mcast_store::deactivate();
+        let reference = parallel_ratio_curve(&g, &xs, &mcfg, &cfg);
+
+        let root = std::env::temp_dir().join(format!("mcs-fault-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        mcast_store::configure(&root, false).unwrap();
+        let victim = SourcePlan::new(&g, &mcfg).groups().len() / 2;
+        // Task-filter the fault to this test's context and measure
+        // single-threaded (hooks fire on the calling thread), so curves
+        // measured by concurrently running tests can't trip it.
+        crate::fault::arm(Some("runner-ckpt-test"), Some(victim), 1);
+        let seq_cfg = RunConfig { threads: 1, ..cfg };
+        let err = {
+            let _ctx = crate::fault::context("runner-ckpt-test");
+            try_parallel_ratio_curve(&g, &xs, &mcfg, &seq_cfg).unwrap_err()
+        };
+        crate::fault::disarm();
+        assert_eq!(err.failures.len(), 1);
+        assert_eq!(err.failures[0].group_index, victim);
+        assert!(
+            err.failures[0].payload.contains("injected fault"),
+            "{}",
+            err.failures[0].payload
+        );
+
+        // The failed curve was not published, but the survivors'
+        // checkpoint was kept for resume.
+        let handle = mcast_store::active().unwrap();
+        let key = curve_key(&g, &xs, &mcfg, SampleKind::Ratio);
+        assert!(!handle.cache.contains(&key), "failed curve must not publish");
+        assert!(
+            mcast_store::checkpoint::checkpoint_path(&handle.cache.checkpoint_dir(), &key)
+                .exists(),
+            "survivors' checkpoint must be kept"
+        );
+        mcast_store::deactivate();
+
+        // Resume: only the failed group re-measures; the curve comes out
+        // bit-identical to the clean uncached reference.
+        mcast_store::configure(&root, true).unwrap();
+        let resumed = parallel_ratio_curve(&g, &xs, &mcfg, &cfg);
+        mcast_store::deactivate();
+        let _ = std::fs::remove_dir_all(&root);
+        for (a, b) in reference.iter().zip(&resumed) {
+            assert_eq!(a.x, b.x);
+            assert_eq!(a.stats.count(), b.stats.count());
+            assert_eq!(a.stats.mean().to_bits(), b.stats.mean().to_bits());
+            assert_eq!(a.stats.variance().to_bits(), b.stats.variance().to_bits());
         }
     }
 

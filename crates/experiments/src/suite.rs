@@ -10,6 +10,39 @@ use crate::config::RunConfig;
 use crate::dataset::Report;
 use crate::figures;
 use mcast_store::{Key, KeyBuilder, ObjectKind};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// In-process memo of finished figure reports, keyed by [`figure_key`].
+/// `None` (the default) means disabled; [`crate::sched::run_suite`]
+/// enables it for the duration of a scheduled run so `verdict`'s
+/// internal re-runs of Figs 1–9 reuse the reports their own tasks
+/// already produced instead of recomputing them. Reports are
+/// deterministic functions of the key, so a memo hit never changes a
+/// number (the meta stamp is re-applied per call, exactly as the
+/// on-disk report cache does).
+static REPORT_MEMO: Mutex<Option<HashMap<Key, Report>>> = Mutex::new(None);
+
+/// Turn the figure-report memo on (fresh and empty) or off (releasing it).
+pub(crate) fn memo_set_enabled(on: bool) {
+    let mut memo = REPORT_MEMO.lock().unwrap_or_else(|e| e.into_inner());
+    *memo = on.then(HashMap::new);
+}
+
+fn memo_get(key: &Key) -> Option<Report> {
+    REPORT_MEMO
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+        .and_then(|m| m.get(key).cloned())
+}
+
+fn memo_put(key: Key, report: &Report) {
+    let mut memo = REPORT_MEMO.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(m) = memo.as_mut() {
+        m.insert(key, report.clone());
+    }
+}
 
 /// All experiment ids, in paper order.
 pub const EXPERIMENT_IDS: [&str; 16] = [
@@ -88,28 +121,58 @@ fn figure_key(id: &str, cfg: &RunConfig) -> Key {
 pub fn run(id: &str, cfg: &RunConfig) -> Option<Report> {
     describe(id)?; // unknown ids bail before opening a span
     let _span = mcast_obs::span_at(id.to_string());
-    if let Some(handle) = mcast_store::active() {
-        let key = figure_key(id, cfg);
-        if let Some(bytes) = handle.cache.get(&key, ObjectKind::Report) {
-            if let Some(mut report) = std::str::from_utf8(&bytes)
-                .ok()
-                .and_then(|text| serde_json::from_str::<Report>(text).ok())
-            {
-                report.meta = Some(cfg.run_meta());
-                return Some(report);
+    let store = mcast_store::active();
+    let memo_on = REPORT_MEMO
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .is_some();
+    let key = (memo_on || store.is_some()).then(|| figure_key(id, cfg));
+    if memo_on {
+        if let Some(mut report) = memo_get(key.as_ref().expect("key computed when memo on")) {
+            if mcast_obs::enabled() {
+                mcast_obs::counter("suite.memo.hit").add(1);
             }
-            mcast_obs::warn!("store", "cached report {key} failed to decode; re-running");
+            report.meta = Some(cfg.run_meta());
+            return Some(report);
         }
+    }
+    let report = if let Some(handle) = store {
+        let key = key.expect("key computed when store active");
+        let cached = handle
+            .cache
+            .get(&key, ObjectKind::Report)
+            .and_then(|bytes| {
+                let report = std::str::from_utf8(&bytes)
+                    .ok()
+                    .and_then(|text| serde_json::from_str::<Report>(text).ok());
+                if report.is_none() {
+                    mcast_obs::warn!("store", "cached report {key} failed to decode; re-running");
+                }
+                report
+            });
+        match cached {
+            Some(mut report) => {
+                report.meta = Some(cfg.run_meta());
+                report
+            }
+            None => {
+                let mut report = run_inner(id, cfg)?;
+                report.meta = Some(cfg.run_meta());
+                let json = crate::render::report_json(&report);
+                if let Err(e) = handle.cache.put(&key, ObjectKind::Report, json.as_bytes()) {
+                    mcast_obs::warn!("store", "cache write failed for {id}: {e}");
+                }
+                report
+            }
+        }
+    } else {
         let mut report = run_inner(id, cfg)?;
         report.meta = Some(cfg.run_meta());
-        let json = crate::render::report_json(&report);
-        if let Err(e) = handle.cache.put(&key, ObjectKind::Report, json.as_bytes()) {
-            mcast_obs::warn!("store", "cache write failed for {id}: {e}");
-        }
-        return Some(report);
+        report
+    };
+    if memo_on {
+        memo_put(key.expect("key computed when memo on"), &report);
     }
-    let mut report = run_inner(id, cfg)?;
-    report.meta = Some(cfg.run_meta());
     Some(report)
 }
 
@@ -143,10 +206,34 @@ pub fn run_all(cfg: &RunConfig) -> Vec<Report> {
         .collect()
 }
 
+/// A request the suite registry cannot satisfy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SuiteError {
+    /// The named experiment is not in [`EXPERIMENT_IDS`].
+    UnknownExperiment {
+        /// The name as the caller gave it.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuiteError::UnknownExperiment { name } => write!(
+                f,
+                "unknown experiment `{name}`; known experiments: {}",
+                EXPERIMENT_IDS.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
 /// Expand and validate a list of requested experiment names: `all`
 /// expands to the full paper-order suite, duplicates are kept in request
 /// order, and any unknown name is an error that lists every valid id.
-pub fn resolve_ids<S: AsRef<str>>(requested: &[S]) -> Result<Vec<String>, String> {
+pub fn resolve_ids<S: AsRef<str>>(requested: &[S]) -> Result<Vec<String>, SuiteError> {
     let mut ids = Vec::new();
     for name in requested {
         let name = name.as_ref();
@@ -155,10 +242,9 @@ pub fn resolve_ids<S: AsRef<str>>(requested: &[S]) -> Result<Vec<String>, String
         } else if describe(name).is_some() {
             ids.push(name.to_string());
         } else {
-            return Err(format!(
-                "unknown experiment `{name}`; known experiments: {}",
-                EXPERIMENT_IDS.join(", ")
-            ));
+            return Err(SuiteError::UnknownExperiment {
+                name: name.to_string(),
+            });
         }
     }
     Ok(ids)
@@ -185,8 +271,15 @@ mod tests {
         );
         assert_eq!(resolve_ids(&["all"]).unwrap().len(), EXPERIMENT_IDS.len());
         let err = resolve_ids(&["fig2", "fig99"]).unwrap_err();
-        assert!(err.contains("fig99"), "{err}");
-        assert!(err.contains("table1") && err.contains("verdict"), "{err}");
+        assert_eq!(
+            err,
+            SuiteError::UnknownExperiment {
+                name: "fig99".to_string()
+            }
+        );
+        let text = err.to_string();
+        assert!(text.contains("unknown experiment `fig99`"), "{text}");
+        assert!(text.contains("table1") && text.contains("verdict"), "{text}");
         assert!(resolve_ids::<&str>(&[]).unwrap().is_empty());
     }
 

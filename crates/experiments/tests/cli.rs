@@ -386,6 +386,131 @@ fn walk_mco(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
 }
 
 #[test]
+fn suite_scheduler_flags_are_validated() {
+    // --keep-going / --fail-fast / --max-retries only make sense with
+    // the suite subcommand.
+    for args in [
+        &["--keep-going", "fig2"][..],
+        &["--fail-fast", "fig2"][..],
+        &["--max-retries", "2", "fig2"][..],
+    ] {
+        let out = mcs().args(args).output().unwrap();
+        assert!(!out.status.success(), "{args:?} must be rejected");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("suite"), "{args:?}: {err}");
+    }
+
+    let out = mcs()
+        .args(["--keep-going", "--fail-fast", "--only", "fig2", "suite"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("mutually exclusive"), "stderr: {err}");
+
+    let out = mcs()
+        .args(["--max-retries", "banana", "--only", "fig2", "suite"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+/// The acceptance drill from the issue: inject a panic into one source
+/// group of one fig1 curve, run `suite --keep-going`, and check that the
+/// run degrades to a *partial* report (exit 2) that names the failure,
+/// with every surviving artefact byte-identical — then `--resume`
+/// completes the suite from the checkpoints.
+#[test]
+fn keep_going_suite_survives_an_injected_panic_and_resumes() {
+    let base = std::env::temp_dir().join(format!("mcs-fault-drill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let cache = base.join("cache");
+    let (out_a, out_b, out_c) = (base.join("a"), base.join("b"), base.join("c"));
+    let metrics = base.join("m.json");
+    let common = |out_dir: &std::path::Path| {
+        let mut cmd = mcs();
+        cmd.args(["--fast", "--seed", "7", "--threads", "2"]);
+        cmd.args(["--out", out_dir.to_str().unwrap()]);
+        cmd.args(["--only", "fig1,fig2", "suite"]);
+        cmd
+    };
+
+    // Baseline: a clean run of fig1 + fig2.
+    let out = common(&out_a).arg("--quiet").output().unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Faulted run: source group 3 of the fig1/MBone curve panics on both
+    // attempts (initial + the one retry), so the task is quarantined.
+    let mut cmd = common(&out_b);
+    cmd.args(["--keep-going", "--cache-dir", cache.to_str().unwrap()]);
+    cmd.args(["--metrics", metrics.to_str().unwrap()]);
+    cmd.env("MCS_FAULT_TASK", "fig1/MBone")
+        .env("MCS_FAULT_GROUP", "3")
+        .env("MCS_FAULT_TIMES", "2");
+    let out = cmd.output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "partial suites exit 2\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("partial"), "summary: {stdout}");
+    assert!(stdout.contains("quarantined"), "summary: {stdout}");
+    assert!(stdout.contains("fig1/MBone"), "summary: {stdout}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("source group 3"),
+        "stderr must name the failing source group: {stderr}"
+    );
+
+    // The surviving figure is byte-identical to the clean run; the
+    // poisoned figure was never assembled.
+    assert_eq!(
+        std::fs::read(out_a.join("fig2.json")).unwrap(),
+        std::fs::read(out_b.join("fig2.json")).unwrap(),
+        "fig2 must be unaffected by the fig1 fault"
+    );
+    assert!(
+        !out_b.join("fig1.json").exists(),
+        "fig1 must not be assembled from a quarantined curve"
+    );
+
+    // Metrics record the two captured panics, the retry, and the
+    // quarantine decision (substring match: the dump is plain JSON).
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    assert!(text.contains("\"sched.task.panic\": 2"), "{text}");
+    assert!(text.contains("\"sched.task.retry\": 1"), "{text}");
+    assert!(text.contains("\"sched.task.quarantined\": 1"), "{text}");
+
+    // Resume with the fault gone: only the failed groups re-measure and
+    // the suite completes, reproducing the baseline bytes.
+    let mut cmd = common(&out_c);
+    cmd.args(["--quiet", "--cache-dir", cache.to_str().unwrap(), "--resume"]);
+    let out = cmd.output().unwrap();
+    assert!(
+        out.status.success(),
+        "resume must complete: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for f in ["fig1.json", "fig2.json"] {
+        assert_eq!(
+            std::fs::read(out_a.join(f)).unwrap(),
+            std::fs::read(out_c.join(f)).unwrap(),
+            "{f} after resume differs from a clean run"
+        );
+    }
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
 fn metrics_flag_never_changes_artefacts() {
     let base = std::env::temp_dir().join(format!("mcs-obs-identity-{}", std::process::id()));
     let plain = base.join("plain");

@@ -55,13 +55,18 @@ pub fn span(name: &str) -> SpanGuard {
             start: None,
         };
     }
-    let path = STACK.with(|s| {
-        let s = s.borrow();
-        match s.last() {
-            Some(parent) => format!("{parent}/{name}"),
-            None => name.to_string(),
-        }
-    });
+    // Lossy by design: if the TLS stack is gone (thread teardown) or
+    // already borrowed (re-entrancy during unwinding), record at the root
+    // rather than risk a double panic inside a Drop.
+    let path = STACK
+        .try_with(|s| {
+            s.try_borrow()
+                .ok()
+                .and_then(|s| s.last().map(|parent| format!("{parent}/{name}")))
+        })
+        .ok()
+        .flatten()
+        .unwrap_or_else(|| name.to_string());
     open(path)
 }
 
@@ -79,7 +84,13 @@ pub fn span_at(path: impl Into<String>) -> SpanGuard {
 }
 
 fn open(path: String) -> SpanGuard {
-    STACK.with(|s| s.borrow_mut().push(path.clone()));
+    // If the stack is unavailable the span still times and records; only
+    // the nesting of children opened beneath it is lost.
+    let _ = STACK.try_with(|s| {
+        if let Ok(mut s) = s.try_borrow_mut() {
+            s.push(path.clone());
+        }
+    });
     SpanGuard {
         path: Some(path),
         start: Some(Instant::now()),
@@ -92,12 +103,18 @@ impl Drop for SpanGuard {
             return;
         };
         let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        STACK.with(|s| {
-            let mut s = s.borrow_mut();
-            // Normally a plain LIFO pop; scan defensively in case guards
-            // were dropped out of order.
-            if let Some(pos) = s.iter().rposition(|p| *p == path) {
-                s.remove(pos);
+        // This drop runs during unwinding whenever a spanned scope
+        // panics; `try_with`/`try_borrow_mut` keep it from turning that
+        // panic into an abort if the TLS stack is mid-teardown or
+        // borrowed. Worst case the entry is left behind and removed by a
+        // later guard's defensive scan — the timing below still records.
+        let _ = STACK.try_with(|s| {
+            if let Ok(mut s) = s.try_borrow_mut() {
+                // Normally a plain LIFO pop; scan defensively in case
+                // guards were dropped out of order.
+                if let Some(pos) = s.iter().rposition(|p| *p == path) {
+                    s.remove(pos);
+                }
             }
         });
         let mut spans = collector().lock().unwrap_or_else(|e| e.into_inner());
@@ -279,6 +296,29 @@ mod tests {
         let child_pos = out.find("\"phase\"").expect("child present");
         assert!(child_pos > tree_pos, "child nested after parent:\n{out}");
         assert!(out.contains("\"total_ms\""));
+    }
+
+    #[test]
+    fn spans_survive_unwinding_and_keep_recording() {
+        let _g = enabled_guard();
+        let panicked = std::panic::catch_unwind(|| {
+            let _outer = span_at("test-span-unwind");
+            let _inner = span("doomed");
+            panic!("boom");
+        });
+        assert!(panicked.is_err());
+        // The guards dropped during unwinding without a double panic and
+        // still recorded; new spans on this thread keep working.
+        {
+            let _after = span_at("test-span-after-unwind");
+        }
+        crate::set_enabled(false);
+        assert_eq!(stat("test-span-unwind").unwrap().count, 1);
+        assert_eq!(stat("test-span-unwind/doomed").unwrap().count, 1);
+        assert_eq!(stat("test-span-after-unwind").unwrap().count, 1);
+        // Unwinding left no stale entries: the fresh span is a root, not
+        // a child of the panicked one.
+        assert!(stat("test-span-unwind/test-span-after-unwind").is_none());
     }
 
     #[test]
