@@ -1,0 +1,76 @@
+//! BFS kernel: scalar one-source-at-a-time sweeps against the
+//! bit-parallel 64-lane batch, on the reachability workload Figures 6/7
+//! and Table 1 actually run (64 spread sources per topology).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcast_experiments::figures::table1::spread_sources;
+use mcast_experiments::networks;
+use mcast_experiments::RunConfig;
+use mcast_topology::bfs::Bfs;
+use mcast_topology::graph::{Graph, NodeId};
+use mcast_topology::reachability::{AverageReachability, Reachability};
+
+/// The pre-batch schedule, replicated exactly: one reused scratch BFS
+/// run per source, buffered profiles, then the padded float T(r) merge
+/// (what `over_sources` did before the bit-parallel kernel).
+fn scalar_over_sources(graph: &Graph, sources: &[NodeId]) -> Vec<f64> {
+    let mut bfs = Bfs::new(graph);
+    let mut profiles = Vec::with_capacity(sources.len());
+    let mut max_ecc = 0usize;
+    for &s in sources {
+        bfs.run_scratch(s);
+        let p = Reachability::from_distances(bfs.scratch_distances(), bfs.scratch_order());
+        max_ecc = max_ecc.max(p.eccentricity());
+        profiles.push(p);
+    }
+    let mut t = vec![0.0f64; max_ecc + 1];
+    for p in &profiles {
+        let tv = p.t_vec();
+        for (r, slot) in t.iter_mut().enumerate() {
+            let val = if r < tv.len() {
+                tv[r]
+            } else {
+                *tv.last().unwrap()
+            };
+            *slot += val as f64;
+        }
+    }
+    for slot in &mut t {
+        *slot /= sources.len() as f64;
+    }
+    t
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = RunConfig::fast();
+    let ts1000 = networks::ts1000(&cfg);
+    let ti5000 = networks::ti5000(&cfg);
+    let arpa = networks::arpa(&cfg);
+    let mut g = c.benchmark_group("bfs");
+    g.sample_size(10);
+    for net in [&ts1000, &ti5000, &arpa] {
+        let sources = spread_sources(&net.graph, 64);
+        // The two schedules must agree bit-for-bit before being timed.
+        let batched = AverageReachability::over_sources(&net.graph, &sources).unwrap();
+        let scalar = scalar_over_sources(&net.graph, &sources);
+        assert_eq!(batched.t_vec().len(), scalar.len());
+        for (a, b) in batched.t_vec().iter().zip(&scalar) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        g.bench_function(format!("scalar64/{}", net.name).as_str(), |b| {
+            b.iter(|| scalar_over_sources(&net.graph, &sources))
+        });
+        g.bench_function(format!("batched64/{}", net.name).as_str(), |b| {
+            b.iter(|| AverageReachability::over_sources(&net.graph, &sources).unwrap())
+        });
+        // A single scalar traversal for per-BFS cost context.
+        let mut bfs = Bfs::new(&net.graph);
+        g.bench_function(format!("scalar1/{}", net.name).as_str(), |b| {
+            b.iter(|| bfs.run(sources[0]).reached_count())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
     for net in [&ts1000, &ti5000] {
         let sources = spread_sources(&net.graph, 64);
         g.bench_function(format!("avg_reachability/{}", net.name), |b| {
-            b.iter(|| AverageReachability::over_sources(&net.graph, &sources))
+            b.iter(|| AverageReachability::over_sources(&net.graph, &sources).unwrap())
         });
     }
     g.finish();

@@ -1,0 +1,119 @@
+//! Records the batched-BFS baseline as machine-readable JSON.
+//!
+//! Criterion tracks per-function timings interactively; this bin distils
+//! the number the acceptance criteria pin — bit-parallel speedup on a
+//! 64-source reachability sweep of the largest generated topology
+//! (ti5000) — into `BENCH_bfs.json` so CI can archive it next to the
+//! other baselines and future PRs can diff it.
+//!
+//! Usage: `bench_bfs_baseline [OUT_PATH]` (default `BENCH_bfs.json`).
+
+use mcast_experiments::figures::table1::spread_sources;
+use mcast_experiments::networks::{self, Network};
+use mcast_experiments::RunConfig;
+use mcast_topology::batch::{BatchBfs, MAX_LANES};
+use mcast_topology::bfs::Bfs;
+use mcast_topology::graph::{Graph, NodeId};
+use mcast_topology::reachability::{AverageReachability, Reachability};
+use std::time::Instant;
+
+/// The pre-batch schedule, replicated exactly with today's public API:
+/// one reused scratch BFS run per source, every profile buffered, then
+/// the float T(r) merge over the padded vectors (what `over_sources`
+/// did before the bit-parallel kernel). Every partial sum is an exact
+/// integer below 2^53, so both sides agree bit-for-bit.
+fn scalar_over_sources(graph: &Graph, sources: &[NodeId]) -> Vec<f64> {
+    let mut bfs = Bfs::new(graph);
+    let mut profiles = Vec::with_capacity(sources.len());
+    let mut max_ecc = 0usize;
+    for &s in sources {
+        bfs.run_scratch(s);
+        let p = Reachability::from_distances(bfs.scratch_distances(), bfs.scratch_order());
+        max_ecc = max_ecc.max(p.eccentricity());
+        profiles.push(p);
+    }
+    let mut t = vec![0.0f64; max_ecc + 1];
+    for p in &profiles {
+        let tv = p.t_vec();
+        for (r, slot) in t.iter_mut().enumerate() {
+            let val = if r < tv.len() {
+                tv[r]
+            } else {
+                *tv.last().unwrap()
+            };
+            *slot += val as f64;
+        }
+    }
+    for slot in &mut t {
+        *slot /= sources.len() as f64;
+    }
+    t
+}
+
+/// Best-of-`reps` wall time of `f`, in nanoseconds (best-of suppresses
+/// scheduler noise better than a mean for short deterministic kernels).
+fn best_ns<F: FnMut() -> R, R>(reps: usize, mut f: F) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_nanos());
+    }
+    best
+}
+
+/// Bit-identity of the two schedules, then best-of timings.
+fn measure(net: &Network, reps: usize) -> (usize, u128, u128) {
+    // Capped at the node count on small topologies (ARPA has 47 nodes).
+    let sources = spread_sources(&net.graph, 64);
+    assert!(!sources.is_empty());
+
+    let batched = AverageReachability::over_sources(&net.graph, &sources).unwrap();
+    let scalar = scalar_over_sources(&net.graph, &sources);
+    assert_eq!(batched.t_vec().len(), scalar.len(), "{}", net.name);
+    for (a, b) in batched.t_vec().iter().zip(&scalar) {
+        assert_eq!(a.to_bits(), b.to_bits(), "{}", net.name);
+    }
+    // Per-source distances too, lane by lane.
+    let mut batch = BatchBfs::new(&net.graph);
+    let mut bfs = Bfs::new(&net.graph);
+    for chunk in sources.chunks(MAX_LANES) {
+        batch.run(chunk);
+        for (lane, &s) in chunk.iter().enumerate() {
+            bfs.run(s);
+            assert_eq!(batch.distances(lane), bfs.scratch_distances(), "{}", net.name);
+        }
+    }
+
+    let scalar_ns = best_ns(reps, || scalar_over_sources(&net.graph, &sources));
+    let batched_ns = best_ns(reps, || {
+        AverageReachability::over_sources(&net.graph, &sources).unwrap()
+    });
+    (net.graph.node_count(), scalar_ns, batched_ns)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_bfs.json".to_string());
+
+    let cfg = RunConfig::fast();
+    let ti5000 = networks::ti5000(&cfg);
+    let arpa = networks::arpa(&cfg);
+
+    let (ti_nodes, ti_scalar_ns, ti_batched_ns) = measure(&ti5000, 20);
+    let (arpa_nodes, arpa_scalar_ns, arpa_batched_ns) = measure(&arpa, 50);
+    let ti_speedup = ti_scalar_ns as f64 / ti_batched_ns as f64;
+    let arpa_speedup = arpa_scalar_ns as f64 / arpa_batched_ns as f64;
+
+    let json = format!(
+        "{{\n  \"bench\": \"bfs\",\n  \"workload\": \"64-spread-source reachability sweep, scalar BFS loop vs 64-lane batch\",\n  \"ti5000\": {{\n    \"nodes\": {ti_nodes},\n    \"scalar_ns\": {ti_scalar_ns},\n    \"batched_ns\": {ti_batched_ns},\n    \"speedup\": {ti_speedup:.3}\n  }},\n  \"arpa\": {{\n    \"nodes\": {arpa_nodes},\n    \"scalar_ns\": {arpa_scalar_ns},\n    \"batched_ns\": {arpa_batched_ns},\n    \"speedup\": {arpa_speedup:.3}\n  }}\n}}\n",
+    );
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    println!("{json}");
+    eprintln!("wrote {out_path}: ti5000 speedup {ti_speedup:.2}x, arpa {arpa_speedup:.2}x");
+    assert!(
+        ti_speedup >= 2.0,
+        "acceptance: ti5000 64-source sweep must be at least 2x ({ti_speedup:.2}x)"
+    );
+}

@@ -119,7 +119,8 @@ impl ScalingStudy {
         let n = self.graph.node_count();
         let count = 64.min(n);
         let sources: Vec<NodeId> = (0..count).map(|i| (i * n / count) as NodeId).collect();
-        let reach = AverageReachability::over_sources(&self.graph, &sources);
+        let reach = AverageReachability::over_sources(&self.graph, &sources)
+            .expect("spread sources are never empty");
         if reach.exponential_fit_r2(0.9) >= 0.93 {
             ReachabilityClass::Exponential
         } else {

@@ -15,7 +15,8 @@ fn panel(id: &str, title: &str, nets: &[Network], report: &mut Report) {
     let mut series = Vec::new();
     for net in nets {
         let sources = spread_sources(&net.graph, 64);
-        let reach = AverageReachability::over_sources(&net.graph, &sources);
+        let reach = AverageReachability::over_sources(&net.graph, &sources)
+            .expect("spread sources are never empty");
         report.note(format!(
             "{}: max radius {}, lnT fit R2 {:.4}",
             net.name,

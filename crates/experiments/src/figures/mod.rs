@@ -31,7 +31,108 @@ pub mod fig9;
 pub mod table1;
 pub mod verdict;
 
-use crate::dataset::Series;
+use crate::dataset::{DataSet, Report, Series};
+use mcast_analysis::fit::{linear_fit, LinearFit};
+
+/// Error from assembling or grading a figure artefact: a report, dataset,
+/// series, or fit the assembly relies on is missing. These used to be
+/// `expect` panics that unwound into the scheduler's `catch_unwind` and
+/// surfaced as a quarantined task; following the `suite::resolve_ids`
+/// precedent they are typed, so the verdict can print a diagnosable
+/// ERROR row instead.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FigureError {
+    /// The named experiment is not in the suite registry.
+    UnregisteredExperiment {
+        /// The experiment id as requested.
+        id: String,
+    },
+    /// The figure's report has no dataset with the given id.
+    MissingDataset {
+        /// Report id of the figure being graded.
+        figure: String,
+        /// The dataset id that was expected.
+        dataset: String,
+    },
+    /// The dataset exists but holds no series with the given label.
+    MissingSeries {
+        /// Report id of the figure being graded.
+        figure: String,
+        /// The dataset that was searched.
+        dataset: String,
+        /// The series label that was expected.
+        series: String,
+    },
+    /// A regression had too few (or degenerate) points to fit.
+    FitFailed {
+        /// Report id of the figure being graded.
+        figure: String,
+        /// What was being fitted, for the error message.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for FigureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FigureError::UnregisteredExperiment { id } => {
+                write!(f, "figure `{id}` is not registered in the experiment suite")
+            }
+            FigureError::MissingDataset { figure, dataset } => {
+                write!(f, "figure `{figure}` has no dataset `{dataset}`")
+            }
+            FigureError::MissingSeries {
+                figure,
+                dataset,
+                series,
+            } => write!(
+                f,
+                "figure `{figure}` dataset `{dataset}` has no series `{series}`"
+            ),
+            FigureError::FitFailed { figure, what } => {
+                write!(f, "figure `{figure}`: not enough points to fit {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FigureError {}
+
+/// Look up a dataset by id, with a typed error instead of a panic.
+pub fn require_dataset<'r>(report: &'r Report, dataset: &str) -> Result<&'r DataSet, FigureError> {
+    report
+        .dataset(dataset)
+        .ok_or_else(|| FigureError::MissingDataset {
+            figure: report.id.clone(),
+            dataset: dataset.to_string(),
+        })
+}
+
+/// Look up a series by dataset id and label, with a typed error.
+pub fn require_series<'r>(
+    report: &'r Report,
+    dataset: &str,
+    label: &str,
+) -> Result<&'r Series, FigureError> {
+    let d = require_dataset(report, dataset)?;
+    d.series
+        .iter()
+        .find(|s| s.label == label)
+        .ok_or_else(|| FigureError::MissingSeries {
+            figure: report.id.clone(),
+            dataset: dataset.to_string(),
+            series: label.to_string(),
+        })
+}
+
+/// [`linear_fit`] with a typed error naming the figure and the quantity
+/// being fitted.
+pub fn require_fit(figure: &str, what: &str, pts: &[(f64, f64)]) -> Result<LinearFit, FigureError> {
+    linear_fit(pts).ok_or_else(|| FigureError::FitFailed {
+        figure: figure.to_string(),
+        what: what.to_string(),
+    })
+}
 
 /// The Chuang–Sirbu reference curve `y = x^0.8` over the given x values.
 pub fn chuang_sirbu_reference(xs: &[f64]) -> Series {
@@ -74,6 +175,41 @@ mod tests {
         assert!((r.points[1].1 - 10f64.powf(0.8)).abs() < 1e-12);
         let k = kary_asymptote_reference(2.0, &[0.01, 0.1]);
         assert!(k.points[0].1 > k.points[1].1, "decreasing in x");
+    }
+
+    #[test]
+    fn figure_errors_are_typed_and_printable() {
+        let mut r = Report::new("figX", "test report");
+        r.datasets.push(DataSet {
+            id: "d1".into(),
+            title: "t".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            log_x: false,
+            log_y: false,
+            series: vec![Series::new("s1", vec![(1.0, 2.0)])],
+        });
+        assert!(require_dataset(&r, "d1").is_ok());
+        let e = require_dataset(&r, "nope").unwrap_err();
+        assert_eq!(
+            e,
+            FigureError::MissingDataset {
+                figure: "figX".into(),
+                dataset: "nope".into()
+            }
+        );
+        assert!(e.to_string().contains("no dataset `nope`"));
+        assert!(require_series(&r, "d1", "s1").is_ok());
+        let e = require_series(&r, "d1", "s2").unwrap_err();
+        assert!(e.to_string().contains("no series `s2`"), "{e}");
+        // A missing dataset wins over a missing series.
+        assert!(matches!(
+            require_series(&r, "nope", "s1").unwrap_err(),
+            FigureError::MissingDataset { .. }
+        ));
+        let e = require_fit("figX", "the slope", &[(0.0, 0.0)]).unwrap_err();
+        assert!(e.to_string().contains("not enough points"), "{e}");
+        assert!(require_fit("figX", "s", &[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]).is_ok());
     }
 
     #[test]

@@ -75,7 +75,9 @@ pub fn measure_graph(name: &str, graph: &Graph, cfg: &RunConfig) -> Result<Repor
 
     // Reachability class (same threshold as ScalingStudy).
     let sources = spread_sources(graph, 64);
-    let r2 = AverageReachability::over_sources(graph, &sources).exponential_fit_r2(0.9);
+    let r2 = AverageReachability::over_sources(graph, &sources)
+        .expect("spread sources are never empty")
+        .exponential_fit_r2(0.9);
     report.note(if r2 >= 0.93 {
         format!("reachability: exponential (R2 {r2:.3}) — expect the paper's L(n) ~ n(c - ln(n/M)/ln k) form")
     } else {

@@ -137,6 +137,54 @@ pub fn report_json(r: &Report) -> String {
     serde_json::to_string_pretty(r).expect("report serialises")
 }
 
+/// Canonical lossless text form of a report, for golden-file comparison.
+///
+/// Floats are rendered as IEEE-754 bit patterns (`{:016x}` of
+/// [`f64::to_bits`]), so two reports render identically iff every point
+/// is bit-identical — the regression contract the measurement engine
+/// makes across refactors and thread counts.
+pub fn report_canonical(r: &Report) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "report {} | {}", r.id, r.title);
+    for n in &r.notes {
+        let _ = writeln!(out, "note {n}");
+    }
+    for t in &r.tables {
+        let _ = writeln!(out, "table {} | {}", t.id, t.title);
+        let _ = writeln!(out, "headers {}", t.headers.join(" | "));
+        for row in &t.rows {
+            let _ = writeln!(out, "row {}", row.join(" | "));
+        }
+    }
+    for d in &r.datasets {
+        let _ = writeln!(
+            out,
+            "dataset {} | {} | x={} y={} logx={} logy={}",
+            d.id, d.title, d.xlabel, d.ylabel, d.log_x, d.log_y
+        );
+        for s in &d.series {
+            let _ = writeln!(out, "series {}", s.label);
+            for (i, (x, y)) in s.points.iter().enumerate() {
+                match &s.errors {
+                    Some(e) => {
+                        let _ = writeln!(
+                            out,
+                            "p {:016x} {:016x} {:016x}",
+                            x.to_bits(),
+                            y.to_bits(),
+                            e[i].to_bits()
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "p {:016x} {:016x}", x.to_bits(), y.to_bits());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
 fn format_num(v: f64) -> String {
     if v == 0.0 {
         return "0".into();

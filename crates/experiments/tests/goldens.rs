@@ -1,0 +1,60 @@
+//! Golden-report regression tests for the two figures whose numbers flow
+//! through the batched BFS kernel end to end.
+//!
+//! The fixtures under `goldens/` were rendered with
+//! [`mcast_experiments::render::report_canonical`] — every float as its
+//! IEEE-754 bit pattern — at the commit *before* the batched kernel
+//! landed, with `RunConfig { threads: 2, ..RunConfig::fast() }`. A byte
+//! mismatch here means the refactor changed a measured number, not just
+//! its formatting.
+
+use mcast_experiments::config::RunConfig;
+use mcast_experiments::figures::{fig6, fig7};
+use mcast_experiments::render::report_canonical;
+
+fn cfg() -> RunConfig {
+    RunConfig {
+        threads: 2,
+        ..RunConfig::fast()
+    }
+}
+
+/// Point out the first differing line, not a megabyte diff.
+fn assert_canonical_eq(got: &str, want: &str, name: &str) {
+    if got == want {
+        return;
+    }
+    for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+        assert_eq!(
+            g,
+            w,
+            "{name}: first divergence at line {} (1-based)",
+            i + 1
+        );
+    }
+    panic!(
+        "{name}: line counts differ: got {}, golden {}",
+        got.lines().count(),
+        want.lines().count()
+    );
+}
+
+#[test]
+fn fig6_report_is_byte_identical_to_prebatch_golden() {
+    let report = fig6::run(&cfg());
+    assert_canonical_eq(
+        &report_canonical(&report),
+        include_str!("goldens/fig6-fast.txt"),
+        "fig6",
+    );
+}
+
+#[test]
+fn fig7_report_is_byte_identical_to_prebatch_golden() {
+    let report = fig7::run(&cfg());
+    assert_canonical_eq(
+        &report_canonical(&report),
+        include_str!("goldens/fig7-fast.txt"),
+        "fig7",
+    );
+}

@@ -203,7 +203,9 @@ mod tests {
             .unwrap();
             let n = g.node_count() as u32;
             let sources: Vec<_> = (0..32u32).map(|i| i * (n / 32)).collect();
-            AverageReachability::over_sources(&g, &sources).exponential_fit_r2(0.9)
+            AverageReachability::over_sources(&g, &sources)
+                .unwrap()
+                .exponential_fit_r2(0.9)
         };
         let shallow_dense = r2_of(
             vec![

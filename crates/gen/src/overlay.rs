@@ -169,10 +169,14 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let g = overlay(p, &mut rng).unwrap();
         let sources: Vec<_> = (0..20u32).map(|i| i * 37 % g.node_count() as u32).collect();
-        let overlay_r2 = AverageReachability::over_sources(&g, &sources).exponential_fit_r2(0.9);
+        let overlay_r2 = AverageReachability::over_sources(&g, &sources)
+            .unwrap()
+            .exponential_fit_r2(0.9);
         let rnd = crate::random::random_with_degree(g.node_count(), g.average_degree(), &mut rng)
             .unwrap();
-        let rnd_r2 = AverageReachability::over_sources(&rnd, &sources).exponential_fit_r2(0.9);
+        let rnd_r2 = AverageReachability::over_sources(&rnd, &sources)
+            .unwrap()
+            .exponential_fit_r2(0.9);
         assert!(
             overlay_r2 < rnd_r2,
             "overlay r2 {overlay_r2} should be below random-graph r2 {rnd_r2}"

@@ -1,0 +1,421 @@
+//! Bit-parallel multi-source BFS.
+//!
+//! Every §4 quantity the paper needs — reachability profiles `S(r)`/`T(r)`,
+//! the unicast normaliser `ū`, sampled path statistics — is an aggregate
+//! over *many* single-source BFS sweeps of the same graph. [`BatchBfs`]
+//! advances up to [`MAX_LANES`] sources simultaneously in the MS-BFS
+//! style: each node carries one `u64` whose bit `i` means "lane `i` has
+//! seen this node", and one level-synchronous pass over the CSR adjacency
+//! propagates all lanes at once with word-wide ORs. The per-lane distance
+//! arrays are identical to what [`crate::bfs::Bfs`] produces for each
+//! source (BFS distances are unique, so the traversal schedule cannot
+//! change them), and the per-lane newly-reached counts recorded at each
+//! level *are* the paper's `S(r)` histogram — consumers that only need
+//! profiles call [`BatchBfs::run_profiles`], which skips the distance
+//! arrays entirely (they are the kernel's only lanes×nodes-sized
+//! scatter-write, so profile sweeps are markedly cheaper).
+//!
+//! What the kernel deliberately does **not** record is BFS parents: parent
+//! choice depends on the scalar queue's FIFO discovery order, which a
+//! word-parallel frontier does not reproduce, and the delivery-tree sizes
+//! built from parents would silently change. Consumers that need a
+//! shortest-path *tree* (the delivery sizer) keep the scalar engine; see
+//! `DESIGN.md` §9.
+
+use crate::bfs::UNREACHED;
+use crate::graph::{Graph, NodeId};
+
+/// Maximum sources one sweep advances simultaneously: the lanes of a
+/// machine word.
+pub const MAX_LANES: usize = 64;
+
+/// Reusable bit-parallel BFS engine over one graph.
+///
+/// ```
+/// use mcast_topology::batch::BatchBfs;
+/// use mcast_topology::bfs::Bfs;
+/// use mcast_topology::graph::from_edges;
+///
+/// let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+/// let mut batch = BatchBfs::new(&g);
+/// batch.run(&[0, 2]);
+/// let mut scalar = Bfs::new(&g);
+/// scalar.run_scratch(0);
+/// assert_eq!(batch.distances(0), scalar.scratch_distances());
+/// assert_eq!(batch.level_counts(1), &[1, 2, 2]); // S(r) seen from node 2
+/// ```
+pub struct BatchBfs<'g> {
+    graph: &'g Graph,
+    /// Per-node lane mask: bit `i` set iff lane `i` has reached the node.
+    seen: Vec<u64>,
+    /// Per-node lane mask of the current frontier (nodes discovered at the
+    /// previous level), non-zero only for nodes in `front`.
+    frontier: Vec<u64>,
+    /// Per-node accumulator for the next frontier's lane masks.
+    next: Vec<u64>,
+    /// Nodes whose `frontier` word is non-zero.
+    front: Vec<NodeId>,
+    /// Scratch: candidate nodes touched while building `next`.
+    cand: Vec<NodeId>,
+    /// Scratch: the frontier list under construction.
+    spare: Vec<NodeId>,
+    /// Lane-major distances: `dist[lane * n + v]`. Only populated by
+    /// [`run`](Self::run); [`run_profiles`](Self::run_profiles) skips it.
+    dist: Vec<u32>,
+    /// Per-lane `S(r)`: `level_counts[lane][r]` nodes first reached at
+    /// hop `r` (index 0 is the source itself).
+    level_counts: Vec<Vec<u64>>,
+    lanes: usize,
+    /// Whether the last sweep recorded the distance arrays.
+    dist_recorded: bool,
+}
+
+impl<'g> BatchBfs<'g> {
+    /// New engine for `graph`; buffers are reused across [`run`](Self::run)s.
+    pub fn new(graph: &'g Graph) -> Self {
+        let n = graph.node_count();
+        Self {
+            graph,
+            seen: vec![0; n],
+            frontier: vec![0; n],
+            next: vec![0; n],
+            front: Vec::new(),
+            cand: Vec::new(),
+            spare: Vec::new(),
+            dist: Vec::new(),
+            level_counts: (0..MAX_LANES).map(|_| Vec::new()).collect(),
+            lanes: 0,
+            dist_recorded: false,
+        }
+    }
+
+    /// The graph this engine traverses.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Run one level-synchronous sweep from `sources` (lane `i` is rooted
+    /// at `sources[i]`; duplicates are fine — lanes stay independent).
+    /// Accessors below read the result until the next call.
+    ///
+    /// When observability is enabled, each sweep bumps `bfs.batch.sweeps`,
+    /// `bfs.batch.sources` (lanes advanced) and `bfs.batch.levels`
+    /// (frontier expansions), batched into three atomic adds per sweep.
+    ///
+    /// # Panics
+    /// Panics if `sources` is empty, longer than [`MAX_LANES`], or names a
+    /// node out of range.
+    pub fn run(&mut self, sources: &[NodeId]) {
+        self.sweep::<true>(sources);
+    }
+
+    /// Like [`run`](Self::run), but records only the per-lane `S(r)`
+    /// histograms and skips the distance arrays entirely. Every
+    /// histogram-level quantity — [`level_counts`](Self::level_counts),
+    /// [`reached`](Self::reached), [`total_distance`](Self::total_distance),
+    /// [`eccentricity`](Self::eccentricity) — is identical to what
+    /// [`run`](Self::run) produces; only [`distances`](Self::distances)
+    /// becomes unavailable. This is the hot path for the reachability and
+    /// path-statistics consumers, which never look at per-node distances:
+    /// skipping them removes a lanes×nodes scatter-write pass and the
+    /// matching per-sweep fill.
+    ///
+    /// # Panics
+    /// Same contract as [`run`](Self::run).
+    pub fn run_profiles(&mut self, sources: &[NodeId]) {
+        self.sweep::<false>(sources);
+    }
+
+    fn sweep<const RECORD_DIST: bool>(&mut self, sources: &[NodeId]) {
+        let n = self.graph.node_count();
+        assert!(
+            !sources.is_empty() && sources.len() <= MAX_LANES,
+            "source batch must hold 1..={MAX_LANES} sources, got {}",
+            sources.len()
+        );
+        self.lanes = sources.len();
+        self.dist_recorded = RECORD_DIST;
+        self.seen.fill(0);
+        self.frontier.fill(0);
+        self.next.fill(0);
+        self.dist.clear();
+        if RECORD_DIST {
+            self.dist.resize(self.lanes * n, UNREACHED);
+        }
+        for lc in &mut self.level_counts[..self.lanes] {
+            lc.clear();
+        }
+        let mut front = std::mem::take(&mut self.front);
+        front.clear();
+        for (lane, &s) in sources.iter().enumerate() {
+            let si = s as usize;
+            assert!(si < n, "source {s} out of range");
+            self.seen[si] |= 1 << lane;
+            if self.frontier[si] == 0 {
+                front.push(s);
+            }
+            self.frontier[si] |= 1 << lane;
+            if RECORD_DIST {
+                self.dist[lane * n + si] = 0;
+            }
+            self.level_counts[lane].push(1); // S(0) = 1: the source itself
+        }
+
+        let mut cand = std::mem::take(&mut self.cand);
+        let mut next_front = std::mem::take(&mut self.spare);
+        let graph = self.graph;
+        let seen = &mut self.seen[..];
+        let frontier = &mut self.frontier[..];
+        let next = &mut self.next[..];
+        let dist = &mut self.dist[..];
+        let mut level: u32 = 0;
+        while !front.is_empty() {
+            level += 1;
+            // Push every frontier word into the neighbours' accumulators;
+            // `cand` collects each touched node exactly once (its `next`
+            // word is zero only before the first OR). Taking the frontier
+            // word clears it in the same pass — it is never read again
+            // this level (`next` is the only accumulator, and the graph
+            // has no self-loops).
+            cand.clear();
+            for &v in &front {
+                let fv = std::mem::take(&mut frontier[v as usize]);
+                for &w in graph.neighbors(v) {
+                    let wi = w as usize;
+                    let nx = next[wi];
+                    if nx == 0 {
+                        cand.push(w);
+                    }
+                    next[wi] = nx | fv;
+                }
+            }
+            // Resolve: lanes that reach a candidate for the first time
+            // record its distance and join the new frontier.
+            next_front.clear();
+            let mut per_lane = [0u64; MAX_LANES];
+            for &w in &cand {
+                let wi = w as usize;
+                let new = next[wi] & !seen[wi];
+                next[wi] = 0;
+                if new != 0 {
+                    seen[wi] |= new;
+                    frontier[wi] = new;
+                    next_front.push(w);
+                    let mut bits = new;
+                    while bits != 0 {
+                        let lane = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        if RECORD_DIST {
+                            dist[lane * n + wi] = level;
+                        }
+                        per_lane[lane] += 1;
+                    }
+                }
+            }
+            // A lane's reached levels are contiguous: once its frontier
+            // empties it can never discover another node, so a non-zero
+            // count always lands at index `level` of its histogram.
+            for (lane, &c) in per_lane[..self.lanes].iter().enumerate() {
+                if c > 0 {
+                    debug_assert_eq!(self.level_counts[lane].len(), level as usize);
+                    self.level_counts[lane].push(c);
+                }
+            }
+            std::mem::swap(&mut front, &mut next_front);
+        }
+        self.front = front;
+        self.cand = cand;
+        self.spare = next_front;
+        if mcast_obs::enabled() {
+            mcast_obs::counter("bfs.batch.sweeps").add(1);
+            mcast_obs::counter("bfs.batch.sources").add(self.lanes as u64);
+            mcast_obs::counter("bfs.batch.levels").add(u64::from(level));
+        }
+    }
+
+    /// Lanes advanced by the last [`run`](Self::run).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Distances from `lane`'s source — identical to
+    /// [`crate::bfs::Bfs::scratch_distances`] for that source
+    /// ([`UNREACHED`] marks unreachable nodes).
+    ///
+    /// # Panics
+    /// Panics if `lane` is out of range, or if the last sweep was
+    /// [`run_profiles`](Self::run_profiles) (no distances recorded).
+    pub fn distances(&self, lane: usize) -> &[u32] {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        assert!(
+            self.dist_recorded,
+            "distances not recorded: last sweep was run_profiles"
+        );
+        let n = self.graph.node_count();
+        &self.dist[lane * n..(lane + 1) * n]
+    }
+
+    /// `lane`'s `S(r)` histogram: entry `r` counts nodes first reached at
+    /// hop `r` (entry 0 is the source). The same vector
+    /// [`crate::reachability::Reachability::from_distances`] builds from
+    /// the scalar BFS.
+    ///
+    /// # Panics
+    /// Panics if `lane` is out of range.
+    pub fn level_counts(&self, lane: usize) -> &[u64] {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        &self.level_counts[lane]
+    }
+
+    /// Nodes `lane`'s source reached, including itself.
+    pub fn reached(&self, lane: usize) -> u64 {
+        self.level_counts(lane).iter().sum()
+    }
+
+    /// Sum of finite distances from `lane`'s source (`Σ r·S(r)`) — the
+    /// numerator of the average unicast path length, as an exact integer.
+    pub fn total_distance(&self, lane: usize) -> u64 {
+        self.level_counts(lane)
+            .iter()
+            .enumerate()
+            .map(|(r, &s)| r as u64 * s)
+            .sum()
+    }
+
+    /// `lane`'s source eccentricity within its component (largest hop
+    /// count with `S(r) > 0`; zero for an isolated source).
+    pub fn eccentricity(&self, lane: usize) -> usize {
+        self.level_counts(lane).len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::Bfs;
+    use crate::graph::from_edges;
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n - 1).map(|i| (i as NodeId, i as NodeId + 1)).collect();
+        from_edges(n, &edges)
+    }
+
+    fn assert_matches_scalar(g: &Graph, sources: &[NodeId]) {
+        let mut batch = BatchBfs::new(g);
+        batch.run(sources);
+        let mut scalar = Bfs::new(g);
+        for (lane, &s) in sources.iter().enumerate() {
+            scalar.run_scratch(s);
+            assert_eq!(
+                batch.distances(lane),
+                scalar.scratch_distances(),
+                "lane {lane} source {s}"
+            );
+            let profile = crate::reachability::Reachability::from_distances(
+                scalar.scratch_distances(),
+                scalar.scratch_order(),
+            );
+            assert_eq!(batch.level_counts(lane), profile.s_vec());
+            assert_eq!(batch.reached(lane), profile.total());
+            assert_eq!(batch.eccentricity(lane), profile.eccentricity());
+        }
+    }
+
+    #[test]
+    fn matches_scalar_on_path_and_cycle() {
+        assert_matches_scalar(&path_graph(9), &[0, 4, 8]);
+        let edges: Vec<_> = (0..8)
+            .map(|i| (i as NodeId, ((i + 1) % 8) as NodeId))
+            .collect();
+        assert_matches_scalar(&from_edges(8, &edges), &[0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn matches_scalar_on_disconnected_graph() {
+        // Two components plus two isolated nodes.
+        let g = from_edges(8, &[(0, 1), (1, 2), (4, 5)]);
+        let sources: Vec<NodeId> = (0..8).collect();
+        assert_matches_scalar(&g, &sources);
+    }
+
+    #[test]
+    fn duplicate_sources_keep_lanes_independent() {
+        let g = path_graph(6);
+        let mut batch = BatchBfs::new(&g);
+        batch.run(&[2, 2, 5]);
+        assert_eq!(batch.distances(0), batch.distances(1));
+        assert_eq!(batch.level_counts(0), batch.level_counts(1));
+        assert_eq!(batch.level_counts(2), &[1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn full_width_and_reuse() {
+        // 64 lanes on a graph with fewer nodes (sources repeat), then a
+        // second run on the same engine must fully reset state.
+        let g = from_edges(10, &[(0, 1), (1, 2), (2, 3), (3, 4), (5, 6), (6, 7)]);
+        let sources: Vec<NodeId> = (0..64).map(|i| (i % 10) as NodeId).collect();
+        assert_matches_scalar(&g, &sources);
+        let mut batch = BatchBfs::new(&g);
+        batch.run(&sources);
+        batch.run(&[9]);
+        assert_eq!(batch.lanes(), 1);
+        assert_eq!(batch.level_counts(0), &[1]); // node 9 is isolated
+        assert_eq!(batch.distances(0)[9], 0);
+        assert_eq!(batch.distances(0)[0], UNREACHED);
+    }
+
+    #[test]
+    fn total_distance_matches_sp_tree() {
+        let g = from_edges(7, &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (4, 6)]);
+        let mut batch = BatchBfs::new(&g);
+        batch.run(&[0, 3]);
+        let mut bfs = Bfs::new(&g);
+        for (lane, s) in [(0usize, 0u32), (1, 3)] {
+            let t = bfs.run(s);
+            assert_eq!(batch.total_distance(lane), t.total_distance());
+            assert_eq!(batch.eccentricity(lane), t.eccentricity() as usize);
+        }
+    }
+
+    #[test]
+    fn run_profiles_matches_run_histograms() {
+        let g = from_edges(8, &[(0, 1), (1, 2), (2, 3), (4, 5)]);
+        let sources: Vec<NodeId> = (0..8).collect();
+        let mut full = BatchBfs::new(&g);
+        full.run(&sources);
+        let mut profiles = BatchBfs::new(&g);
+        profiles.run_profiles(&sources);
+        for lane in 0..sources.len() {
+            assert_eq!(profiles.level_counts(lane), full.level_counts(lane));
+            assert_eq!(profiles.reached(lane), full.reached(lane));
+            assert_eq!(profiles.total_distance(lane), full.total_distance(lane));
+            assert_eq!(profiles.eccentricity(lane), full.eccentricity(lane));
+        }
+        // A full sweep on the same engine restores the distance arrays.
+        profiles.run(&[0]);
+        assert_eq!(profiles.distances(0), full.distances(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "distances not recorded")]
+    fn distances_unavailable_after_profile_sweep() {
+        let g = path_graph(4);
+        let mut batch = BatchBfs::new(&g);
+        batch.run_profiles(&[0]);
+        batch.distances(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "source batch")]
+    fn empty_batch_rejected() {
+        let g = path_graph(3);
+        BatchBfs::new(&g).run(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_source_rejected() {
+        let g = path_graph(3);
+        BatchBfs::new(&g).run(&[3]);
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! This crate provides the foundation every experiment in the workspace sits
 //! on: a compact immutable undirected [`Graph`] (CSR adjacency), breadth-first
-//! shortest paths ([`bfs`]), connected components ([`components`]), topology
+//! shortest paths ([`bfs`]) plus a bit-parallel multi-source variant
+//! ([`batch`]), connected components ([`components`]), topology
 //! metrics such as average unicast path length and diameter ([`metrics`]),
 //! the paper's reachability functions `S(r)` / `T(r)` ([`reachability`]), and
 //! a tiny edge-list text format ([`io`]).
@@ -37,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bfs;
 pub mod bridges;
 pub mod components;

@@ -6,6 +6,7 @@
 //! nodes) and a sampled estimator (for the 56k-node Internet stand-in) are
 //! provided.
 
+use crate::batch::{BatchBfs, MAX_LANES};
 use crate::bfs::Bfs;
 use crate::graph::{Graph, NodeId};
 
@@ -39,32 +40,41 @@ pub fn degree_stats(graph: &Graph) -> Option<DegreeStats> {
     })
 }
 
-/// Exact average hop distance over all ordered reachable pairs `(u, v)`,
-/// `u != v`, and the exact diameter, via one BFS per node.
-///
-/// Returns `(avg_path_length, diameter)`. For graphs with fewer than two
-/// nodes (or no reachable pairs) both are zero.
-pub fn exact_path_stats(graph: &Graph) -> (f64, u32) {
-    let mut bfs = Bfs::new(graph);
+/// Shared core of the path-length statistics: batched BFS sweeps from
+/// `sources`, summing distances to every *other* reachable node as exact
+/// integers. `Σ r·S(r)` and `T(ecc) − 1` per lane are exactly the totals
+/// the old per-node scalar loop accumulated, so results are bit-identical.
+fn path_stats_over(graph: &Graph, sources: &[NodeId]) -> (f64, u32) {
     let mut total = 0u128;
     let mut pairs = 0u128;
-    let mut diameter = 0u32;
-    for v in graph.nodes() {
-        bfs.run_scratch(v);
-        for &u in bfs.scratch_order() {
-            let d = bfs.scratch_distances()[u as usize];
-            if d > 0 {
-                total += u128::from(d);
-                pairs += 1;
-                diameter = diameter.max(d);
+    let mut max_seen = 0u32;
+    if !sources.is_empty() {
+        let mut batch = BatchBfs::new(graph);
+        for chunk in sources.chunks(MAX_LANES) {
+            batch.run_profiles(chunk);
+            for lane in 0..batch.lanes() {
+                total += u128::from(batch.total_distance(lane));
+                pairs += u128::from(batch.reached(lane) - 1);
+                max_seen = max_seen.max(batch.eccentricity(lane) as u32);
             }
         }
     }
     if pairs == 0 {
         (0.0, 0)
     } else {
-        (total as f64 / pairs as f64, diameter)
+        (total as f64 / pairs as f64, max_seen)
     }
+}
+
+/// Exact average hop distance over all ordered reachable pairs `(u, v)`,
+/// `u != v`, and the exact diameter, via one bit-parallel BFS sweep per 64
+/// nodes.
+///
+/// Returns `(avg_path_length, diameter)`. For graphs with fewer than two
+/// nodes (or no reachable pairs) both are zero.
+pub fn exact_path_stats(graph: &Graph) -> (f64, u32) {
+    let all: Vec<NodeId> = graph.nodes().collect();
+    path_stats_over(graph, &all)
 }
 
 /// Sampled estimate of the average hop distance: BFS from each of the given
@@ -74,26 +84,7 @@ pub fn exact_path_stats(graph: &Graph) -> (f64, u32) {
 /// With sources drawn uniformly this is an unbiased estimator of `ū` on a
 /// connected graph.
 pub fn sampled_path_stats(graph: &Graph, sources: &[NodeId]) -> (f64, u32) {
-    let mut bfs = Bfs::new(graph);
-    let mut total = 0u128;
-    let mut pairs = 0u128;
-    let mut max_seen = 0u32;
-    for &s in sources {
-        bfs.run_scratch(s);
-        for &u in bfs.scratch_order() {
-            let d = bfs.scratch_distances()[u as usize];
-            if d > 0 {
-                total += u128::from(d);
-                pairs += 1;
-                max_seen = max_seen.max(d);
-            }
-        }
-    }
-    if pairs == 0 {
-        (0.0, 0)
-    } else {
-        (total as f64 / pairs as f64, max_seen)
-    }
+    path_stats_over(graph, sources)
 }
 
 /// Histogram of node degrees: `hist[d]` = number of nodes with degree
@@ -228,6 +219,35 @@ mod tests {
         let (sampled, max_seen) = sampled_path_stats(&g, &all);
         assert!((exact - sampled).abs() < 1e-12);
         assert_eq!(diam, max_seen);
+    }
+
+    #[test]
+    fn batched_stats_bit_identical_to_scalar_loop() {
+        // Replicate the pre-batching scalar accumulation and demand exact
+        // f64 equality, including on a graph wide enough for two chunks.
+        let mut b = GraphBuilder::new(100);
+        for i in 0..99u32 {
+            b.add_edge(i, i + 1);
+            b.add_edge(i, (i * 7 + 3) % 100);
+        }
+        let g = b.build();
+        let mut bfs = Bfs::new(&g);
+        let (mut total, mut pairs, mut diam) = (0u128, 0u128, 0u32);
+        for v in g.nodes() {
+            bfs.run_scratch(v);
+            for &u in bfs.scratch_order() {
+                let d = bfs.scratch_distances()[u as usize];
+                if d > 0 {
+                    total += u128::from(d);
+                    pairs += 1;
+                    diam = diam.max(d);
+                }
+            }
+        }
+        let expect = (total as f64 / pairs as f64, diam);
+        let got = exact_path_stats(&g);
+        assert_eq!(got.0.to_bits(), expect.0.to_bits());
+        assert_eq!(got.1, expect.1);
     }
 
     #[test]

@@ -7,8 +7,26 @@
 //! whether `S(r)` grows exponentially; Figure 7 plots `ln T(r)` versus `r`
 //! averaged over random sources.
 
+use crate::batch::{BatchBfs, MAX_LANES};
 use crate::bfs::Bfs;
 use crate::graph::{Graph, NodeId};
+
+/// Errors from reachability computations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReachabilityError {
+    /// An average was requested over an empty source set.
+    NoSources,
+}
+
+impl std::fmt::Display for ReachabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoSources => write!(f, "reachability average needs at least one source"),
+        }
+    }
+}
+
+impl std::error::Error for ReachabilityError {}
 
 /// Per-source reachability profile.
 ///
@@ -33,6 +51,17 @@ impl Reachability {
         let mut bfs = Bfs::new(graph);
         bfs.run_scratch(source);
         Self::from_distances(bfs.scratch_distances(), bfs.scratch_order())
+    }
+
+    /// Build from a per-level newly-reached histogram (`s[r]` = sites first
+    /// reached at hop `r`, with `s[0] = 1` for the source itself), as
+    /// produced by [`crate::batch::BatchBfs::level_counts`].
+    ///
+    /// # Panics
+    /// Panics if `s` is empty (every profile includes `S(0)`).
+    pub fn from_level_counts(s: Vec<u64>) -> Self {
+        assert!(!s.is_empty(), "level counts must include S(0)");
+        Self { s }
     }
 
     /// Build from precomputed BFS scratch state (distances + reached order).
@@ -94,35 +123,44 @@ pub struct AverageReachability {
 impl AverageReachability {
     /// Average the profiles of the given `sources` on `graph`.
     ///
-    /// # Panics
-    /// Panics if `sources` is empty.
-    pub fn over_sources(graph: &Graph, sources: &[NodeId]) -> Self {
-        assert!(!sources.is_empty(), "need at least one source");
-        let mut bfs = Bfs::new(graph);
-        let mut profiles = Vec::with_capacity(sources.len());
-        let mut max_ecc = 0usize;
-        for &s in sources {
-            bfs.run_scratch(s);
-            let p = Reachability::from_distances(bfs.scratch_distances(), bfs.scratch_order());
-            max_ecc = max_ecc.max(p.eccentricity());
-            profiles.push(p);
+    /// Sources are swept in ≤64-lane batches by [`BatchBfs`] and their
+    /// `T(r)` curves folded into one running integer sum, so memory stays
+    /// `O(max eccentricity)` no matter how many sources are averaged. The
+    /// summed counts are exact integers below 2⁵³, so the result is
+    /// bit-identical to averaging scalar per-source profiles.
+    ///
+    /// # Errors
+    /// Returns [`ReachabilityError::NoSources`] if `sources` is empty.
+    pub fn over_sources(graph: &Graph, sources: &[NodeId]) -> Result<Self, ReachabilityError> {
+        if sources.is_empty() {
+            return Err(ReachabilityError::NoSources);
         }
-        let mut t = vec![0.0f64; max_ecc + 1];
-        for p in &profiles {
-            let tv = p.t_vec();
-            for (r, slot) in t.iter_mut().enumerate() {
-                let val = if r < tv.len() {
-                    tv[r]
-                } else {
-                    *tv.last().unwrap()
-                };
-                *slot += val as f64;
+        let mut batch = BatchBfs::new(graph);
+        // sums[r] = Σ over processed sources of T_src(r); a source whose
+        // eccentricity lies below r contributes its saturated total there.
+        let mut sums: Vec<u64> = Vec::new();
+        for chunk in sources.chunks(MAX_LANES) {
+            batch.run_profiles(chunk);
+            for lane in 0..batch.lanes() {
+                let s = batch.level_counts(lane);
+                let prev_total = sums.last().copied().unwrap_or(0);
+                if s.len() > sums.len() {
+                    sums.resize(s.len(), prev_total);
+                }
+                let mut cum = 0u64;
+                for (r, &sr) in s.iter().enumerate() {
+                    cum += sr;
+                    sums[r] += cum;
+                }
+                for slot in sums.iter_mut().skip(s.len()) {
+                    *slot += cum;
+                }
             }
         }
-        for slot in &mut t {
-            *slot /= sources.len() as f64;
-        }
-        Self { t }
+        let count = sources.len() as f64;
+        Ok(Self {
+            t: sums.iter().map(|&v| v as f64 / count).collect(),
+        })
     }
 
     /// Averaged `T(r)`; saturates at the mean reached count beyond the
@@ -146,8 +184,18 @@ impl AverageReachability {
     /// a least-squares line fit to `ln T(r)` over the pre-saturation range
     /// (`T(r) <= fraction * total`). The paper's dichotomy — exponential vs
     /// sub-exponential reachability — shows up as high vs low R² here.
+    ///
+    /// Degenerate profiles score `f64::NAN` rather than panicking: an
+    /// isolated source saturates at `T(r) = 1` immediately, leaving fewer
+    /// than three pre-saturation points to fit, and an empty or
+    /// non-positive curve offers nothing to take a logarithm of.
     pub fn exponential_fit_r2(&self, fraction: f64) -> f64 {
-        let total = *self.t.last().unwrap();
+        let Some(&total) = self.t.last() else {
+            return f64::NAN;
+        };
+        if !total.is_finite() || total <= 0.0 {
+            return f64::NAN;
+        }
         let cutoff = fraction * total;
         let pts: Vec<(f64, f64)> = self
             .t
@@ -225,7 +273,7 @@ mod tests {
     fn average_reachability_mixes_sources() {
         let g = path_graph(5);
         // From 0: T = [1,2,3,4,5]; from 2: T = [1,3,5] saturating at 5.
-        let avg = AverageReachability::over_sources(&g, &[0, 2]);
+        let avg = AverageReachability::over_sources(&g, &[0, 2]).unwrap();
         assert_eq!(avg.max_radius(), 4);
         let expect = [1.0, 2.5, 4.0, 4.5, 5.0];
         for (r, e) in expect.iter().enumerate() {
@@ -242,8 +290,8 @@ mod tests {
         let tree_edges: Vec<_> = (1..n).map(|i| ((i - 1) / 2, i)).collect();
         let tree = from_edges(n as usize, &tree_edges);
         let path = path_graph(1023);
-        let tr = AverageReachability::over_sources(&tree, &[0]);
-        let pr = AverageReachability::over_sources(&path, &[0]);
+        let tr = AverageReachability::over_sources(&tree, &[0]).unwrap();
+        let pr = AverageReachability::over_sources(&path, &[0]).unwrap();
         let tree_r2 = tr.exponential_fit_r2(0.9);
         let path_r2 = pr.exponential_fit_r2(0.9);
         assert!(tree_r2 > 0.98, "tree r2 = {tree_r2}");
@@ -251,9 +299,57 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
     fn average_requires_sources() {
         let g = path_graph(3);
-        AverageReachability::over_sources(&g, &[]);
+        let err = AverageReachability::over_sources(&g, &[]).unwrap_err();
+        assert_eq!(err, ReachabilityError::NoSources);
+        assert!(err.to_string().contains("at least one source"));
+    }
+
+    #[test]
+    fn isolated_node_profile_scores_nan_not_panic() {
+        // Node 3 is isolated: averaged alone its curve saturates at T(r)=1,
+        // which used to feed unwrap()/ln() hazards in the fit.
+        let g = from_edges(4, &[(0, 1), (1, 2)]);
+        let lonely = AverageReachability::over_sources(&g, &[3]).unwrap();
+        assert_eq!(lonely.max_radius(), 0);
+        assert!((lonely.t(7) - 1.0).abs() < 1e-12);
+        assert!(lonely.exponential_fit_r2(0.9).is_nan());
+        // Mixing the isolated node with a real source must not panic either.
+        let mixed = AverageReachability::over_sources(&g, &[0, 3]).unwrap();
+        assert_eq!(mixed.max_radius(), 2);
+        assert!((mixed.t(0) - 1.0).abs() < 1e-12);
+        assert!((mixed.t(9) - 2.0).abs() < 1e-12); // (3 + 1) / 2
+    }
+
+    #[test]
+    fn from_level_counts_matches_from_distances() {
+        let g = from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 4)]);
+        let direct = Reachability::from_source(&g, 0);
+        let rebuilt = Reachability::from_level_counts(direct.s_vec().to_vec());
+        assert_eq!(direct, rebuilt);
+    }
+
+    #[test]
+    fn many_sources_stream_past_one_batch() {
+        // 70 sources forces two BatchBfs chunks (64 + 6); the running-sum
+        // merge must agree with averaging each scalar profile.
+        let g = path_graph(70);
+        let sources: Vec<NodeId> = (0..70).collect();
+        let avg = AverageReachability::over_sources(&g, &sources).unwrap();
+        let mut expect = vec![0.0f64; 70];
+        for &s in &sources {
+            let tv = Reachability::from_source(&g, s).t_vec();
+            for (r, slot) in expect.iter_mut().enumerate() {
+                *slot += *tv.get(r).unwrap_or(tv.last().unwrap()) as f64;
+            }
+        }
+        for slot in &mut expect {
+            *slot /= 70.0;
+        }
+        assert_eq!(avg.max_radius(), 69);
+        for (r, &e) in expect.iter().enumerate() {
+            assert_eq!(avg.t(r).to_bits(), e.to_bits(), "r={r}");
+        }
     }
 }

@@ -1,0 +1,165 @@
+//! Property tests for the bit-parallel multi-source BFS kernel.
+//!
+//! Written against the portable subset of the proptest API (integer
+//! ranges and `any::<u64>()`); graphs and source batches are derived
+//! from sampled seeds with an inline splitmix64, so the same file runs
+//! under real proptest in CI and under the offline harness's stub.
+
+use mcast_topology::batch::{BatchBfs, MAX_LANES};
+use mcast_topology::bfs::{Bfs, UNREACHED};
+use mcast_topology::graph::{from_edges, Graph, NodeId};
+use mcast_topology::reachability::{AverageReachability, Reachability};
+use proptest::prelude::*;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A random graph with duplicate edges and self-loops in the raw list
+/// (the builder cleans them) and deliberately sparse edge counts, so
+/// disconnected graphs and isolated nodes are routine.
+fn random_graph(n: usize, edge_count: usize, seed: u64) -> Graph {
+    let mut state = seed;
+    let edges: Vec<(NodeId, NodeId)> = (0..edge_count)
+        .map(|_| {
+            let u = (splitmix(&mut state) % n as u64) as NodeId;
+            let v = (splitmix(&mut state) % n as u64) as NodeId;
+            (u, v)
+        })
+        .collect();
+    from_edges(n, &edges)
+}
+
+/// Sources drawn with replacement, so duplicate lanes are exercised.
+fn random_sources(n: usize, count: usize, seed: u64) -> Vec<NodeId> {
+    let mut state = seed ^ 0x5bf0_3635;
+    (0..count)
+        .map(|_| (splitmix(&mut state) % n as u64) as NodeId)
+        .collect()
+}
+
+/// One lane of the batch against a scalar BFS from the same source:
+/// distances, level counts, reached total, eccentricity, and the
+/// shortest-path-tree distance sum must all agree exactly.
+fn assert_lane_matches_scalar(
+    g: &Graph,
+    batch: &BatchBfs<'_>,
+    scalar: &mut Bfs<'_>,
+    lane: usize,
+    source: NodeId,
+) -> Result<(), TestCaseError> {
+    let t = scalar.run(source);
+    prop_assert_eq!(batch.distances(lane), scalar.scratch_distances());
+    let profile = Reachability::from_source(g, source);
+    prop_assert_eq!(batch.level_counts(lane), profile.s_vec());
+    prop_assert_eq!(batch.reached(lane) as usize, t.reached_count());
+    prop_assert_eq!(batch.eccentricity(lane), profile.eccentricity());
+    let total: u64 = batch
+        .distances(lane)
+        .iter()
+        .filter(|&&d| d != UNREACHED)
+        .map(|&d| u64::from(d))
+        .sum();
+    prop_assert_eq!(batch.total_distance(lane), total);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // The bit-parallel kernel against the scalar BFS, across the batch
+    // widths that exercise its mask boundaries: 1 (single lane), 63 (one
+    // bit shy of a full word), 64 (exactly one word), 65 (spills into a
+    // second sweep).
+    #[test]
+    fn batched_bfs_is_bit_identical_to_scalar(
+        n in 2usize..40,
+        edge_count in 0usize..120,
+        seed in any::<u64>(),
+    ) {
+        let g = random_graph(n, edge_count, seed);
+        let mut batch = BatchBfs::new(&g);
+        let mut scalar = Bfs::new(&g);
+        for width in [1usize, 63, 64, 65] {
+            let sources = random_sources(n, width, seed ^ width as u64);
+            for chunk in sources.chunks(MAX_LANES) {
+                batch.run(chunk);
+                prop_assert_eq!(batch.lanes(), chunk.len());
+                for (lane, &s) in chunk.iter().enumerate() {
+                    assert_lane_matches_scalar(&g, &batch, &mut scalar, lane, s)?;
+                }
+            }
+        }
+    }
+
+    // The streaming integer accumulation in `over_sources` against a
+    // replication of the pre-batch algorithm: per-source float T(r)
+    // vectors, padded with their own saturated totals, merged in source
+    // order. Every value is an exact integer below 2^53, so the two must
+    // agree bit for bit.
+    #[test]
+    fn average_reachability_matches_float_replication(
+        n in 2usize..40,
+        edge_count in 0usize..120,
+        source_count in 1usize..70,
+        seed in any::<u64>(),
+    ) {
+        let g = random_graph(n, edge_count, seed);
+        let sources = random_sources(n, source_count, seed);
+        let avg = AverageReachability::over_sources(&g, &sources).unwrap();
+
+        let mut sums: Vec<f64> = Vec::new();
+        for &s in &sources {
+            let t = Reachability::from_source(&g, s).t_vec();
+            if t.len() > sums.len() {
+                let pad = sums.last().copied().unwrap_or(0.0);
+                sums.resize(t.len(), pad);
+            }
+            let own_total = *t.last().unwrap() as f64;
+            for (r, slot) in sums.iter_mut().enumerate() {
+                *slot += t.get(r).map(|&v| v as f64).unwrap_or(own_total);
+            }
+        }
+        let count = sources.len() as f64;
+        prop_assert_eq!(avg.t_vec().len(), sums.len());
+        for (r, (&got, &want)) in avg.t_vec().iter().zip(&sums).enumerate() {
+            let want = want / count;
+            prop_assert_eq!(got.to_bits(), want.to_bits(), "r={}: {} vs {}", r, got, want);
+        }
+    }
+
+    // A batch that reuses its scratch state across runs behaves like a
+    // fresh kernel each time (no leakage between sweeps).
+    #[test]
+    fn reused_batch_state_is_clean(
+        n in 2usize..30,
+        edge_count in 0usize..80,
+        seed in any::<u64>(),
+    ) {
+        let g = random_graph(n, edge_count, seed);
+        let mut reused = BatchBfs::new(&g);
+        let mut scalar = Bfs::new(&g);
+        for round in 0..3u64 {
+            let sources = random_sources(n, 5, seed ^ round);
+            reused.run(&sources);
+            let mut fresh = BatchBfs::new(&g);
+            fresh.run(&sources);
+            for (lane, &s) in sources.iter().enumerate() {
+                prop_assert_eq!(reused.distances(lane), fresh.distances(lane));
+                prop_assert_eq!(reused.level_counts(lane), fresh.level_counts(lane));
+                assert_lane_matches_scalar(&g, &reused, &mut scalar, lane, s)?;
+            }
+            // Interleave a profiles-only sweep: histograms must match the
+            // full sweep, and the next round's `run` must be unaffected.
+            reused.run_profiles(&sources);
+            for lane in 0..sources.len() {
+                prop_assert_eq!(reused.level_counts(lane), fresh.level_counts(lane));
+                prop_assert_eq!(reused.total_distance(lane), fresh.total_distance(lane));
+            }
+        }
+    }
+}

@@ -24,6 +24,7 @@
 use crate::delivery::DeliverySizer;
 use crate::sampling::{self, DedupMarks, ReceiverPool};
 use crate::stats::RunningStats;
+use mcast_topology::batch::{BatchBfs, MAX_LANES};
 use mcast_topology::bfs::Bfs;
 use mcast_topology::{Graph, NodeId};
 use rand::rngs::StdRng;
@@ -115,6 +116,28 @@ impl SourceMeasurer {
         }
     }
 
+    /// [`SourceMeasurer::new`] with `ū` supplied by the caller instead of
+    /// scanned from the sizer's distance array, for the general-network
+    /// (all-except-source) pool. The caller promises `mean_dist` equals
+    /// the scan's result bit-for-bit — [`batched_mean_distances`]
+    /// guarantees exactly that.
+    pub fn new_precomputed(graph: &Graph, source: NodeId, mean_dist: f64) -> Self {
+        let pool = ReceiverPool::AllExceptSource {
+            nodes: graph.node_count(),
+            source,
+        };
+        let sizer = DeliverySizer::from_graph(graph, source);
+        Self {
+            sizer,
+            pool,
+            mean_dist,
+            buf: Vec::new(),
+            dedup: DedupMarks::new(),
+            samples: 0,
+            sources: 1,
+        }
+    }
+
     /// Re-target this measurer at a new source without allocating: the
     /// sizer's parent/dist/mark buffers are refilled in place through
     /// `bfs` ([`DeliverySizer::rebind`]), the receiver pool follows the
@@ -133,6 +156,19 @@ impl SourceMeasurer {
             *s = source;
         }
         self.mean_dist = mean_pool_distance(&self.sizer, &self.pool);
+        self.sources += 1;
+    }
+
+    /// [`SourceMeasurer::reuse`] with the new source's `ū` supplied by the
+    /// caller (see [`Self::new_precomputed`]); skips the O(pool) distance
+    /// scan. Only meaningful for the all-except-source pool, whose `ū`
+    /// follows the source.
+    pub fn reuse_precomputed(&mut self, bfs: &mut Bfs<'_>, source: NodeId, mean_dist: f64) {
+        self.sizer.rebind(bfs, source);
+        if let ReceiverPool::AllExceptSource { source: s, .. } = &mut self.pool {
+            *s = source;
+        }
+        self.mean_dist = mean_dist;
         self.sources += 1;
     }
 
@@ -237,6 +273,29 @@ fn mean_pool_distance(sizer: &DeliverySizer, pool: &ReceiverPool) -> f64 {
     } else {
         total as f64 / reachable as f64
     }
+}
+
+/// `ū` for each of `nodes` via the bit-parallel kernel: one sweep per 64
+/// sources instead of one O(pool) distance scan each. For the
+/// general-network pool (every node except the source) the scan sums hop
+/// distances over exactly the reachable non-source sites — the kernel's
+/// `Σ r·S(r)` over `reached − 1` — as exact integers, so every returned
+/// value is bit-identical to what [`SourceMeasurer::new`] would compute,
+/// including the `0.0` convention for sources that reach no site.
+pub fn batched_mean_distances(batch: &mut BatchBfs<'_>, nodes: &[NodeId]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(nodes.len());
+    for chunk in nodes.chunks(MAX_LANES) {
+        batch.run_profiles(chunk);
+        for lane in 0..batch.lanes() {
+            let reached = batch.reached(lane);
+            out.push(if reached <= 1 {
+                0.0
+            } else {
+                batch.total_distance(lane) as f64 / (reached - 1) as f64
+            });
+        }
+    }
+    out
 }
 
 impl Drop for SourceMeasurer {
@@ -364,6 +423,26 @@ impl<'g> MeasureEngine<'g> {
         self.measurer.as_mut().expect("measurer bound")
     }
 
+    /// [`Self::bind`] with the source's `ū` supplied by the caller (from a
+    /// batched pre-sweep, see [`batched_mean_distances`]); caching
+    /// behaviour is identical, only the per-source distance scan is
+    /// skipped.
+    pub fn bind_precomputed(&mut self, source: NodeId, mean_dist: f64) -> &mut SourceMeasurer {
+        let hit = self.measurer.as_ref().is_some_and(|m| m.source() == source);
+        if !hit {
+            self.rebinds += 1;
+            match &mut self.measurer {
+                Some(m) => m.reuse_precomputed(&mut self.bfs, source, mean_dist),
+                None => {
+                    self.measurer = Some(SourceMeasurer::new_precomputed(
+                        self.graph, source, mean_dist,
+                    ))
+                }
+            }
+        }
+        self.measurer.as_mut().expect("measurer bound")
+    }
+
     /// How many binds actually ran a BFS (cache misses).
     pub fn rebinds(&self) -> u64 {
         self.rebinds
@@ -383,9 +462,26 @@ pub fn measure_group(
     cfg: &MeasureConfig,
     kind: SampleKind,
 ) -> Vec<(usize, Vec<RunningStats>)> {
+    measure_group_with_mean(engine, group, xs, cfg, kind, None)
+}
+
+/// [`measure_group`] with the group's `ū` optionally precomputed by a
+/// batched sweep ([`batched_mean_distances`]); `None` falls back to the
+/// engine's own per-source scan. Results are bit-identical either way.
+pub fn measure_group_with_mean(
+    engine: &mut MeasureEngine<'_>,
+    group: &SourceGroup,
+    xs: &[usize],
+    cfg: &MeasureConfig,
+    kind: SampleKind,
+    mean_dist: Option<f64>,
+) -> Vec<(usize, Vec<RunningStats>)> {
     let mut out = Vec::with_capacity(group.indices.len());
     for (k, &index) in group.indices.iter().enumerate() {
-        let measurer = engine.bind(group.node);
+        let measurer = match mean_dist {
+            Some(u) => engine.bind_precomputed(group.node, u),
+            None => engine.bind(group.node),
+        };
         if k > 0 {
             // Cache hit for a *different* source index: the paper drew
             // this node again, so it counts as another measured source.
@@ -694,6 +790,57 @@ mod tests {
                     fresh.ratio_sample(m, &mut rb).to_bits()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn batched_means_match_the_scan_bitwise() {
+        // Includes a disconnected component and an isolated node so the
+        // reached <= 1 convention is exercised.
+        let mut edges: Vec<_> = (0..64u32).map(|i| (i, i + 1)).collect();
+        edges.push((66, 67));
+        edges.push((67, 68));
+        let g = from_edges(70, &edges);
+        let nodes: Vec<NodeId> = (0..70).collect();
+        let mut batch = BatchBfs::new(&g);
+        let means = batched_mean_distances(&mut batch, &nodes);
+        assert_eq!(means.len(), 70);
+        for (&v, &u) in nodes.iter().zip(&means) {
+            let fresh = SourceMeasurer::new(&g, v);
+            assert_eq!(fresh.mean_distance().to_bits(), u.to_bits(), "node {v}");
+        }
+    }
+
+    #[test]
+    fn precomputed_groups_match_the_scanning_engine_bitwise() {
+        let g = binary_tree(4);
+        let cfg = MeasureConfig {
+            sources: 20,
+            receiver_sets: 5,
+            seed: 37,
+        };
+        let plan = SourcePlan::new(&g, &cfg);
+        let nodes: Vec<NodeId> = plan.groups().iter().map(|gr| gr.node).collect();
+        let mut batch = BatchBfs::new(&g);
+        let means = batched_mean_distances(&mut batch, &nodes);
+        let xs = [2usize, 6];
+        for kind in [SampleKind::Ratio, SampleKind::NormalizedTree] {
+            let mut scan_engine = MeasureEngine::new(&g);
+            let mut pre_engine = MeasureEngine::new(&g);
+            for (gi, group) in plan.groups().iter().enumerate() {
+                let a = measure_group(&mut scan_engine, group, &xs, &cfg, kind);
+                let b =
+                    measure_group_with_mean(&mut pre_engine, group, &xs, &cfg, kind, Some(means[gi]));
+                for ((ia, pa), (ib, pb)) in a.iter().zip(&b) {
+                    assert_eq!(ia, ib);
+                    for (sa, sb) in pa.iter().zip(pb) {
+                        assert_eq!(sa.count(), sb.count());
+                        assert_eq!(sa.mean().to_bits(), sb.mean().to_bits());
+                        assert_eq!(sa.variance().to_bits(), sb.variance().to_bits());
+                    }
+                }
+            }
+            assert_eq!(scan_engine.rebinds(), pre_engine.rebinds());
         }
     }
 
