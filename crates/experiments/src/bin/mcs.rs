@@ -9,6 +9,10 @@
 //! mcs topo unpack <in.mct> <out-edge-list>
 //! mcs topo verify <in.mct>
 //! mcs --cache-dir DIR cache <ls|verify|gc>
+//! mcs obs report <trace.jsonl> [--json] [--top N]
+//! mcs obs flame <trace.jsonl>
+//! mcs obs chrome <trace.jsonl>
+//! mcs obs diff <base> <candidate> [--budget <file.json>]
 //!
 //! EXPERIMENT:  table1 | fig1 | … | fig9 | ablate-* | churn | all | list
 //!
@@ -20,6 +24,12 @@
 //!   --out <dir>      also write <dir>/<id>.{json,csv,dat,svg} artefacts
 //!   --metrics <file> write a JSON observability dump (spans, counters,
 //!                    histograms, run metadata) after the run
+//!   --trace <dir>    record a timed trace: every span occurrence with
+//!                    monotonic timestamps, counter deltas attributed to
+//!                    the innermost span, and scheduler lane signals,
+//!                    written to <dir>/trace.jsonl (plus run-meta.json)
+//!   --trace-alloc    with --trace: engage the counting allocator so
+//!                    spans also carry alloc count/bytes/peak
 //!   --cache-dir <dir> content-addressed result cache: unchanged figures
 //!                    and curves are served from disk, bit-identical
 //!   --resume         with --cache-dir: reuse partial checkpoints left by
@@ -51,9 +61,18 @@
 //! every checksum, `gc` removes corrupt objects, temp litter, and stale
 //! checkpoints.
 //!
+//! `obs` post-processes a recorded trace: `report` prints the per-span
+//! summary (wall/self time, allocation attribution, lane utilisation;
+//! `--json` emits the committable digest), `flame` emits collapsed
+//! stacks for flamegraph renderers, `chrome` emits Chrome trace-event
+//! JSON, and `diff` compares two runs under a wall-time budget (exit 3
+//! on breach — the CI perf-regression gate).
+//!
 //! Observability never changes the numbers: report artefacts are
-//! byte-identical whether or not `--metrics`/`--verbose` are given, and
-//! all artefacts are written atomically (temp file + rename).
+//! byte-identical whether or not `--metrics`/`--verbose`/`--trace` are
+//! given, and all artefacts are written atomically (temp file + rename).
+//! The trace is a sidecar: it lives in its own directory, never in
+//! `--out`.
 //!
 //! The `suite` subcommand runs through the fault-isolated scheduler
 //! (`mcast_experiments::sched`): experiments overlap up to `--threads`,
@@ -69,10 +88,17 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
+/// Counting allocator (`mcast_obs::alloc`): plain `System` until
+/// `--trace-alloc` engages counting, then per-span alloc attribution.
+#[global_allocator]
+static ALLOC: mcast_obs::alloc::CountingAlloc = mcast_obs::alloc::CountingAlloc;
+
 struct Args {
     cfg: RunConfig,
     out: Option<PathBuf>,
     metrics: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    trace_alloc: bool,
     cache_dir: Option<PathBuf>,
     resume: bool,
     only: Option<String>,
@@ -84,13 +110,15 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: mcs [--paper|--fast] [--seed N] [--threads N] [--out DIR] [--metrics FILE] [--cache-dir DIR] [--resume] [--verbose|--quiet] <table1|fig1..fig9|ablate-*|churn|all|list>...\n       mcs [OPTIONS] suite [--only ID,ID,...] [--keep-going|--fail-fast] [--max-retries N]\n       mcs [OPTIONS] measure <edge-list-file>\n       mcs topo <pack|unpack|verify> <files...>\n       mcs --cache-dir DIR cache <ls|verify|gc>"
+    "usage: mcs [--paper|--fast] [--seed N] [--threads N] [--out DIR] [--metrics FILE] [--trace DIR [--trace-alloc]] [--cache-dir DIR] [--resume] [--verbose|--quiet] <table1|fig1..fig9|ablate-*|churn|all|list>...\n       mcs [OPTIONS] suite [--only ID,ID,...] [--keep-going|--fail-fast] [--max-retries N]\n       mcs [OPTIONS] measure <edge-list-file>\n       mcs topo <pack|unpack|verify> <files...>\n       mcs --cache-dir DIR cache <ls|verify|gc>\n       mcs obs <report|flame|chrome> <trace.jsonl> [--json] [--top N]\n       mcs obs diff <base> <candidate> [--budget FILE]"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut cfg = RunConfig::default();
     let mut out = None;
     let mut metrics = None;
+    let mut trace = None;
+    let mut trace_alloc = false;
     let mut cache_dir = None;
     let mut resume = false;
     let mut only = None;
@@ -126,6 +154,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 let v = it.next().ok_or("--metrics needs a file")?;
                 metrics = Some(PathBuf::from(v));
             }
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs a directory")?;
+                trace = Some(PathBuf::from(v));
+            }
+            "--trace-alloc" => trace_alloc = true,
             "--cache-dir" => {
                 let v = it.next().ok_or("--cache-dir needs a directory")?;
                 cache_dir = Some(PathBuf::from(v));
@@ -156,6 +189,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if resume && cache_dir.is_none() {
         return Err("--resume requires --cache-dir (there is nowhere to resume from)".into());
     }
+    if trace_alloc && trace.is_none() {
+        return Err("--trace-alloc requires --trace (there is no trace to attribute to)".into());
+    }
     let is_suite = experiments.first().map(String::as_str) == Some("suite");
     if only.is_some() && !is_suite {
         return Err("--only is only valid with the `suite` subcommand".into());
@@ -183,6 +219,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         cfg,
         out,
         metrics,
+        trace,
+        trace_alloc,
         cache_dir,
         resume,
         only,
@@ -234,8 +272,14 @@ fn init_obs(args: &Args) {
             mcast_obs::set_level(mcast_obs::Level::Info);
         }
     }
-    if args.verbose || args.metrics.is_some() {
+    if args.verbose || args.metrics.is_some() || args.trace.is_some() {
         mcast_obs::set_enabled(true);
+    }
+    if args.trace.is_some() {
+        mcast_obs::trace::start();
+        if args.trace_alloc {
+            mcast_obs::alloc::set_counting(true);
+        }
     }
 }
 
@@ -258,6 +302,208 @@ fn write_metrics(
         ("experiments", Value::Str(experiments.join(","))),
     ]);
     write_file(path, &dump)
+}
+
+/// Render the `run-meta.json` sidecar. Reports deliberately keep
+/// `duration: null` so artefacts stay byte-deterministic; the real wall
+/// clock, thread count, and trace location live here instead.
+fn run_meta_json(args: &Args, argv: &[String], started: Instant, exit: u8) -> String {
+    use mcast_obs::json::{write_str, Value};
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(256);
+    out.push_str("{\n  \"version\": 1,\n  \"cmd\": ");
+    write_str(&mut out, &format!("mcs {}", argv.join(" ")));
+    let _ = write!(
+        out,
+        ",\n  \"seed\": {},\n  \"scale\": \"{}\",\n  \"threads\": {},\n  \"duration_ms\": ",
+        args.cfg.seed,
+        args.cfg.scale_name(),
+        args.cfg.resolved_threads()
+    );
+    // Millisecond precision is plenty for a run-meta stamp; keeping the
+    // literal short also keeps the file pleasant to read.
+    let ms = (started.elapsed().as_secs_f64() * 1000.0 * 1000.0).round() / 1000.0;
+    mcast_obs::json::write_f64(&mut out, ms);
+    let _ = write!(out, ",\n  \"exit\": {exit},\n  \"trace\": ");
+    match &args.trace {
+        Some(dir) => Value::Str(dir.join("trace.jsonl").display().to_string()).write(&mut out),
+        None => out.push_str("null"),
+    }
+    let _ = write!(out, ",\n  \"alloc_counting\": {}\n}}\n", args.trace_alloc);
+    out
+}
+
+/// Stop the trace recorder (if one ran) and write the sidecars:
+/// `trace.jsonl` + `run-meta.json` in the trace directory, and a
+/// `run-meta.json` at the cache root when a cache is configured. Never
+/// touches `--out` — artefact directories stay byte-identical with
+/// tracing on or off. Failures are reported but do not change the run's
+/// exit code: telemetry must not fail the science.
+fn finalize_run(args: &Args, argv: &[String], started: Instant, exit: u8) {
+    let meta = run_meta_json(args, argv, started, exit);
+    if let Some(dir) = &args.trace {
+        let write = || -> Result<(), String> {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create `{}`: {e}", dir.display()))?;
+            if let Some(data) = mcast_obs::trace::stop() {
+                use mcast_obs::json::Value;
+                let jsonl = data.write_jsonl(&[
+                    ("cmd", Value::Str(format!("mcs {}", argv.join(" ")))),
+                    ("seed", Value::U64(args.cfg.seed)),
+                    ("scale", Value::Str(args.cfg.scale_name().to_string())),
+                    ("threads", Value::U64(args.cfg.resolved_threads() as u64)),
+                    ("alloc_counting", Value::Bool(args.trace_alloc)),
+                ]);
+                write_file(&dir.join("trace.jsonl"), &jsonl)?;
+            }
+            write_file(&dir.join("run-meta.json"), &meta)
+        };
+        if let Err(e) = write() {
+            eprintln!("failed to write trace sidecars: {e}");
+        }
+    }
+    if let Some(cache) = &args.cache_dir {
+        // The cache root is safe ground: gc only touches objects/,
+        // temp litter, and stale checkpoints.
+        if cache.is_dir() {
+            if let Err(e) = write_file(&cache.join("run-meta.json"), &meta) {
+                eprintln!("failed to write cache run-meta: {e}");
+            }
+        }
+    }
+}
+
+/// Load either sidecar format as a summary: a `trace.jsonl` (detected
+/// by its leading event line) is summarised; anything else must be a
+/// summary JSON as written by `mcs obs report --json`.
+fn read_summary(path: &str) -> Result<mcast_obs::export::TraceSummary, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    if text.trim_start().starts_with("{\"ev\":") {
+        let trace = mcast_obs::export::parse_trace(&text).map_err(|e| format!("`{path}`: {e}"))?;
+        Ok(mcast_obs::export::summarize(&trace))
+    } else {
+        mcast_obs::export::TraceSummary::from_json(&text).map_err(|e| format!("`{path}`: {e}"))
+    }
+}
+
+fn read_trace(path: &str) -> Result<mcast_obs::export::ParsedTrace, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    mcast_obs::export::parse_trace(&text).map_err(|e| format!("`{path}`: {e}"))
+}
+
+/// `mcs obs report|flame|chrome|diff`: post-process recorded traces.
+/// Runs before `parse_args` (its flags are its own); exit code 3 marks
+/// a budget breach in `diff`.
+fn run_obs(cmd: &[String]) -> u8 {
+    use mcast_obs::export;
+    let fail = |e: String| -> u8 {
+        eprintln!("{e}");
+        1
+    };
+    let (op, rest) = match cmd.split_first() {
+        Some((op, rest)) => (op.as_str(), rest),
+        None => return fail(format!("obs takes report, flame, chrome, or diff\n{}", usage())),
+    };
+    match op {
+        "report" => {
+            let mut path = None;
+            let mut json = false;
+            let mut top = 20usize;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--json" => json = true,
+                    "--top" => {
+                        let v = match it.next() {
+                            Some(v) => v,
+                            None => return fail("--top needs a value".into()),
+                        };
+                        top = match v.parse() {
+                            Ok(n) => n,
+                            Err(_) => return fail(format!("bad --top value `{v}`")),
+                        };
+                    }
+                    p if path.is_none() && !p.starts_with('-') => path = Some(p.to_string()),
+                    other => return fail(format!("obs report: unexpected `{other}`")),
+                }
+            }
+            let Some(path) = path else {
+                return fail(format!("obs report needs a trace file\n{}", usage()));
+            };
+            match read_summary(&path) {
+                Ok(summary) => {
+                    if json {
+                        print!("{}", summary.to_json());
+                    } else {
+                        print!("{}", export::report_text(&summary, top));
+                    }
+                    0
+                }
+                Err(e) => fail(e),
+            }
+        }
+        "flame" | "chrome" => {
+            let [path] = rest else {
+                return fail(format!("obs {op} takes exactly one trace.jsonl\n{}", usage()));
+            };
+            match read_trace(path) {
+                Ok(trace) => {
+                    if op == "flame" {
+                        print!("{}", export::folded_stacks(&trace));
+                    } else {
+                        print!("{}", export::chrome_trace(&trace));
+                    }
+                    0
+                }
+                Err(e) => fail(e),
+            }
+        }
+        "diff" => {
+            let mut paths = Vec::new();
+            let mut budget_path = None;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--budget" => match it.next() {
+                        Some(v) => budget_path = Some(v.to_string()),
+                        None => return fail("--budget needs a file".into()),
+                    },
+                    p if !p.starts_with('-') => paths.push(p.to_string()),
+                    other => return fail(format!("obs diff: unexpected `{other}`")),
+                }
+            }
+            let [base, cand] = paths.as_slice() else {
+                return fail(format!("obs diff takes <base> <candidate>\n{}", usage()));
+            };
+            let budget = match &budget_path {
+                Some(p) => {
+                    let text = match std::fs::read_to_string(p) {
+                        Ok(t) => t,
+                        Err(e) => return fail(format!("cannot read `{p}`: {e}")),
+                    };
+                    match export::Budget::from_json(&text) {
+                        Ok(b) => b,
+                        Err(e) => return fail(format!("`{p}`: {e}")),
+                    }
+                }
+                None => export::Budget::default(),
+            };
+            let (a, b) = match (read_summary(base), read_summary(cand)) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(e), _) | (_, Err(e)) => return fail(e),
+            };
+            let report = export::diff(&a, &b, &budget);
+            print!("{}", export::diff_text(&report, &budget));
+            if report.breaches > 0 {
+                3
+            } else {
+                0
+            }
+        }
+        other => fail(format!("unknown obs subcommand `{other}`\n{}", usage())),
+    }
 }
 
 /// `mcs topo pack|unpack|verify`: convert between text edge lists and
@@ -320,6 +566,26 @@ fn run_cache(cmd: &[String], cache_dir: Option<&Path>) -> Result<(), String> {
                 println!("{} {:>7} {:>12} B", e.key, e.kind, e.payload_len);
             }
             println!("{} object(s)", entries.len());
+            // The run-meta sidecar (if a run stamped one) carries the
+            // timing that reports deliberately omit.
+            if let Ok(text) = std::fs::read_to_string(dir.join("run-meta.json")) {
+                if let Ok(meta) = mcast_obs::json::parse(&text) {
+                    let grab_str =
+                        |k: &str| meta.get(k).and_then(|v| v.as_str().map(str::to_string));
+                    let cmd = grab_str("cmd").unwrap_or_else(|| "?".into());
+                    let duration_ms =
+                        meta.get("duration_ms").and_then(|v| v.as_f64()).unwrap_or(0.0);
+                    let threads =
+                        meta.get("threads").and_then(|v| v.as_u64()).unwrap_or(0);
+                    println!(
+                        "last run: {cmd} · {duration_ms:.0} ms · {threads} thread(s){}",
+                        match grab_str("trace") {
+                            Some(t) => format!(" · trace {t}"),
+                            None => String::new(),
+                        }
+                    );
+                }
+            }
             Ok(())
         }
         [op] if op == "verify" => {
@@ -343,7 +609,7 @@ fn run_cache(cmd: &[String], cache_dir: Option<&Path>) -> Result<(), String> {
 /// Drive the resolved ids through the fault-isolated suite scheduler,
 /// print reports (request order) plus a task summary, and map the run
 /// status to the exit code: complete → 0, partial → 2, failed → 1.
-fn run_scheduled(args: &Args, ids: &[String], started: Instant) -> ExitCode {
+fn run_scheduled(args: &Args, ids: &[String], started: Instant) -> u8 {
     let policy = sched::SchedPolicy {
         keep_going: args.keep_going,
         max_retries: args.max_retries,
@@ -359,7 +625,7 @@ fn run_scheduled(args: &Args, ids: &[String], started: Instant) -> ExitCode {
         if let Some(dir) = &args.out {
             if let Err(e) = write_artefacts(dir, report) {
                 eprintln!("failed to write artefacts for {}: {e}", report.id);
-                return ExitCode::FAILURE;
+                return 1;
             }
         }
     }
@@ -431,18 +697,23 @@ fn run_scheduled(args: &Args, ids: &[String], started: Instant) -> ExitCode {
     if let Some(mpath) = &args.metrics {
         if let Err(e) = write_metrics(mpath, &args.cfg, ids, started) {
             eprintln!("failed to write metrics: {e}");
-            return ExitCode::FAILURE;
+            return 1;
         }
     }
     match run.status {
-        sched::SuiteStatus::Complete => ExitCode::SUCCESS,
-        sched::SuiteStatus::Partial => ExitCode::from(2),
-        sched::SuiteStatus::Failed => ExitCode::FAILURE,
+        sched::SuiteStatus::Complete => 0,
+        sched::SuiteStatus::Partial => 2,
+        sched::SuiteStatus::Failed => 1,
     }
 }
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    // `obs` is a pure post-processor with its own flag grammar; handle
+    // it before parse_args (which rejects unknown `-` options).
+    if argv.first().map(String::as_str) == Some("obs") {
+        return ExitCode::from(run_obs(&argv[1..]));
+    }
     let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(msg) => {
@@ -452,24 +723,33 @@ fn main() -> ExitCode {
     };
     init_obs(&args);
     let started = Instant::now();
+    let code = run(&args, started);
+    // One choke point for the trace/run-meta sidecars: every exit path
+    // above funnels through here, so a partial or failed run still gets
+    // its spans flushed (the fault drill relies on this).
+    finalize_run(&args, &argv, started, code);
+    ExitCode::from(code)
+}
 
+/// The measuring body of `main`; returns the process exit code.
+fn run(args: &Args, started: Instant) -> u8 {
     // Offline subcommands that never measure anything.
     match args.experiments.first().map(String::as_str) {
         Some("topo") => {
             return match run_topo(&args.experiments[1..]) {
-                Ok(()) => ExitCode::SUCCESS,
+                Ok(()) => 0,
                 Err(e) => {
                     eprintln!("{e}");
-                    ExitCode::FAILURE
+                    1
                 }
             };
         }
         Some("cache") => {
             return match run_cache(&args.experiments[1..], args.cache_dir.as_deref()) {
-                Ok(()) => ExitCode::SUCCESS,
+                Ok(()) => 0,
                 Err(e) => {
                     eprintln!("{e}");
-                    ExitCode::FAILURE
+                    1
                 }
             };
         }
@@ -479,7 +759,7 @@ fn main() -> ExitCode {
     if let Some(dir) = &args.cache_dir {
         if let Err(e) = mcast_store::configure(dir, args.resume) {
             eprintln!("cannot open cache dir `{}`: {e}", dir.display());
-            return ExitCode::FAILURE;
+            return 1;
         }
     }
 
@@ -487,13 +767,13 @@ fn main() -> ExitCode {
     if args.experiments.first().map(String::as_str) == Some("measure") {
         let Some(path) = args.experiments.get(1) else {
             eprintln!("measure needs an edge-list file\n{}", usage());
-            return ExitCode::FAILURE;
+            return 1;
         };
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("cannot read `{path}`: {e}");
-                return ExitCode::FAILURE;
+                return 1;
             }
         };
         match mcast_experiments::measure_cli::measure_text(path, &text, &args.cfg) {
@@ -504,20 +784,20 @@ fn main() -> ExitCode {
                 if let Some(dir) = &args.out {
                     if let Err(e) = write_artefacts(dir, &report) {
                         eprintln!("failed to write artefacts: {e}");
-                        return ExitCode::FAILURE;
+                        return 1;
                     }
                 }
                 if let Some(mpath) = &args.metrics {
                     if let Err(e) = write_metrics(mpath, &args.cfg, &args.experiments, started) {
                         eprintln!("failed to write metrics: {e}");
-                        return ExitCode::FAILURE;
+                        return 1;
                     }
                 }
-                return ExitCode::SUCCESS;
+                return 0;
             }
             Err(e) => {
                 eprintln!("cannot measure `{path}`: {e}");
-                return ExitCode::FAILURE;
+                return 1;
             }
         }
     }
@@ -531,7 +811,7 @@ fn main() -> ExitCode {
                     println!("{id:8} {}", suite::describe(id).expect("described"));
                 }
                 if args.experiments.len() == 1 {
-                    return ExitCode::SUCCESS;
+                    return 0;
                 }
             }
             "suite" => match &args.only {
@@ -550,7 +830,7 @@ fn main() -> ExitCode {
         Ok(ids) => ids,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::FAILURE;
+            return 1;
         }
     };
 
@@ -564,7 +844,7 @@ fn main() -> ExitCode {
         mcast_obs::info!("mcs", "running experiment `{id}`");
         let Some(report) = suite::run(id, &args.cfg) else {
             eprintln!("unknown experiment `{id}`\n{}", usage());
-            return ExitCode::FAILURE;
+            return 1;
         };
         let _render_span = mcast_obs::span_at(format!("{id}/render"));
         if !args.quiet {
@@ -574,7 +854,7 @@ fn main() -> ExitCode {
         if let Some(dir) = &args.out {
             if let Err(e) = write_artefacts(dir, &report) {
                 eprintln!("failed to write artefacts for {id}: {e}");
-                return ExitCode::FAILURE;
+                return 1;
             }
         }
     }
@@ -582,8 +862,8 @@ fn main() -> ExitCode {
     if let Some(mpath) = &args.metrics {
         if let Err(e) = write_metrics(mpath, &args.cfg, &ids, started) {
             eprintln!("failed to write metrics: {e}");
-            return ExitCode::FAILURE;
+            return 1;
         }
     }
-    ExitCode::SUCCESS
+    0
 }

@@ -237,6 +237,11 @@ where
                             if start >= count {
                                 break;
                             }
+                            // One timed span per claimed batch — only when a
+                            // trace is recording, so plain `--metrics` span
+                            // trees stay exactly as before.
+                            let _span = mcast_obs::trace::active()
+                                .then(|| mcast_obs::span_at("runner/batch"));
                             for i in start..(start + batch).min(count) {
                                 match process(&obs, &mut state, t, i) {
                                     Ok(o) => local.push((i, o)),

@@ -28,7 +28,12 @@
 //!
 //! Wired through `obs`: counters `sched.task.{ok,panic,retry,
 //! quarantined}`, a `sched/<label>` span per task, and JSONL failure
-//! events. See `DESIGN.md` §8 for the full specification.
+//! events. Under `--trace` the same spans become per-lane timed trace
+//! records, and the scheduler additionally emits `sched.queue_depth`
+//! instants after every dequeue/requeue (counter bumps inside a task
+//! are attributed to its `sched/<label>` span automatically). See
+//! `DESIGN.md` §8 for the full specification and §10 for the trace
+//! format.
 
 use crate::config::RunConfig;
 use crate::dataset::Report;
@@ -413,11 +418,15 @@ pub fn run_suite(ids: &[String], cfg: &RunConfig, policy: &SchedPolicy) -> Suite
                 if abort.load(Ordering::Relaxed) {
                     break;
                 }
-                let task = queue
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .pop_front();
+                let (task, depth) = {
+                    let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+                    let t = q.pop_front();
+                    (t, q.len())
+                };
                 let Some(mut task) = task else { break };
+                if mcast_obs::trace::active() {
+                    mcast_obs::trace::instant("sched.queue_depth", depth as i64);
+                }
                 let _span = mcast_obs::span_at(format!("sched/{}", task.label));
                 task.attempts += 1;
                 match run_task(&task, cfg) {
@@ -481,10 +490,18 @@ pub fn run_suite(ids: &[String], cfg: &RunConfig, policy: &SchedPolicy) -> Suite
                                 task.label,
                                 task.attempts
                             );
-                            queue
-                                .lock()
-                                .unwrap_or_else(|e| e.into_inner())
-                                .push_back(task);
+                            let depth = {
+                                let mut q =
+                                    queue.lock().unwrap_or_else(|e| e.into_inner());
+                                q.push_back(task);
+                                q.len()
+                            };
+                            if mcast_obs::trace::active() {
+                                mcast_obs::trace::instant(
+                                    "sched.queue_depth",
+                                    depth as i64,
+                                );
+                            }
                         } else {
                             if let Some(c) = counters {
                                 c.quarantined.add(1);

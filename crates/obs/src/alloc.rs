@@ -1,0 +1,226 @@
+//! Opt-in counting global allocator with per-span attribution.
+//!
+//! Promoted from the test-only allocator in `mcast-tree`'s zero-alloc
+//! suite: a [`CountingAlloc`] wraps [`System`] and, when counting is
+//! switched on, maintains **thread-local** tallies — allocation count,
+//! total bytes requested, net live bytes, and a high-watermark of live
+//! bytes. The trace recorder snapshots these at span open/close to
+//! attribute allocation deltas to the innermost span on each thread
+//! (same exclusive model as counter attribution).
+//!
+//! Binaries opt in by installing the allocator:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: mcast_obs::alloc::CountingAlloc = mcast_obs::alloc::CountingAlloc;
+//! ```
+//!
+//! and calling [`set_counting`]`(true)` when tracing with allocation
+//! attribution is requested. While counting is off (the default) the
+//! allocator is a single relaxed load away from plain [`System`], so
+//! installing it is safe for hot paths.
+//!
+//! ## Per-span peak via watermark save/restore
+//!
+//! The watermark cell tracks the maximum of net live bytes since it was
+//! last reset. When a traced span opens, the current watermark is saved
+//! in the frame and the cell is re-armed to the current live level;
+//! when the span closes, `watermark - live_at_open` is the span's peak
+//! net growth, and the parent's view is restored with
+//! `max(saved, child_watermark)` — so nested spans see only their own
+//! growth while parents still observe the true maximum.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+/// Whether allocation counting is currently engaged.
+#[inline]
+pub fn counting() -> bool {
+    COUNTING.load(Ordering::Relaxed)
+}
+
+/// Engage or disengage allocation counting. Only has an observable
+/// effect in processes that installed [`CountingAlloc`] as the global
+/// allocator; elsewhere the tallies simply stay at zero.
+pub fn set_counting(on: bool) {
+    COUNTING.store(on, Ordering::Relaxed);
+}
+
+thread_local! {
+    static COUNT: Cell<u64> = const { Cell::new(0) };
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+    static LIVE: Cell<u64> = const { Cell::new(0) };
+    static WATERMARK: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Record an allocation of `size` bytes on this thread. Called by the
+/// allocator; exposed `pub(crate)` so the trace tests can exercise the
+/// watermark logic without installing a global allocator.
+#[inline]
+pub(crate) fn on_alloc(size: usize) {
+    // try_with: the allocator runs during thread teardown, after TLS
+    // destructors may have dropped these cells.
+    let _ = COUNT.try_with(|c| c.set(c.get().wrapping_add(1)));
+    let _ = BYTES.try_with(|b| b.set(b.get().wrapping_add(size as u64)));
+    let _ = LIVE.try_with(|l| {
+        let live = l.get().wrapping_add(size as u64);
+        l.set(live);
+        let _ = WATERMARK.try_with(|w| {
+            if live > w.get() {
+                w.set(live);
+            }
+        });
+    });
+}
+
+/// Record a deallocation of `size` bytes on this thread.
+#[inline]
+pub(crate) fn on_dealloc(size: usize) {
+    let _ = LIVE.try_with(|l| l.set(l.get().saturating_sub(size as u64)));
+}
+
+/// Snapshot of the thread-local tallies at span open, plus the saved
+/// parent watermark.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FrameBase {
+    count: u64,
+    bytes: u64,
+    live: u64,
+    saved_watermark: u64,
+}
+
+/// Open an attribution frame: snapshot the tallies and re-arm the
+/// watermark to the current live level. Returns `None` when counting is
+/// off (the common case) so the trace records no `alloc` object.
+pub(crate) fn frame_base() -> Option<FrameBase> {
+    if !counting() {
+        return None;
+    }
+    let count = COUNT.try_with(Cell::get).ok()?;
+    let bytes = BYTES.try_with(Cell::get).ok()?;
+    let live = LIVE.try_with(Cell::get).ok()?;
+    let saved_watermark = WATERMARK.try_with(Cell::get).ok()?;
+    let _ = WATERMARK.try_with(|w| w.set(live));
+    Some(FrameBase {
+        count,
+        bytes,
+        live,
+        saved_watermark,
+    })
+}
+
+/// Close an attribution frame: compute the deltas and restore the
+/// parent's watermark view.
+pub(crate) fn frame_delta(base: FrameBase) -> crate::trace::AllocDelta {
+    let count = COUNT
+        .try_with(Cell::get)
+        .map(|c| c.wrapping_sub(base.count))
+        .unwrap_or(0);
+    let bytes = BYTES
+        .try_with(Cell::get)
+        .map(|b| b.wrapping_sub(base.bytes))
+        .unwrap_or(0);
+    let peak = WATERMARK
+        .try_with(|w| {
+            let child_peak = w.get();
+            w.set(base.saved_watermark.max(child_peak));
+            child_peak.saturating_sub(base.live)
+        })
+        .unwrap_or(0);
+    crate::trace::AllocDelta { count, bytes, peak }
+}
+
+/// A counting wrapper around the system allocator. Behaviour is
+/// identical to [`System`]; when [`set_counting`] is on it additionally
+/// maintains the thread-local tallies used for per-span attribution.
+pub struct CountingAlloc;
+
+// SAFETY: all allocation paths delegate directly to `System`; the
+// bookkeeping touches only thread-local Cells (no allocation, no
+// locking), so it cannot recurse into the allocator or deadlock.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() && counting() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if counting() {
+            on_dealloc(layout.size());
+        }
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() && counting() {
+            on_dealloc(layout.size());
+            on_alloc(new_size);
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc_zeroed(layout) };
+        if !p.is_null() && counting() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests drive on_alloc/on_dealloc directly (no global
+    // allocator is installed in the test binary), so the tallies are
+    // fully deterministic.
+
+    #[test]
+    fn frame_delta_tracks_count_bytes_and_peak() {
+        let _g = crate::test_lock();
+        set_counting(true);
+        let base = frame_base().expect("counting engaged");
+        on_alloc(100);
+        on_alloc(200);
+        on_dealloc(200);
+        on_alloc(50);
+        let d = frame_delta(base);
+        set_counting(false);
+        assert_eq!(d.count, 3);
+        assert_eq!(d.bytes, 350);
+        assert_eq!(d.peak, 300, "peak live growth was 100+200");
+    }
+
+    #[test]
+    fn nested_frames_isolate_child_peak_and_restore_parent_watermark() {
+        let _g = crate::test_lock();
+        set_counting(true);
+        let outer = frame_base().unwrap();
+        on_alloc(1000);
+        on_dealloc(1000); // outer peak so far: 1000
+        let inner = frame_base().unwrap();
+        on_alloc(10);
+        let di = frame_delta(inner);
+        on_dealloc(10);
+        let do_ = frame_delta(outer);
+        set_counting(false);
+        assert_eq!(di.peak, 10, "inner sees only its own growth");
+        assert_eq!(do_.peak, 1000, "outer watermark restored across child");
+    }
+
+    #[test]
+    fn counting_off_yields_no_frame() {
+        let _g = crate::test_lock();
+        set_counting(false);
+        assert!(frame_base().is_none());
+    }
+}

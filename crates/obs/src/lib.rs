@@ -35,14 +35,19 @@
 //! mcast_obs::set_enabled(false);
 //! ```
 
-#![forbid(unsafe_code)]
+// deny (not forbid): the counting allocator is the one audited unsafe
+// island — see alloc.rs, which opts in with #[allow(unsafe_code)].
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod events;
+pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod progress;
 pub mod span;
+pub mod trace;
 
 pub use events::{set_level, Level};
 pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram};

@@ -16,47 +16,72 @@ use std::sync::{Mutex, OnceLock};
 
 /// A monotonically increasing event counter.
 #[derive(Debug, Default)]
-pub struct Counter(AtomicU64);
+pub struct Counter {
+    total: AtomicU64,
+    /// Registry name, stamped once at registration; lets the trace
+    /// recorder attribute deltas without a reverse lookup. Counters
+    /// constructed outside the registry stay anonymous (no attribution).
+    name: OnceLock<&'static str>,
+}
 
 impl Counter {
     /// A zeroed counter (usable in `static`s).
     pub const fn new() -> Self {
-        Self(AtomicU64::new(0))
+        Self {
+            total: AtomicU64::new(0),
+            name: OnceLock::new(),
+        }
     }
 
-    /// Add `n` events (no-op while observability is disabled).
+    /// Add `n` events (no-op while observability is disabled). While a
+    /// trace recorder is active, the delta is also attributed to the
+    /// calling thread's innermost open span.
     #[inline]
     pub fn add(&self, n: u64) {
         if crate::enabled() {
-            self.0.fetch_add(n, Ordering::Relaxed);
+            self.total.fetch_add(n, Ordering::Relaxed);
+            if crate::trace::active() {
+                if let Some(name) = self.name.get() {
+                    crate::trace::on_counter_add(name, n);
+                }
+            }
         }
     }
 
     /// Current total.
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.total.load(Ordering::Relaxed)
     }
 
     fn clear(&self) {
-        self.0.store(0, Ordering::Relaxed);
+        self.total.store(0, Ordering::Relaxed);
     }
 }
 
 /// A last-value-wins signed gauge.
 #[derive(Debug, Default)]
-pub struct Gauge(AtomicI64);
+pub struct Gauge {
+    value: AtomicI64,
+    /// Registry name; see [`Counter::name`]. Named gauges additionally
+    /// emit instant events into an active trace on every update.
+    name: OnceLock<&'static str>,
+}
 
 impl Gauge {
     /// A zeroed gauge (usable in `static`s).
     pub const fn new() -> Self {
-        Self(AtomicI64::new(0))
+        Self {
+            value: AtomicI64::new(0),
+            name: OnceLock::new(),
+        }
     }
 
     /// Set the gauge (no-op while observability is disabled).
     #[inline]
     pub fn set(&self, v: i64) {
         if crate::enabled() {
-            self.0.store(v, Ordering::Relaxed);
+            self.value.store(v, Ordering::Relaxed);
+            self.trace_instant(v);
         }
     }
 
@@ -64,17 +89,27 @@ impl Gauge {
     #[inline]
     pub fn add(&self, delta: i64) {
         if crate::enabled() {
-            self.0.fetch_add(delta, Ordering::Relaxed);
+            let prev = self.value.fetch_add(delta, Ordering::Relaxed);
+            self.trace_instant(prev.wrapping_add(delta));
+        }
+    }
+
+    #[inline]
+    fn trace_instant(&self, v: i64) {
+        if crate::trace::active() {
+            if let Some(name) = self.name.get() {
+                crate::trace::instant(name, v);
+            }
         }
     }
 
     /// Current value.
     pub fn get(&self) -> i64 {
-        self.0.load(Ordering::Relaxed)
+        self.value.load(Ordering::Relaxed)
     }
 
     fn clear(&self) {
-        self.0.store(0, Ordering::Relaxed);
+        self.value.store(0, Ordering::Relaxed);
     }
 }
 
@@ -212,10 +247,13 @@ impl HistogramSnapshot {
         for &(lower, c) in &self.buckets {
             seen += c;
             if seen >= target {
+                // Bucket 63's upper bound is u64::MAX itself:
+                // saturating_mul(2) followed by a subtraction would land
+                // one short (u64::MAX - 1) for lower = 2^63.
                 let upper = if lower == 0 {
                     1
                 } else {
-                    lower.saturating_mul(2).saturating_sub(1)
+                    lower.checked_mul(2).map(|x| x - 1).unwrap_or(u64::MAX)
                 };
                 return upper.min(self.max);
             }
@@ -274,6 +312,7 @@ pub fn counter(name: &str) -> &'static Counter {
         return c;
     }
     let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+    let _ = c.name.set(Box::leak(name.to_string().into_boxed_str()));
     map.insert(name.to_string(), c);
     c
 }
@@ -285,6 +324,7 @@ pub fn gauge(name: &str) -> &'static Gauge {
         return g;
     }
     let g: &'static Gauge = Box::leak(Box::new(Gauge::new()));
+    let _ = g.name.set(Box::leak(name.to_string().into_boxed_str()));
     map.insert(name.to_string(), g);
     g
 }

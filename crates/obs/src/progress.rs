@@ -14,6 +14,7 @@
 //! bookkeeping. All state is atomic — worker threads share a `&Progress`.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 static PROGRESS_ON: AtomicBool = AtomicBool::new(false);
@@ -31,15 +32,57 @@ pub fn progress_enabled() -> bool {
 /// Minimum milliseconds between repaints.
 const REPAINT_MS: u64 = 200;
 
+/// A hand-driven clock for deterministic rate-limit tests: the owner
+/// advances time explicitly and a [`Progress`] built with
+/// [`Progress::with_clock`] reads it instead of the wall clock.
+#[derive(Clone, Default)]
+pub struct ManualClock(Arc<AtomicU64>);
+
+impl ManualClock {
+    /// A clock frozen at 0 ms.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance by `ms` milliseconds.
+    pub fn advance_ms(&self, ms: u64) {
+        self.0.fetch_add(ms, Ordering::Relaxed);
+    }
+
+    /// Current reading, ms.
+    pub fn now_ms(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Where a [`Progress`] reads elapsed time from.
+enum ClockSource {
+    Real(Instant),
+    Manual(ManualClock),
+}
+
+impl ClockSource {
+    fn elapsed_ms(&self) -> u64 {
+        match self {
+            ClockSource::Real(start) => {
+                u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX)
+            }
+            ClockSource::Manual(c) => c.now_ms(),
+        }
+    }
+}
+
 /// Shared progress state for one driver run.
 pub struct Progress {
     label: String,
     total: u64,
     done: AtomicU64,
     samples: AtomicU64,
-    start: Instant,
+    clock: ClockSource,
     /// ms-since-start of the last repaint (for rate limiting).
     last_paint_ms: AtomicU64,
+    /// Repaint-schedule firings (painted or not; see [`Progress::paints`]).
+    paints: AtomicU64,
     painted: AtomicBool,
     active: bool,
 }
@@ -48,13 +91,26 @@ impl Progress {
     /// New tracker expecting `total` work items, labelled for display.
     /// Captures the display flag at construction.
     pub fn new(label: impl Into<String>, total: u64) -> Self {
+        Self::build(label, total, ClockSource::Real(Instant::now()))
+    }
+
+    /// New tracker reading time from `clock` instead of the wall clock.
+    /// The repaint schedule then runs (and is observable via
+    /// [`Progress::paints`]) even when the display is off, so tests can
+    /// pin the emission schedule without touching stderr.
+    pub fn with_clock(label: impl Into<String>, total: u64, clock: ManualClock) -> Self {
+        Self::build(label, total, ClockSource::Manual(clock))
+    }
+
+    fn build(label: impl Into<String>, total: u64, clock: ClockSource) -> Self {
         Self {
             label: label.into(),
             total,
             done: AtomicU64::new(0),
             samples: AtomicU64::new(0),
-            start: Instant::now(),
+            clock,
             last_paint_ms: AtomicU64::new(0),
+            paints: AtomicU64::new(0),
             painted: AtomicBool::new(false),
             active: progress_enabled(),
         }
@@ -69,7 +125,10 @@ impl Progress {
     /// Record one completed work item, repainting if due.
     pub fn item_done(&self) {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
-        if self.active {
+        // The inactive wall-clock path stays a lone fetch_add — no
+        // clock read per item. With a manual clock the schedule always
+        // runs so tests can observe it displaylessly.
+        if self.active || matches!(self.clock, ClockSource::Manual(_)) {
             self.maybe_paint(done);
         }
     }
@@ -84,8 +143,15 @@ impl Progress {
         self.samples.load(Ordering::Relaxed)
     }
 
+    /// How many times the repaint schedule has fired. With a manual
+    /// clock this counts schedule decisions even while the display is
+    /// off — the hook the emission-schedule tests pin against.
+    pub fn paints(&self) -> u64 {
+        self.paints.load(Ordering::Relaxed)
+    }
+
     fn maybe_paint(&self, done: u64) {
-        let now_ms = u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let now_ms = self.clock.elapsed_ms();
         let last = self.last_paint_ms.load(Ordering::Relaxed);
         let due = now_ms.saturating_sub(last) >= REPAINT_MS || done == self.total;
         if !due {
@@ -99,9 +165,12 @@ impl Progress {
         {
             return;
         }
-        self.painted.store(true, Ordering::Relaxed);
-        let line = self.status_line(done, now_ms);
-        eprint!("\r\x1b[2K{line}");
+        self.paints.fetch_add(1, Ordering::Relaxed);
+        if self.active {
+            self.painted.store(true, Ordering::Relaxed);
+            let line = self.status_line(done, now_ms);
+            eprint!("\r\x1b[2K{line}");
+        }
     }
 
     fn status_line(&self, done: u64, elapsed_ms: u64) -> String {
@@ -126,7 +195,7 @@ impl Progress {
         if !self.active || !self.painted.load(Ordering::Relaxed) {
             return;
         }
-        let elapsed_ms = u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let elapsed_ms = self.clock.elapsed_ms();
         let done = self.done.load(Ordering::Relaxed);
         eprintln!(
             "\r\x1b[2K{} · done in {}",
@@ -238,5 +307,57 @@ mod tests {
         assert!(line.starts_with("fig1: 37/100 sources"), "{line}");
         assert!(line.contains("samples/s"), "{line}");
         assert!(line.contains("ETA"), "{line}");
+    }
+
+    #[test]
+    fn burst_of_items_in_one_instant_paints_at_most_once() {
+        let clock = ManualClock::new();
+        let p = Progress::with_clock("burst", 1000, clock.clone());
+        clock.advance_ms(REPAINT_MS); // make the first tick due
+        for _ in 0..500 {
+            p.item_done();
+        }
+        // Time never advanced past the first repaint: the whole burst
+        // collapses into that single paint.
+        assert_eq!(p.paints(), 1);
+        assert_eq!(p.done(), 500);
+    }
+
+    #[test]
+    fn steady_state_paints_once_per_repaint_window() {
+        let clock = ManualClock::new();
+        let p = Progress::with_clock("steady", 1000, clock.clone());
+        // One item every 50 ms for 2 s: 10 windows of 200 ms, each
+        // repainting exactly once (on its first due item).
+        for _ in 0..40 {
+            clock.advance_ms(50);
+            p.item_done();
+        }
+        assert_eq!(p.paints(), 10);
+    }
+
+    #[test]
+    fn final_item_always_paints_even_inside_window() {
+        let clock = ManualClock::new();
+        let p = Progress::with_clock("final", 3, clock.clone());
+        clock.advance_ms(REPAINT_MS);
+        p.item_done(); // paints (window due)
+        clock.advance_ms(1);
+        p.item_done(); // suppressed (inside window)
+        clock.advance_ms(1);
+        p.item_done(); // done == total: forced paint
+        assert_eq!(p.paints(), 2);
+    }
+
+    #[test]
+    fn sub_window_items_never_paint_until_window_elapses() {
+        let clock = ManualClock::new();
+        let p = Progress::with_clock("quiet", 1000, clock.clone());
+        for _ in 0..10 {
+            clock.advance_ms(REPAINT_MS / 10);
+            p.item_done();
+        }
+        // Exactly one window (10 × 20 ms) elapsed in total.
+        assert_eq!(p.paints(), 1);
     }
 }

@@ -44,6 +44,9 @@ thread_local! {
 pub struct SpanGuard {
     path: Option<String>,
     start: Option<Instant>,
+    /// Trace start timestamp when a recorder was active at open; also
+    /// marks that this guard owns an attribution frame to close.
+    trace_t0: Option<u64>,
 }
 
 /// Open a span named `name` nested under the current thread's innermost
@@ -53,6 +56,7 @@ pub fn span(name: &str) -> SpanGuard {
         return SpanGuard {
             path: None,
             start: None,
+            trace_t0: None,
         };
     }
     // Lossy by design: if the TLS stack is gone (thread teardown) or
@@ -78,6 +82,7 @@ pub fn span_at(path: impl Into<String>) -> SpanGuard {
         return SpanGuard {
             path: None,
             start: None,
+            trace_t0: None,
         };
     }
     open(path.into())
@@ -91,9 +96,14 @@ fn open(path: String) -> SpanGuard {
             s.push(path.clone());
         }
     });
+    // A guard only owns a trace frame when a recorder was active at
+    // open; frames push/pop strictly with these guards, so a recorder
+    // started mid-span never unbalances the frame stack.
+    let trace_t0 = crate::trace::active().then(crate::trace::open_frame);
     SpanGuard {
         path: Some(path),
         start: Some(Instant::now()),
+        trace_t0,
     }
 }
 
@@ -103,6 +113,13 @@ impl Drop for SpanGuard {
             return;
         };
         let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        // Close the trace frame first so counter bumps from the
+        // collector bookkeeping below can't be attributed to this span.
+        // Runs during unwinding too — close_frame is fully `try_`-guarded
+        // and the span always closes in the trace (see trace.rs).
+        if let Some(t0) = self.trace_t0.take() {
+            crate::trace::close_frame(&path, t0);
+        }
         // This drop runs during unwinding whenever a spanned scope
         // panics; `try_with`/`try_borrow_mut` keep it from turning that
         // panic into an abort if the TLS stack is mid-teardown or

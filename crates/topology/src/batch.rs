@@ -101,6 +101,9 @@ impl<'g> BatchBfs<'g> {
     /// When observability is enabled, each sweep bumps `bfs.batch.sweeps`,
     /// `bfs.batch.sources` (lanes advanced) and `bfs.batch.levels`
     /// (frontier expansions), batched into three atomic adds per sweep.
+    /// When a timed trace is recording, each sweep additionally opens a
+    /// `bfs/batch_sweep` span, so those counter deltas attribute to the
+    /// individual sweep.
     ///
     /// # Panics
     /// Panics if `sources` is empty, longer than [`MAX_LANES`], or names a
@@ -127,6 +130,10 @@ impl<'g> BatchBfs<'g> {
     }
 
     fn sweep<const RECORD_DIST: bool>(&mut self, sources: &[NodeId]) {
+        // Timed span only while a trace records: a sweep is the BFS
+        // kernel's unit of work, and the span carries this sweep's
+        // counter deltas. Costs one relaxed load when tracing is off.
+        let _span = mcast_obs::trace::active().then(|| mcast_obs::span_at("bfs/batch_sweep"));
         let n = self.graph.node_count();
         assert!(
             !sources.is_empty() && sources.len() <= MAX_LANES,
