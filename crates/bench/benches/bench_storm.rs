@@ -1,0 +1,80 @@
+//! Multi-session storm engine: flash-crowd ignition (batched skeleton
+//! grafts) and steady-state session churn, on the suite topologies. The
+//! numbers to watch are events/sec through the indexed queue and the
+//! flash burst's skeleton-build cost — the two paths `mcs storm` leans
+//! on at scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcast_experiments::networks;
+use mcast_experiments::RunConfig;
+use mcast_tree::dynamics::{ChurnConfig, LifetimeShape};
+use mcast_tree::storm::{simulate_flash, simulate_steady, FlashConfig, SteadyConfig};
+
+fn flash_cfg(sessions: u32) -> FlashConfig {
+    FlashConfig {
+        sessions,
+        receivers_per_session: 5,
+        beta: 1.0,
+        sampler_sweeps: 1,
+        burst_time: 1.0,
+        join_window: 1.0,
+        mean_lifetime: 3.0,
+        sample_every: 0,
+        seed: 1999,
+    }
+}
+
+fn steady_cfg() -> SteadyConfig {
+    SteadyConfig {
+        session_rate: 50.0,
+        mean_session_lifetime: 2.0,
+        member: ChurnConfig {
+            arrival_rate: 10.0,
+            mean_lifetime: 1.0,
+            lifetime_shape: LifetimeShape::Exponential,
+            warmup_events: 0,
+            sample_events: 0,
+            seed: 0,
+        },
+        horizon: 20.0,
+        measure_from: 5.0,
+        sample_every: 0,
+        seed: 1999,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = RunConfig::fast();
+    let ts1000 = networks::ts1000(&cfg);
+    let ti5000 = networks::ti5000(&cfg);
+    let mut g = c.benchmark_group("storm");
+    g.sample_size(10);
+
+    // Flash on ts1000: the burst tick grafts 2000 sessions at once, so
+    // the batched skeleton path dominates.
+    let f2k = flash_cfg(2_000);
+    let out = simulate_flash(&ts1000.graph, 0, &f2k).unwrap();
+    assert_eq!(out.peak_sessions, 2_000);
+    assert!(out.batch_sweeps > 0, "the burst must take the batched path");
+    g.bench_function("flash2k/ts1000", |b| {
+        b.iter(|| simulate_flash(&ts1000.graph, 0, &f2k).unwrap())
+    });
+
+    // Flash on the largest generated topology: skeleton sharing across
+    // 10k sessions rooted at ~5000 distinct sources.
+    let f10k = flash_cfg(10_000);
+    g.bench_function("flash10k/ti5000", |b| {
+        b.iter(|| simulate_flash(&ti5000.graph, 0, &f10k).unwrap())
+    });
+
+    // Steady state on ts1000: event-queue throughput with sessions
+    // arriving and draining continuously.
+    let s = steady_cfg();
+    g.bench_function("steady/ts1000", |b| {
+        b.iter(|| simulate_steady(&ts1000.graph, &s).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

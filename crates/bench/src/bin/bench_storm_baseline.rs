@@ -1,0 +1,87 @@
+//! Records the storm-engine baseline as machine-readable JSON.
+//!
+//! The acceptance bar for the multi-session engine: a flash crowd of
+//! 10^5 concurrent sessions on ti5000, every skeleton grafted through
+//! the batched BFS path, with sustained join throughput distilled into
+//! `BENCH_storm.json` so CI can archive it next to the other baselines
+//! and future PRs can diff it.
+//!
+//! Usage: `bench_storm_baseline [OUT_PATH]` (default `BENCH_storm.json`).
+
+use mcast_experiments::networks;
+use mcast_experiments::RunConfig;
+use mcast_tree::storm::{simulate_flash, FlashConfig, StormOutcome};
+use std::time::Instant;
+
+/// One timed scenario run (generation + engine drain; "sustained" means
+/// the whole pipeline, not a warm cache).
+fn timed_flash(
+    graph: &mcast_topology::Graph,
+    cfg: &FlashConfig,
+) -> (StormOutcome, u128) {
+    let t = Instant::now();
+    let out = simulate_flash(graph, 0, cfg).expect("generated calendars are consistent");
+    (out, t.elapsed().as_nanos())
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_storm.json".to_string());
+
+    let cfg = RunConfig::fast();
+    let ti5000 = networks::ti5000(&cfg);
+    let fcfg = FlashConfig {
+        sessions: 100_000,
+        receivers_per_session: 5,
+        beta: 1.0,
+        sampler_sweeps: 1,
+        burst_time: 1.0,
+        join_window: 2.0,
+        mean_lifetime: 4.0,
+        sample_every: 0,
+        seed: 1999,
+    };
+
+    // Best of two runs (the engine is deterministic; the variance is all
+    // scheduler noise).
+    let (out, ns_a) = timed_flash(&ti5000.graph, &fcfg);
+    let (out_b, ns_b) = timed_flash(&ti5000.graph, &fcfg);
+    assert_eq!(out.events, out_b.events, "replays must be identical");
+    assert_eq!(out.peak_links, out_b.peak_links, "replays must be identical");
+    let run_ns = ns_a.min(ns_b);
+
+    assert!(
+        out.peak_sessions >= 100_000,
+        "acceptance: ti5000 must sustain 10^5 concurrent sessions ({})",
+        out.peak_sessions
+    );
+    assert!(
+        out.batch_sweeps > 0 && out.trees_built_batch >= 64,
+        "the burst must graft through the batched BFS path"
+    );
+
+    let secs = run_ns as f64 / 1e9;
+    let joins_per_sec = out.joins as f64 / secs;
+    let events_per_sec = out.events as f64 / secs;
+    let json = format!(
+        "{{\n  \"bench\": \"storm\",\n  \"workload\": \"flash crowd on ti5000: 100k concurrent sessions x 5 affinity receivers, batched skeleton grafts\",\n  \"ti5000\": {{\n    \"nodes\": {},\n    \"sessions\": {},\n    \"peak_sessions\": {},\n    \"events\": {},\n    \"joins\": {},\n    \"peak_links\": {},\n    \"batch_sweeps\": {},\n    \"trees_built_batch\": {},\n    \"trees_built_scalar\": {},\n    \"run_ns\": {run_ns},\n    \"joins_per_sec\": {joins_per_sec:.0},\n    \"events_per_sec\": {events_per_sec:.0}\n  }}\n}}\n",
+        ti5000.graph.node_count(),
+        fcfg.sessions,
+        out.peak_sessions,
+        out.events,
+        out.joins,
+        out.peak_links,
+        out.batch_sweeps,
+        out.trees_built_batch,
+        out.trees_built_scalar,
+    );
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    println!("{json}");
+    eprintln!(
+        "wrote {out_path}: {:.0}k joins/sec, {:.0}k events/sec over {:.2}s",
+        joins_per_sec / 1e3,
+        events_per_sec / 1e3,
+        secs
+    );
+}

@@ -14,11 +14,12 @@
 //! mcs obs chrome <trace.jsonl>
 //! mcs obs diff <base> <candidate> [--budget <file.json>]
 //!
-//! EXPERIMENT:  table1 | fig1 | … | fig9 | ablate-* | churn | all | list
+//! EXPERIMENT:  table1 | fig1 | … | fig9 | ablate-* | churn | storm | all | list
 //!
 //! OPTIONS:
 //!   --paper          paper-scale sample counts and topology sizes
 //!   --fast           reduced sizes (default)
+//!   --scale <s>      spelled-out form of the above: `fast` or `paper`
 //!   --seed <u64>     root seed (default 1999)
 //!   --threads <n>    worker threads, at least 1 (default: all cores)
 //!   --out <dir>      also write <dir>/<id>.{json,csv,dat,svg} artefacts
@@ -110,7 +111,7 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: mcs [--paper|--fast] [--seed N] [--threads N] [--out DIR] [--metrics FILE] [--trace DIR [--trace-alloc]] [--cache-dir DIR] [--resume] [--verbose|--quiet] <table1|fig1..fig9|ablate-*|churn|all|list>...\n       mcs [OPTIONS] suite [--only ID,ID,...] [--keep-going|--fail-fast] [--max-retries N]\n       mcs [OPTIONS] measure <edge-list-file>\n       mcs topo <pack|unpack|verify> <files...>\n       mcs --cache-dir DIR cache <ls|verify|gc>\n       mcs obs <report|flame|chrome> <trace.jsonl> [--json] [--top N]\n       mcs obs diff <base> <candidate> [--budget FILE]"
+    "usage: mcs [--paper|--fast|--scale fast|paper] [--seed N] [--threads N] [--out DIR] [--metrics FILE] [--trace DIR [--trace-alloc]] [--cache-dir DIR] [--resume] [--verbose|--quiet] <table1|fig1..fig9|ablate-*|churn|storm|all|list>...\n       mcs [OPTIONS] suite [--only ID,ID,...] [--keep-going|--fail-fast] [--max-retries N]\n       mcs [OPTIONS] measure <edge-list-file>\n       mcs topo <pack|unpack|verify> <files...>\n       mcs --cache-dir DIR cache <ls|verify|gc>\n       mcs obs <report|flame|chrome> <trace.jsonl> [--json] [--top N]\n       mcs obs diff <base> <candidate> [--budget FILE]"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -133,6 +134,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         match arg.as_str() {
             "--paper" => cfg.scale = Scale::Paper,
             "--fast" => cfg.scale = Scale::Fast,
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs `fast` or `paper`")?;
+                cfg.scale = match v.as_str() {
+                    "fast" => Scale::Fast,
+                    "paper" => Scale::Paper,
+                    other => return Err(format!("bad scale `{other}` (want `fast` or `paper`)")),
+                };
+            }
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 cfg.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;

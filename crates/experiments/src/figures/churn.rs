@@ -11,8 +11,8 @@
 use crate::config::RunConfig;
 use crate::dataset::{DataSet, Report, Series};
 use crate::networks;
-use crate::runner::parallel_map;
-use mcast_tree::dynamics::{simulate_churn, ChurnConfig, LifetimeShape};
+use crate::runner::{parallel_map, try_parallel_map_with, CurveError, GroupFailure};
+use mcast_tree::dynamics::{try_simulate_churn, ChurnConfig, ChurnError, LifetimeShape};
 use mcast_tree::sampling::{self, ReceiverPool};
 use mcast_tree::{DeliverySizer, RunningStats};
 use rand::rngs::StdRng;
@@ -36,8 +36,22 @@ fn poisson<R: Rng + ?Sized>(nu: f64, rng: &mut R) -> usize {
 /// Mean group sizes swept (λ/μ with μ fixed at 1).
 pub const MEAN_SIZES: [f64; 6] = [2.0, 5.0, 10.0, 30.0, 100.0, 300.0];
 
-/// Run the churn experiment.
+/// Run the churn experiment, panicking on a failed curve (the historical
+/// contract of the figure registry; the suite scheduler calls
+/// [`try_run`] and quarantines instead).
 pub fn run(cfg: &RunConfig) -> Report {
+    match try_run(cfg) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Run the churn experiment, reporting per-curve failures as a
+/// [`CurveError`] like the other fallible runner paths: a panicking
+/// churn run or a typed [`ChurnError`] (calendar desync) becomes a
+/// [`GroupFailure`] naming the mean-size point, and every surviving
+/// point still runs.
+pub fn try_run(cfg: &RunConfig) -> Result<Report, CurveError> {
     let mut report = Report::new(
         "churn",
         "Extension: session churn — dynamic tree size vs the static snapshot",
@@ -51,23 +65,64 @@ pub fn run(cfg: &RunConfig) -> Report {
         crate::config::Scale::Paper => (10_000, 120_000),
     };
 
-    // Dynamic side: one churn run per mean size (parallel).
-    let dynamic: Vec<(f64, f64, f64)> = parallel_map(MEAN_SIZES.len(), cfg, |i| {
-        let nu = MEAN_SIZES[i];
-        let ccfg = ChurnConfig {
-            arrival_rate: nu,
-            mean_lifetime: 1.0,
-            lifetime_shape: LifetimeShape::Exponential,
-            warmup_events: events.0,
-            sample_events: events.1,
-            seed: cfg.sub_seed(&format!("churn-{nu}")),
-        };
-        let out = simulate_churn(&graph, 0, &ccfg);
-        // Signalling load: tree links grafted or pruned per membership
-        // event — the quantity a static snapshot cannot see.
-        let churn_cost = (out.grafts + out.prunes) as f64 / events.1 as f64;
-        (out.mean_members, out.mean_links, churn_cost)
-    });
+    // Dynamic side: one churn run per mean size (parallel). Each item is
+    // fallible twice over — the simulation can panic, and the calendar
+    // can desync (a typed ChurnError) — and both fold into the same
+    // per-group failure report.
+    let dynamic_items = try_parallel_map_with(
+        MEAN_SIZES.len(),
+        cfg,
+        |_| (),
+        |(), i| -> Result<(f64, f64, f64), ChurnError> {
+            // Same drill point as a curve's source groups: index i is
+            // the mean-size point, so a fault armed for (task "churn",
+            // group i) kills exactly one point of the sweep.
+            crate::fault::hit_group(i);
+            let nu = MEAN_SIZES[i];
+            let ccfg = ChurnConfig {
+                arrival_rate: nu,
+                mean_lifetime: 1.0,
+                lifetime_shape: LifetimeShape::Exponential,
+                warmup_events: events.0,
+                sample_events: events.1,
+                seed: cfg.sub_seed(&format!("churn-{nu}")),
+            };
+            let out = try_simulate_churn(&graph, 0, &ccfg)?;
+            // Signalling load: tree links grafted or pruned per membership
+            // event — the quantity a static snapshot cannot see.
+            let churn_cost = (out.grafts + out.prunes) as f64 / events.1 as f64;
+            Ok((out.mean_members, out.mean_links, churn_cost))
+        },
+    );
+    let group = |i: usize, payload: String| GroupFailure {
+        group_index: i,
+        source: 0, // every churn curve is rooted at node 0
+        source_indices: vec![i],
+        payload,
+    };
+    let dynamic: Vec<(f64, f64, f64)> = match dynamic_items {
+        Ok(items) => {
+            let failures: Vec<GroupFailure> = items
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| r.as_ref().err().map(|e| group(i, e.to_string())))
+                .collect();
+            if !failures.is_empty() {
+                let completed = items.len() - failures.len();
+                return Err(CurveError { failures, completed });
+            }
+            items.into_iter().map(|r| r.expect("no failures")).collect()
+        }
+        Err(map_err) => {
+            let completed = map_err.completed;
+            let failures = map_err
+                .failures
+                .into_iter()
+                .map(|f| group(f.index, f.payload))
+                .collect();
+            return Err(CurveError { failures, completed });
+        }
+    };
 
     // Static side: E[L̂(N)] with N ~ Poisson(mean size) — the stationary
     // group-size law of the M/M/∞ process — at the same source (0).
@@ -129,7 +184,7 @@ pub fn run(cfg: &RunConfig) -> Report {
         log_y: false,
         series: vec![Series::new("links touched", signalling)],
     });
-    report
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -28,6 +28,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod storm;
 pub mod table1;
 pub mod verdict;
 

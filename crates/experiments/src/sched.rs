@@ -220,6 +220,7 @@ fn experiment_cost(id: &str) -> u64 {
         "fig7" => 20_000,
         "fig9" => 8_000,
         "churn" => 5_000,
+        "storm" => 6_000,
         "ablate-shared" | "ablate-steiner" | "ablate-tiebreak" => 3_000,
         "ablate-norm" => 2_000,
         "fig8" => 1_500,
@@ -329,6 +330,18 @@ fn run_task(task: &Task, cfg: &RunConfig) -> Result<Option<Report>, TaskFailure>
         fault::hit_task(&task.label);
         match &task.work {
             Work::Curve { build, kind, grid } => run_curve(cfg, *build, *kind, *grid).map(|()| None),
+            // Churn has a typed fallible path: a desynced or panicking
+            // curve comes back as per-group failures instead of an
+            // opaque unwind, so the quarantine report can name the
+            // mean-size point that died. Inner width is pinned to 1
+            // like curve tasks — the scheduler's width is the
+            // parallelism, and the thread-local fault context then
+            // covers the figure's per-point drill hooks; index-ordered
+            // merges keep the report bit-identical at any width.
+            Work::Experiment if task.experiment == "churn" => {
+                let inner = RunConfig { threads: 1, ..*cfg };
+                crate::figures::churn::try_run(&inner).map(Some)
+            }
             Work::Experiment => match suite::run(&task.experiment, cfg) {
                 Some(report) => Ok(Some(report)),
                 None => Err(CurveError {

@@ -45,7 +45,7 @@ fn memo_put(key: Key, report: &Report) {
 }
 
 /// All experiment ids, in paper order.
-pub const EXPERIMENT_IDS: [&str; 16] = [
+pub const EXPERIMENT_IDS: [&str; 17] = [
     "table1",
     "fig1",
     "fig2",
@@ -61,6 +61,7 @@ pub const EXPERIMENT_IDS: [&str; 16] = [
     "ablate-norm",
     "ablate-tiebreak",
     "churn",
+    "storm",
     "verdict",
 ];
 
@@ -82,6 +83,7 @@ pub fn describe(id: &str) -> Option<&'static str> {
         "ablate-norm" => "(extension) exponent sensitivity to the normalisation",
         "ablate-tiebreak" => "(extension) L(m) under different tie-breaking policies",
         "churn" => "(extension) session join/leave dynamics vs static snapshots",
+        "storm" => "(extension) event-driven churn across many concurrent sessions",
         "verdict" => "(summary) PASS/FAIL check of every DESIGN.md shape criterion",
         _ => return None,
     })
@@ -193,6 +195,7 @@ fn run_inner(id: &str, cfg: &RunConfig) -> Option<Report> {
         "ablate-norm" => figures::ablations::run_norm(cfg),
         "ablate-tiebreak" => figures::ablations::run_tiebreak(cfg),
         "churn" => figures::churn::run(cfg),
+        "storm" => figures::storm::run(cfg),
         "verdict" => figures::verdict::run(cfg),
         _ => return None,
     })

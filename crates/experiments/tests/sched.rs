@@ -156,6 +156,44 @@ fn failures_iterator_surfaces_only_broken_tasks() {
 }
 
 #[test]
+fn faulted_churn_curve_quarantines_churn_only() {
+    let _guard = sched_lock();
+    // Kill one mean-size point inside the churn figure (task "churn",
+    // group index 2) on both attempts: the typed fallible path must
+    // name that group in the quarantine report, and the sibling
+    // experiment must come out byte-identical to a sequential run.
+    fault::arm(Some("churn"), Some(2), 2);
+    let run = run_suite(
+        &ids(&["churn", "fig2"]),
+        &cfg(),
+        &SchedPolicy {
+            keep_going: true,
+            max_retries: 1,
+        },
+    );
+    fault::disarm();
+
+    assert_eq!(run.status, SuiteStatus::Partial);
+    let churn = run.outcomes.iter().find(|o| o.label == "churn").unwrap();
+    assert_eq!(churn.status, TaskStatus::Quarantined);
+    assert_eq!(churn.attempts, 2);
+    let failure = churn.failure.as_ref().expect("quarantine carries context");
+    assert_eq!(failure.groups.len(), 1, "exactly one point died");
+    assert_eq!(failure.groups[0].group_index, 2);
+    assert!(
+        failure.groups[0].payload.contains("injected fault"),
+        "{}",
+        failure.groups[0].payload
+    );
+    // Every surviving point still ran before the error was reported.
+    assert!(failure.payload.contains("5 completed"), "{}", failure.payload);
+
+    assert_eq!(run.reports.len(), 1, "fig2 still completed");
+    let sequential = suite::run("fig2", &cfg()).expect("registered id");
+    assert_eq!(&sequential, &run.reports[0], "survivor must be untouched");
+}
+
+#[test]
 fn clean_suite_is_complete_with_one_outcome_per_task() {
     let _guard = sched_lock();
     fault::disarm();

@@ -18,9 +18,15 @@
 //! What the kernel deliberately does **not** record is BFS parents: parent
 //! choice depends on the scalar queue's FIFO discovery order, which a
 //! word-parallel frontier does not reproduce, and the delivery-tree sizes
-//! built from parents would silently change. Consumers that need a
-//! shortest-path *tree* (the delivery sizer) keep the scalar engine; see
-//! `DESIGN.md` §9.
+//! built from parents would silently change. Consumers that need the
+//! scalar engine's FIFO tree (the delivery sizer) keep using it; see
+//! `DESIGN.md` §9. Consumers that only need *some* deterministic
+//! shortest-path tree — the multi-session churn engine grafting dozens
+//! of new sessions in one tick — call [`BatchBfs::parent_tree`], which
+//! derives parents from a lane's finished distances under the
+//! schedule-independent lowest-id rule of
+//! [`crate::bfs::min_index_parents`], so batched and scalar construction
+//! of the same source tree are bit-identical by construction.
 
 use crate::bfs::UNREACHED;
 use crate::graph::{Graph, NodeId};
@@ -68,6 +74,8 @@ pub struct BatchBfs<'g> {
     lanes: usize,
     /// Whether the last sweep recorded the distance arrays.
     dist_recorded: bool,
+    /// The sources of the last sweep, per lane (for parent derivation).
+    sources_last: Vec<NodeId>,
 }
 
 impl<'g> BatchBfs<'g> {
@@ -86,6 +94,7 @@ impl<'g> BatchBfs<'g> {
             level_counts: (0..MAX_LANES).map(|_| Vec::new()).collect(),
             lanes: 0,
             dist_recorded: false,
+            sources_last: Vec::new(),
         }
     }
 
@@ -142,6 +151,8 @@ impl<'g> BatchBfs<'g> {
         );
         self.lanes = sources.len();
         self.dist_recorded = RECORD_DIST;
+        self.sources_last.clear();
+        self.sources_last.extend_from_slice(sources);
         self.seen.fill(0);
         self.frontier.fill(0);
         self.next.fill(0);
@@ -294,6 +305,25 @@ impl<'g> BatchBfs<'g> {
     pub fn eccentricity(&self, lane: usize) -> usize {
         self.level_counts(lane).len() - 1
     }
+
+    /// Derive `lane`'s shortest-path parent array into `out` — the batch
+    /// join entry point for engines that graft many sources per tick.
+    ///
+    /// Parents follow the schedule-independent lowest-id rule of
+    /// [`crate::bfs::min_index_parents`] applied to this lane's recorded
+    /// distances, so the result is bit-identical to deriving from a
+    /// scalar [`crate::bfs::Bfs`] sweep of the same source (batch and
+    /// scalar distances already agree). Note this is *not* the scalar
+    /// engine's FIFO parent array; a consumer must pick one rule and use
+    /// it on every path, as `mcast_tree::storm` does.
+    ///
+    /// # Panics
+    /// Panics if `lane` is out of range or the last sweep was
+    /// [`run_profiles`](Self::run_profiles) (no distances recorded).
+    pub fn parent_tree(&self, lane: usize, out: &mut Vec<NodeId>) {
+        let source = self.sources_last[lane];
+        crate::bfs::min_index_parents(self.graph, self.distances(lane), source, out);
+    }
 }
 
 #[cfg(test)]
@@ -401,6 +431,43 @@ mod tests {
         // A full sweep on the same engine restores the distance arrays.
         profiles.run(&[0]);
         assert_eq!(profiles.distances(0), full.distances(0));
+    }
+
+    #[test]
+    fn parent_tree_matches_scalar_derivation() {
+        // Diamond: two equal-length paths 0-1-3 and 0-2-3 — the lowest-id
+        // rule must pick 1 as 3's parent on both engines.
+        let g = from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let mut batch = BatchBfs::new(&g);
+        batch.run(&[0, 4]);
+        let mut scalar = Bfs::new(&g);
+        let mut from_batch = Vec::new();
+        let mut from_scalar = Vec::new();
+        for (lane, &s) in [0u32, 4].iter().enumerate() {
+            batch.parent_tree(lane, &mut from_batch);
+            scalar.run_scratch(s);
+            crate::bfs::min_index_parents(&g, scalar.scratch_distances(), s, &mut from_scalar);
+            assert_eq!(from_batch, from_scalar, "lane {lane} source {s}");
+            // Every reached non-source node's parent sits one hop closer.
+            for v in 0..g.node_count() {
+                let d = batch.distances(lane)[v];
+                if v as NodeId == s || d == UNREACHED {
+                    continue;
+                }
+                assert_eq!(batch.distances(lane)[from_batch[v] as usize], d - 1);
+            }
+        }
+        batch.parent_tree(0, &mut from_batch);
+        assert_eq!(from_batch[3], 1, "lowest-id rule must pick 1 over 2");
+    }
+
+    #[test]
+    #[should_panic(expected = "distances not recorded")]
+    fn parent_tree_unavailable_after_profile_sweep() {
+        let g = path_graph(4);
+        let mut batch = BatchBfs::new(&g);
+        batch.run_profiles(&[0]);
+        batch.parent_tree(0, &mut Vec::new());
     }
 
     #[test]

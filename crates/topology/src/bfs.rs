@@ -247,6 +247,47 @@ fn traverse(
     }
 }
 
+/// Derive a shortest-path parent array from a finished distance array
+/// using a rule that depends only on the distances, not on any traversal
+/// schedule: `parent[v]` is the **lowest-id** neighbour of `v` at
+/// distance `dist[v] − 1`.
+///
+/// Scalar [`Bfs`] parents follow the FIFO discovery order instead, which
+/// a bit-parallel sweep does not reproduce — this rule is the common
+/// ground: feed it distances from [`Bfs::scratch_distances`] or from
+/// [`crate::batch::BatchBfs::distances`] and the resulting tree is
+/// bit-identical either way. The multi-session churn engine builds its
+/// shared per-source skeletons through it so batched and scalar tree
+/// construction can never disagree.
+///
+/// `out` is resized to the node count; unreachable nodes get
+/// [`UNREACHED`], the source points at itself.
+///
+/// # Panics
+/// Panics if `dist` is not node-count sized or `dist[source] != 0`.
+pub fn min_index_parents(graph: &Graph, dist: &[u32], source: NodeId, out: &mut Vec<NodeId>) {
+    let n = graph.node_count();
+    assert_eq!(dist.len(), n, "distance array must be node-count sized");
+    assert_eq!(dist[source as usize], 0, "source {source} must be at distance 0");
+    out.clear();
+    out.resize(n, UNREACHED);
+    out[source as usize] = source;
+    for v in 0..n as NodeId {
+        let dv = dist[v as usize];
+        if v == source || dv == UNREACHED {
+            continue;
+        }
+        // Adjacency lists are sorted, so the first match is the minimum.
+        for &u in graph.neighbors(v) {
+            if dist[u as usize] == dv - 1 {
+                out[v as usize] = u;
+                break;
+            }
+        }
+        debug_assert_ne!(out[v as usize], UNREACHED, "no parent for reached node {v}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

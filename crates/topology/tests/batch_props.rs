@@ -132,6 +132,49 @@ proptest! {
         }
     }
 
+    // The batch join entry point: a lane's derived parent tree is
+    // bit-identical to deriving from a scalar sweep's distances, and
+    // every parent is a genuine shortest-path predecessor — the minimum
+    // such neighbour, independent of any traversal schedule.
+    #[test]
+    fn batch_parent_trees_match_scalar_derivation(
+        n in 2usize..40,
+        edge_count in 0usize..120,
+        source_count in 1usize..65,
+        seed in any::<u64>(),
+    ) {
+        let g = random_graph(n, edge_count, seed);
+        let sources = random_sources(n, source_count.min(MAX_LANES), seed);
+        let mut batch = BatchBfs::new(&g);
+        batch.run(&sources);
+        let mut scalar = Bfs::new(&g);
+        let mut from_batch = Vec::new();
+        let mut from_scalar = Vec::new();
+        for (lane, &s) in sources.iter().enumerate() {
+            batch.parent_tree(lane, &mut from_batch);
+            scalar.run_scratch(s);
+            mcast_topology::bfs::min_index_parents(
+                &g, scalar.scratch_distances(), s, &mut from_scalar);
+            prop_assert_eq!(&from_batch, &from_scalar, "lane {} source {}", lane, s);
+            let dist = batch.distances(lane);
+            for v in 0..n as NodeId {
+                let (d, p) = (dist[v as usize], from_batch[v as usize]);
+                if v == s {
+                    prop_assert_eq!(p, s);
+                } else if d == UNREACHED {
+                    prop_assert_eq!(p, UNREACHED);
+                } else {
+                    prop_assert_eq!(dist[p as usize], d - 1, "node {}", v);
+                    // Minimality: no lower-id neighbour one hop closer.
+                    for &u in g.neighbors(v) {
+                        if u >= p { break; }
+                        prop_assert_ne!(dist[u as usize], d - 1, "node {}", v);
+                    }
+                }
+            }
+        }
+    }
+
     // A batch that reuses its scratch state across runs behaves like a
     // fresh kernel each time (no leakage between sweeps).
     #[test]

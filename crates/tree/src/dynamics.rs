@@ -28,6 +28,10 @@ pub struct MemberTree {
     dist: Vec<u32>,
     /// Members whose path crosses the link above this node.
     refcount: Vec<u32>,
+    /// Members currently joined exactly at this site (so a leave at a
+    /// site with no member is detectably a no-op, never an underflow).
+    members: Vec<u32>,
+    member_count: u64,
     links: u64,
 }
 
@@ -44,6 +48,8 @@ impl MemberTree {
             parent: bfs.scratch_parents().to_vec(),
             dist: bfs.scratch_distances().to_vec(),
             refcount: vec![0; graph.node_count()],
+            members: vec![0; graph.node_count()],
+            member_count: 0,
             links: 0,
         }
     }
@@ -53,9 +59,22 @@ impl MemberTree {
         self.links
     }
 
+    /// Current number of members (joins minus matched leaves).
+    pub fn member_count(&self) -> u64 {
+        self.member_count
+    }
+
+    /// Members currently joined exactly at `site`.
+    pub fn members_at(&self, site: NodeId) -> u32 {
+        self.members[site as usize]
+    }
+
     /// Add a member at `site`; returns the number of links grafted.
-    /// Unreachable sites join for free (no path exists).
+    /// Unreachable sites and the source itself join for free (no rootward
+    /// path to graft), but still count as members.
     pub fn join(&mut self, site: NodeId) -> u64 {
+        self.members[site as usize] += 1;
+        self.member_count += 1;
         if self.dist[site as usize] == UNREACHED {
             return 0;
         }
@@ -76,10 +95,17 @@ impl MemberTree {
     /// Remove a member previously added at `site`; returns the number of
     /// links pruned.
     ///
-    /// # Panics
-    /// Panics (in debug builds) if no member was joined at `site` — the
-    /// refcounts would underflow.
+    /// Leaving a site that has no current member — a leave-before-join, a
+    /// repeated leave, or a stray prune for the source — is a no-op that
+    /// returns 0: the link count and every refcount are left untouched,
+    /// so a desynchronised caller can never underflow the tree.
     pub fn leave(&mut self, site: NodeId) -> u64 {
+        let m = &mut self.members[site as usize];
+        if *m == 0 {
+            return 0;
+        }
+        *m -= 1;
+        self.member_count -= 1;
         if self.dist[site as usize] == UNREACHED {
             return 0;
         }
@@ -144,8 +170,8 @@ impl ChurnConfig {
         self.arrival_rate * self.mean_lifetime
     }
 
-    /// Draw one lifetime.
-    fn sample_lifetime<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+    /// Draw one lifetime (shared with the multi-session storm engine).
+    pub(crate) fn sample_lifetime<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         let mean = self.mean_lifetime;
         match self.lifetime_shape {
             LifetimeShape::Exponential => -rng.gen_range(f64::MIN_POSITIVE..1.0f64).ln() * mean,
@@ -174,40 +200,125 @@ pub struct ChurnOutcome {
     pub link_samples: RunningStats,
 }
 
-/// `f64` event-time key for the departure heap (no NaNs by
-/// construction).
-#[derive(PartialEq)]
-struct TimeKey(f64, NodeId);
+/// Map an event time to a `u64` that orders exactly like the `f64`
+/// (a monotone total order over every non-NaN value, negatives
+/// included). Keys built from it compare with plain integer `Ord`, so
+/// heap order can never depend on insertion order, float environment, or
+/// a `partial_cmp` fallback — two events at the *same* time carry the
+/// same bits and fall through to the explicit integer tie-breakers.
+///
+/// This is the canonical time key of every event calendar in the crate:
+/// the single-session departure heap below and the multi-session
+/// [`crate::storm`] queue's `(time_bits, session, seq)` tuples.
+///
+/// # Panics
+/// Panics (debug) on NaN — a NaN event time is always a caller bug.
+#[inline]
+pub fn time_order_bits(t: f64) -> u64 {
+    debug_assert!(!t.is_nan(), "event times must not be NaN");
+    let bits = t.to_bits();
+    // Positive floats order as-is above all negatives; negative floats
+    // reverse. The standard sign-fold keeps both monotone.
+    if bits >> 63 == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    }
+}
 
-impl Eq for TimeKey {}
-impl PartialOrd for TimeKey {
+/// Inverse of [`time_order_bits`]: recover the `f64` a key was built
+/// from (exact — the fold is a bijection on non-NaN bit patterns).
+#[inline]
+pub fn time_order_value(bits: u64) -> f64 {
+    if bits >> 63 == 1 {
+        f64::from_bits(bits & !(1 << 63))
+    } else {
+        f64::from_bits(!bits)
+    }
+}
+
+/// Departure-heap key: `(time_order_bits, site)` — a total integer order
+/// with the site id as the deterministic tie-breaker for equal times.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct TimeKey {
+    bits: u64,
+    site: NodeId,
+}
+
+/// Reversed wrapper: `BinaryHeap` is a max-heap, we want earliest first.
+#[derive(PartialEq, Eq)]
+struct Earliest(TimeKey);
+
+impl PartialOrd for Earliest {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for TimeKey {
+impl Ord for Earliest {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reverse: BinaryHeap is a max-heap, we want earliest first.
-        other
-            .0
-            .total_cmp(&self.0)
-            .then_with(|| other.1.cmp(&self.1))
+        other.0.cmp(&self.0)
     }
 }
+
+/// A churn event calendar desynchronised from the simulation loop — the
+/// typed form of what used to be a panic deep inside the runner, so a
+/// suite run can quarantine the one affected curve instead of aborting.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ChurnError {
+    /// A departure was due (the next-event scan saw one earlier than the
+    /// next arrival) but the calendar had none to pop.
+    MissingDeparture {
+        /// Index of the event being processed when the desync surfaced.
+        event: usize,
+        /// Simulation clock at that point.
+        now: f64,
+    },
+    /// A session id was started twice in the multi-session engine.
+    DuplicateSession {
+        /// The offending session id.
+        session: u32,
+        /// Simulation clock at that point.
+        now: f64,
+    },
+}
+
+impl std::fmt::Display for ChurnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChurnError::MissingDeparture { event, now } => write!(
+                f,
+                "churn calendar desync: departure due at event {event} (t={now}) but the calendar is empty"
+            ),
+            ChurnError::DuplicateSession { session, now } => {
+                write!(f, "storm calendar desync: session {session} started twice (t={now})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChurnError {}
 
 /// Run the churn process on `(graph, source)` — an event-driven M/G/∞
 /// simulation with per-member departure times.
 ///
+/// Fallible twin of [`simulate_churn`]: a desynchronised event calendar
+/// surfaces as a typed [`ChurnError`] instead of a panic, so runner
+/// paths can fold it into their per-group failure reporting.
+///
 /// # Panics
 /// Panics if the rates are not positive or the graph has fewer than two
-/// nodes.
-pub fn simulate_churn(graph: &Graph, source: NodeId, cfg: &ChurnConfig) -> ChurnOutcome {
+/// nodes (configuration bugs, not runtime conditions).
+pub fn try_simulate_churn(
+    graph: &Graph,
+    source: NodeId,
+    cfg: &ChurnConfig,
+) -> Result<ChurnOutcome, ChurnError> {
     assert!(cfg.arrival_rate > 0.0, "arrival rate must be positive");
     assert!(cfg.mean_lifetime > 0.0, "lifetime must be positive");
     assert!(graph.node_count() >= 2, "need at least two nodes");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut tree = MemberTree::new(graph, source);
-    let mut departures: std::collections::BinaryHeap<TimeKey> = std::collections::BinaryHeap::new();
+    let mut departures: std::collections::BinaryHeap<Earliest> = std::collections::BinaryHeap::new();
     let n_nodes = graph.node_count() as NodeId;
 
     let mut now = 0.0f64;
@@ -225,7 +336,10 @@ pub fn simulate_churn(graph: &Graph, source: NodeId, cfg: &ChurnConfig) -> Churn
 
     let total_events = cfg.warmup_events + cfg.sample_events;
     for event in 0..total_events {
-        let next_departure = departures.peek().map(|k| k.0).unwrap_or(f64::INFINITY);
+        let next_departure = departures
+            .peek()
+            .map(|k| time_order_value(k.0.bits))
+            .unwrap_or(f64::INFINITY);
         let t_next = next_arrival.min(next_departure);
         let dt = t_next - now;
         let measuring = event >= cfg.warmup_events;
@@ -248,22 +362,42 @@ pub fn simulate_churn(graph: &Graph, source: NodeId, cfg: &ChurnConfig) -> Churn
             if measuring {
                 grafts += g;
             }
-            departures.push(TimeKey(now + cfg.sample_lifetime(&mut rng), site));
+            let depart_at = now + cfg.sample_lifetime(&mut rng);
+            departures.push(Earliest(TimeKey {
+                bits: time_order_bits(depart_at),
+                site,
+            }));
             next_arrival = now + exp_sample(&mut rng, cfg.arrival_rate);
         } else {
-            let TimeKey(_, site) = departures.pop().expect("a departure was due");
+            let Some(Earliest(TimeKey { site, .. })) = departures.pop() else {
+                return Err(ChurnError::MissingDeparture { event, now });
+            };
             let p = tree.leave(site);
             if measuring {
                 prunes += p;
             }
         }
     }
-    ChurnOutcome {
+    Ok(ChurnOutcome {
         mean_links: weighted_links / total_time,
         mean_members: weighted_members / total_time,
         grafts,
         prunes,
         link_samples,
+    })
+}
+
+/// Run the churn process on `(graph, source)` — the infallible wrapper
+/// around [`try_simulate_churn`] kept for callers with no error channel.
+///
+/// # Panics
+/// Panics if the rates are not positive, the graph has fewer than two
+/// nodes, or (never observed in practice) the event calendar desyncs —
+/// see [`ChurnError`].
+pub fn simulate_churn(graph: &Graph, source: NodeId, cfg: &ChurnConfig) -> ChurnOutcome {
+    match try_simulate_churn(graph, source, cfg) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
     }
 }
 
@@ -293,6 +427,107 @@ mod tests {
         assert_eq!(t.leave(8), 1); // now the 3-8 link prunes
         assert_eq!(t.leave(7), 3);
         assert_eq!(t.links(), 0);
+    }
+
+    #[test]
+    fn leave_before_join_is_a_noop() {
+        // Regression: a leave with no matching join used to underflow the
+        // path refcounts in release builds (debug_assert only in debug).
+        let g = binary_tree(3);
+        let mut t = MemberTree::new(&g, 0);
+        assert_eq!(t.leave(7), 0);
+        assert_eq!(t.links(), 0);
+        assert_eq!(t.member_count(), 0);
+        // The tree still behaves correctly afterwards.
+        assert_eq!(t.join(7), 3);
+        assert_eq!(t.leave(7), 3);
+        assert_eq!(t.links(), 0);
+    }
+
+    #[test]
+    fn repeated_leave_is_a_noop() {
+        let g = binary_tree(3);
+        let mut t = MemberTree::new(&g, 0);
+        t.join(7);
+        t.join(8);
+        let links = t.links();
+        assert_eq!(t.leave(8), 1);
+        // Second and third leave at the same site: nothing left to prune,
+        // nothing to underflow.
+        assert_eq!(t.leave(8), 0);
+        assert_eq!(t.leave(8), 0);
+        assert_eq!(t.links(), links - 1);
+        assert_eq!(t.member_count(), 1);
+        assert_eq!(t.leave(7), 3);
+        assert_eq!(t.links(), 0);
+    }
+
+    #[test]
+    fn source_join_and_leave_touch_no_links() {
+        let g = binary_tree(2);
+        let mut t = MemberTree::new(&g, 0);
+        assert_eq!(t.join(0), 0);
+        assert_eq!(t.member_count(), 1);
+        assert_eq!(t.members_at(0), 1);
+        assert_eq!(t.leave(0), 0);
+        assert_eq!(t.leave(0), 0, "stray source prune stays a no-op");
+        assert_eq!(t.member_count(), 0);
+        assert_eq!(t.links(), 0);
+    }
+
+    #[test]
+    fn time_order_bits_is_monotone_and_invertible() {
+        let times = [
+            -f64::INFINITY,
+            -1.5e300,
+            -2.0,
+            -f64::MIN_POSITIVE,
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE,
+            0.25,
+            1.0,
+            1.0 + f64::EPSILON,
+            6.5e12,
+            f64::INFINITY,
+        ];
+        for w in times.windows(2) {
+            assert!(
+                time_order_bits(w[0]) <= time_order_bits(w[1]),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+        for &t in &times {
+            let round = time_order_value(time_order_bits(t));
+            assert_eq!(round.to_bits(), t.to_bits(), "{t} round-trip");
+        }
+        // Strictness away from the -0.0/0.0 fold.
+        assert!(time_order_bits(1.0) < time_order_bits(1.0 + f64::EPSILON));
+    }
+
+    #[test]
+    fn churn_error_is_typed_and_displayable() {
+        let e = ChurnError::MissingDeparture { event: 41, now: 2.5 };
+        let text = e.to_string();
+        assert!(text.contains("event 41") && text.contains("desync"), "{text}");
+        let d = ChurnError::DuplicateSession { session: 9, now: 0.0 };
+        assert!(d.to_string().contains("session 9"), "{d}");
+        // try_simulate_churn returns the same numbers as the wrapper.
+        let g = binary_tree(4);
+        let cfg = ChurnConfig {
+            arrival_rate: 2.0,
+            mean_lifetime: 1.0,
+            lifetime_shape: LifetimeShape::Exponential,
+            warmup_events: 100,
+            sample_events: 2_000,
+            seed: 5,
+        };
+        let a = try_simulate_churn(&g, 0, &cfg).expect("calendar stays in sync");
+        let b = simulate_churn(&g, 0, &cfg);
+        assert_eq!(a.mean_links.to_bits(), b.mean_links.to_bits());
+        assert_eq!((a.grafts, a.prunes), (b.grafts, b.prunes));
     }
 
     #[test]

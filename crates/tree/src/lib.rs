@@ -26,6 +26,10 @@
 //!   highest-id, randomised ECMP) over the all-shortest-paths DAG;
 //! * [`dynamics`] — join/leave membership churn with incremental
 //!   delivery-tree maintenance (session dynamics);
+//! * [`storm`] — event-driven churn across 10⁵+ concurrent sessions:
+//!   a deterministic `(time_bits, session, seq)` event queue, sparse
+//!   per-session trees over shared shortest-path skeletons, and batched
+//!   flash-crowd grafts through the bit-parallel BFS kernel;
 //! * [`affinity_general`] — the affinity model on arbitrary connected
 //!   graphs via an all-pairs distance matrix (the paper only simulates
 //!   trees).
@@ -44,6 +48,7 @@ pub mod sampling;
 pub mod shared;
 pub mod stats;
 pub mod steiner;
+pub mod storm;
 
 pub use delivery::DeliverySizer;
 pub use measure::{MeasureConfig, MeasureEngine, SampleKind, SourceMeasurer, SourcePlan};

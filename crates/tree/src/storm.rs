@@ -1,0 +1,1001 @@
+//! `storm`: event-driven churn across many concurrent multicast sessions.
+//!
+//! The single-session machinery in [`crate::dynamics`] answers what one
+//! group's tree does under churn; the Chuang–Sirbu law, though, is a
+//! statement about a *population* of trees, and the heavy-traffic regime
+//! the capacity-scaling literature reasons about is 10⁵–10⁶ sessions
+//! churning over one shared topology. This module is that engine:
+//!
+//! * **One indexed event queue.** A binary heap of events keyed by
+//!   [`EventKey`] — `(time_bits, session, seq)`, where `time_bits` is
+//!   [`crate::dynamics::time_order_bits`] of the event time. The key is a
+//!   plain integer tuple with derived `Ord`, so equal-time events always
+//!   replay in `(session, seq)` order: the stream is bit-reproducible
+//!   whatever order events were scheduled in and whatever the float
+//!   environment does.
+//! * **Shared skeletons, sparse sessions.** A dense `MemberTree` per
+//!   session would cost `O(sessions × nodes)` memory — 10⁵ sessions on
+//!   ti5000 is gigabytes. Instead each distinct source's shortest-path
+//!   skeleton (one parent array, built once under the schedule-independent
+//!   lowest-id rule of `min_index_parents`) is shared behind an `Arc`, and
+//!   a [`SessionTree`] holds only its own sparse refcounts — memory
+//!   proportional to *members*, not nodes. Skeleton construction reuses
+//!   the engine's single scalar-BFS scratch (the zero-alloc engine's
+//!   pattern: one buffer set, every session).
+//! * **Batched grafts.** Events are drained a *tick* at a time (all
+//!   events with equal `time_bits`). When a tick starts at least
+//!   [`Storm::DEFAULT_BATCH_THRESHOLD`] sessions whose skeletons are not
+//!   yet cached — a flash crowd igniting — the engine routes skeleton
+//!   construction through [`BatchBfs`] 64 lanes per sweep instead of one
+//!   scalar BFS per source. Both paths derive parents with the same rule
+//!   from bit-identical distances, so batching can never change a number
+//!   (pinned by tests).
+//!
+//! Determinism contract: a [`Storm`] run is a pure function of the graph
+//! and the scheduled event set. The engine is sequential; callers that
+//! parallelise across scenarios (the `mcs storm` experiment) merge by
+//! index, so per-tick L(m) telemetry is bit-identical at every thread
+//! count.
+
+use crate::dynamics::{time_order_bits, ChurnConfig, ChurnError};
+use mcast_topology::batch::{BatchBfs, MAX_LANES};
+use mcast_topology::bfs::{min_index_parents, Bfs, UNREACHED};
+use mcast_topology::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// Deterministic event-queue key: events order by time (via the
+/// total-order bit fold), then session id, then schedule sequence.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventKey {
+    /// [`time_order_bits`] of the event time.
+    pub time_bits: u64,
+    /// Session the event belongs to.
+    pub session: u32,
+    /// Monotone schedule counter — the final tie-breaker, so two events
+    /// of one session at one instant apply in the order they were
+    /// scheduled.
+    pub seq: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum EventKind {
+    SessionStart { source: NodeId },
+    SessionEnd,
+    Join { site: NodeId },
+    Leave { site: NodeId },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Event {
+    key: EventKey,
+    time: f64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, the queue wants earliest
+        // (smallest key) first.
+        other.key.cmp(&self.key)
+    }
+}
+
+/// One source's shortest-path skeleton: parent pointers under the
+/// lowest-id rule. `parent[source] == source`; unreachable nodes carry
+/// [`UNREACHED`]. Shared by every concurrent session rooted there.
+struct SourceTree {
+    source: NodeId,
+    parent: Vec<NodeId>,
+}
+
+/// A sparse per-session member tree over a shared [`SourceTree`].
+///
+/// State is two sorted `(node, count)` vectors — members joined exactly
+/// at a site, and members whose rootward path crosses the link above a
+/// node — so memory scales with the session's membership, not the graph.
+/// Leaves of non-members are no-ops (same hardened contract as
+/// [`crate::dynamics::MemberTree::leave`]).
+pub struct SessionTree {
+    skeleton: Arc<SourceTree>,
+    members: Vec<(NodeId, u32)>,
+    refcount: Vec<(NodeId, u32)>,
+    member_count: u64,
+    links: u64,
+}
+
+/// Increment `node`'s count in a sorted sparse vector; returns the new
+/// count.
+fn sparse_incr(vec: &mut Vec<(NodeId, u32)>, node: NodeId) -> u32 {
+    match vec.binary_search_by_key(&node, |e| e.0) {
+        Ok(i) => {
+            vec[i].1 += 1;
+            vec[i].1
+        }
+        Err(i) => {
+            vec.insert(i, (node, 1));
+            1
+        }
+    }
+}
+
+/// Decrement `node`'s count (which must be present and positive);
+/// returns the new count and drops emptied entries.
+fn sparse_decr(vec: &mut Vec<(NodeId, u32)>, node: NodeId) -> u32 {
+    let i = vec
+        .binary_search_by_key(&node, |e| e.0)
+        .expect("decrement of an absent sparse entry");
+    vec[i].1 -= 1;
+    let left = vec[i].1;
+    if left == 0 {
+        vec.remove(i);
+    }
+    left
+}
+
+impl SessionTree {
+    fn new(skeleton: Arc<SourceTree>) -> Self {
+        Self {
+            skeleton,
+            members: Vec::new(),
+            refcount: Vec::new(),
+            member_count: 0,
+            links: 0,
+        }
+    }
+
+    /// The session's source.
+    pub fn source(&self) -> NodeId {
+        self.skeleton.source
+    }
+
+    /// Links currently in this session's delivery tree.
+    pub fn links(&self) -> u64 {
+        self.links
+    }
+
+    /// Members currently in this session.
+    pub fn member_count(&self) -> u64 {
+        self.member_count
+    }
+
+    fn reachable(&self, site: NodeId) -> bool {
+        site == self.skeleton.source || self.skeleton.parent[site as usize] != UNREACHED
+    }
+
+    /// Add a member at `site`; returns links grafted. The source and
+    /// unreachable sites join for free but still count as members.
+    pub fn join(&mut self, site: NodeId) -> u64 {
+        sparse_incr(&mut self.members, site);
+        self.member_count += 1;
+        if site == self.skeleton.source || !self.reachable(site) {
+            return 0;
+        }
+        let mut grafted = 0;
+        let mut v = site;
+        while v != self.skeleton.source {
+            if sparse_incr(&mut self.refcount, v) == 1 {
+                grafted += 1;
+            }
+            v = self.skeleton.parent[v as usize];
+        }
+        self.links += grafted;
+        grafted
+    }
+
+    /// Remove a member at `site`; returns `Some(links pruned)`, or
+    /// `None` — a guaranteed no-op — when no member is joined there
+    /// (leave-before-join, repeated leave, stale post-teardown prune).
+    pub fn leave(&mut self, site: NodeId) -> Option<u64> {
+        match self.members.binary_search_by_key(&site, |e| e.0) {
+            Ok(_) => {}
+            Err(_) => return None,
+        }
+        sparse_decr(&mut self.members, site);
+        self.member_count -= 1;
+        if site == self.skeleton.source || !self.reachable(site) {
+            return Some(0);
+        }
+        let mut pruned = 0;
+        let mut v = site;
+        while v != self.skeleton.source {
+            if sparse_decr(&mut self.refcount, v) == 0 {
+                pruned += 1;
+            }
+            v = self.skeleton.parent[v as usize];
+        }
+        self.links -= pruned;
+        Some(pruned)
+    }
+}
+
+/// One telemetry sample of the aggregate state, taken every
+/// [`Storm::sample_every`] applied events.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StormSample {
+    /// Simulation clock.
+    pub time: f64,
+    /// Live sessions.
+    pub sessions: u64,
+    /// Members summed over live sessions.
+    pub members: u64,
+    /// Links summed over live sessions — the aggregate L(m).
+    pub links: u64,
+    /// Cumulative joins applied so far (rates fall out of deltas).
+    pub joins: u64,
+}
+
+/// Aggregate result of a [`Storm::run`].
+#[derive(Clone, Debug, Default)]
+pub struct StormOutcome {
+    /// Events applied.
+    pub events: u64,
+    /// Member joins applied.
+    pub joins: u64,
+    /// Member leaves that removed a member.
+    pub leaves: u64,
+    /// Sessions started.
+    pub sessions_started: u64,
+    /// Sessions torn down.
+    pub sessions_ended: u64,
+    /// Events referencing a session no longer (or never) live — e.g.
+    /// leaves scheduled past their session's teardown. Counted, ignored.
+    pub stale_events: u64,
+    /// Links grafted across all sessions.
+    pub grafted_links: u64,
+    /// Links pruned across all sessions (teardowns included).
+    pub pruned_links: u64,
+    /// Peak concurrent sessions.
+    pub peak_sessions: u64,
+    /// Peak aggregate members.
+    pub peak_members: u64,
+    /// Peak aggregate links.
+    pub peak_links: u64,
+    /// `BatchBfs` sweeps used for skeleton construction.
+    pub batch_sweeps: u64,
+    /// Skeletons built on the batched path.
+    pub trees_built_batch: u64,
+    /// Skeletons built by scalar BFS.
+    pub trees_built_scalar: u64,
+    /// Time-weighted mean of live sessions over the measured window.
+    pub mean_sessions: f64,
+    /// Time-weighted mean of aggregate members over the measured window.
+    pub mean_members: f64,
+    /// Time-weighted mean of aggregate links over the measured window.
+    pub mean_links: f64,
+    /// Per-tick telemetry (empty when sampling is disabled).
+    pub samples: Vec<StormSample>,
+}
+
+/// The multi-session event engine. Schedule events, then [`run`](Self::run).
+pub struct Storm<'g> {
+    graph: &'g Graph,
+    bfs: Bfs<'g>,
+    batch: BatchBfs<'g>,
+    batch_threshold: usize,
+    sample_every: u64,
+    measure_from: f64,
+    measure_until: f64,
+    queue: BinaryHeap<Event>,
+    next_seq: u64,
+    sessions: HashMap<u32, SessionTree>,
+    skeletons: HashMap<NodeId, Arc<SourceTree>>,
+    /// Scratch for parent derivation, shared by both build paths.
+    parent_scratch: Vec<NodeId>,
+    /// Scratch for tick draining / batch prefetch.
+    tick: Vec<Event>,
+    wanted: Vec<NodeId>,
+}
+
+impl<'g> Storm<'g> {
+    /// Ticks grafting at least this many uncached sources route skeleton
+    /// construction through [`BatchBfs`] (one word of lanes).
+    pub const DEFAULT_BATCH_THRESHOLD: usize = MAX_LANES;
+
+    /// New engine over `graph` with an empty calendar.
+    pub fn new(graph: &'g Graph) -> Self {
+        Self {
+            graph,
+            bfs: Bfs::new(graph),
+            batch: BatchBfs::new(graph),
+            batch_threshold: Self::DEFAULT_BATCH_THRESHOLD,
+            sample_every: 0,
+            measure_from: 0.0,
+            measure_until: f64::INFINITY,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            sessions: HashMap::new(),
+            skeletons: HashMap::new(),
+            parent_scratch: Vec::new(),
+            tick: Vec::new(),
+            wanted: Vec::new(),
+        }
+    }
+
+    /// Override the batched-graft threshold (tests pin batch-vs-scalar
+    /// bit-identity by forcing each path; `usize::MAX` disables batching).
+    pub fn batch_threshold(mut self, threshold: usize) -> Self {
+        self.batch_threshold = threshold.max(1);
+        self
+    }
+
+    /// Record a telemetry sample every `n` applied events (0 disables).
+    pub fn sample_every(mut self, n: u64) -> Self {
+        self.sample_every = n;
+        self
+    }
+
+    /// Start of the time-weighted measurement window (events before it
+    /// still apply; they just don't contribute to the reported means).
+    pub fn measure_from(mut self, t: f64) -> Self {
+        self.measure_from = t;
+        self
+    }
+
+    /// End of the time-weighted measurement window. Without a cap the
+    /// calendar's drain tail — arrivals stopped, members trickling out —
+    /// would bias steady-state means toward empty.
+    pub fn measure_until(mut self, t: f64) -> Self {
+        self.measure_until = t;
+        self
+    }
+
+    /// Events currently scheduled.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn push(&mut self, t: f64, session: u32, kind: EventKind) {
+        let key = EventKey {
+            time_bits: time_order_bits(t),
+            session,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.queue.push(Event { key, time: t, kind });
+    }
+
+    /// Schedule session `session` (a caller-chosen, never-reused id) to
+    /// start at `t` rooted at `source`.
+    pub fn schedule_session_start(&mut self, t: f64, session: u32, source: NodeId) {
+        assert!((source as usize) < self.graph.node_count(), "source out of range");
+        self.push(t, session, EventKind::SessionStart { source });
+    }
+
+    /// Schedule the teardown of `session` at `t`: every remaining member
+    /// leaves and the session's state is dropped.
+    pub fn schedule_session_end(&mut self, t: f64, session: u32) {
+        self.push(t, session, EventKind::SessionEnd);
+    }
+
+    /// Schedule a member join at `site` in `session` at `t`.
+    pub fn schedule_join(&mut self, t: f64, session: u32, site: NodeId) {
+        assert!((site as usize) < self.graph.node_count(), "site out of range");
+        self.push(t, session, EventKind::Join { site });
+    }
+
+    /// Schedule a member leave at `site` in `session` at `t`.
+    pub fn schedule_leave(&mut self, t: f64, session: u32, site: NodeId) {
+        self.push(t, session, EventKind::Leave { site });
+    }
+
+    fn build_scalar(&mut self, source: NodeId) -> Arc<SourceTree> {
+        self.bfs.run_scratch(source);
+        min_index_parents(
+            self.graph,
+            self.bfs.scratch_distances(),
+            source,
+            &mut self.parent_scratch,
+        );
+        Arc::new(SourceTree {
+            source,
+            parent: std::mem::take(&mut self.parent_scratch),
+        })
+    }
+
+    /// Drain the calendar, applying every event in `(time, session, seq)`
+    /// order, and report the aggregate outcome.
+    ///
+    /// # Errors
+    /// [`ChurnError::DuplicateSession`] if a session id starts twice —
+    /// the calendar is desynchronised and the aggregates would silently
+    /// double-count.
+    pub fn run(&mut self) -> Result<StormOutcome, ChurnError> {
+        let _span = mcast_obs::span_at("storm/run");
+        let mut out = StormOutcome::default();
+        let mut now = 0.0f64;
+        let mut links_total: u64 = 0;
+        let mut members_total: u64 = 0;
+        let mut measured_time = 0.0f64;
+        let mut w_sessions = 0.0f64;
+        let mut w_members = 0.0f64;
+        let mut w_links = 0.0f64;
+
+        let mut tick = std::mem::take(&mut self.tick);
+        let mut wanted = std::mem::take(&mut self.wanted);
+        while let Some(&head) = self.queue.peek() {
+            // Drain the tick: every event sharing the head's time bits.
+            tick.clear();
+            let bits = head.key.time_bits;
+            while let Some(ev) = self.queue.peek() {
+                if ev.key.time_bits != bits {
+                    break;
+                }
+                tick.push(self.queue.pop().expect("peeked event"));
+            }
+
+            // Advance the clock to the tick, integrating the measured
+            // window (state is piecewise constant between ticks).
+            let t = head.time;
+            let lo = now.max(self.measure_from);
+            let hi = t.min(self.measure_until);
+            if hi > lo {
+                let dt = hi - lo;
+                measured_time += dt;
+                w_sessions += self.sessions.len() as f64 * dt;
+                w_members += members_total as f64 * dt;
+                w_links += links_total as f64 * dt;
+            }
+            now = t;
+
+            // Prefetch: collect the tick's uncached session sources; a
+            // flash crowd's worth goes through the bit-parallel kernel.
+            wanted.clear();
+            for ev in &tick {
+                if let EventKind::SessionStart { source } = ev.kind {
+                    if !self.skeletons.contains_key(&source) {
+                        wanted.push(source);
+                    }
+                }
+            }
+            wanted.sort_unstable();
+            wanted.dedup();
+            if wanted.len() >= self.batch_threshold {
+                for chunk in wanted.chunks(MAX_LANES) {
+                    self.batch.run(chunk);
+                    out.batch_sweeps += 1;
+                    for (lane, &source) in chunk.iter().enumerate() {
+                        self.batch.parent_tree(lane, &mut self.parent_scratch);
+                        self.skeletons.insert(
+                            source,
+                            Arc::new(SourceTree {
+                                source,
+                                parent: std::mem::take(&mut self.parent_scratch),
+                            }),
+                        );
+                        out.trees_built_batch += 1;
+                    }
+                }
+            }
+
+            // Apply the tick's events in key order (the heap popped them
+            // sorted).
+            for i in 0..tick.len() {
+                let ev = tick[i];
+                match ev.kind {
+                    EventKind::SessionStart { source } => {
+                        if self.sessions.contains_key(&ev.key.session) {
+                            self.tick = tick;
+                            self.wanted = wanted;
+                            return Err(ChurnError::DuplicateSession {
+                                session: ev.key.session,
+                                now,
+                            });
+                        }
+                        let skeleton = match self.skeletons.get(&source) {
+                            Some(s) => Arc::clone(s),
+                            None => {
+                                let s = self.build_scalar(source);
+                                out.trees_built_scalar += 1;
+                                self.skeletons.insert(source, Arc::clone(&s));
+                                s
+                            }
+                        };
+                        self.sessions.insert(ev.key.session, SessionTree::new(skeleton));
+                        out.sessions_started += 1;
+                    }
+                    EventKind::SessionEnd => match self.sessions.remove(&ev.key.session) {
+                        Some(tree) => {
+                            out.pruned_links += tree.links();
+                            links_total -= tree.links();
+                            members_total -= tree.member_count();
+                            out.sessions_ended += 1;
+                        }
+                        None => out.stale_events += 1,
+                    },
+                    EventKind::Join { site } => match self.sessions.get_mut(&ev.key.session) {
+                        Some(tree) => {
+                            let g = tree.join(site);
+                            out.grafted_links += g;
+                            links_total += g;
+                            members_total += 1;
+                            out.joins += 1;
+                        }
+                        None => out.stale_events += 1,
+                    },
+                    EventKind::Leave { site } => match self
+                        .sessions
+                        .get_mut(&ev.key.session)
+                        .and_then(|tree| tree.leave(site))
+                    {
+                        Some(p) => {
+                            out.pruned_links += p;
+                            links_total -= p;
+                            members_total -= 1;
+                            out.leaves += 1;
+                        }
+                        None => out.stale_events += 1,
+                    },
+                }
+                out.events += 1;
+                out.peak_sessions = out.peak_sessions.max(self.sessions.len() as u64);
+                out.peak_members = out.peak_members.max(members_total);
+                out.peak_links = out.peak_links.max(links_total);
+                if self.sample_every > 0 && out.events % self.sample_every == 0 {
+                    out.samples.push(StormSample {
+                        time: now,
+                        sessions: self.sessions.len() as u64,
+                        members: members_total,
+                        links: links_total,
+                        joins: out.joins,
+                    });
+                }
+            }
+        }
+        self.tick = tick;
+        self.wanted = wanted;
+
+        if measured_time > 0.0 {
+            out.mean_sessions = w_sessions / measured_time;
+            out.mean_members = w_members / measured_time;
+            out.mean_links = w_links / measured_time;
+        }
+        if mcast_obs::enabled() {
+            mcast_obs::counter("storm.events").add(out.events);
+            mcast_obs::counter("storm.joins").add(out.joins);
+            mcast_obs::counter("storm.leaves").add(out.leaves);
+            mcast_obs::counter("storm.sessions.started").add(out.sessions_started);
+            mcast_obs::counter("storm.sessions.ended").add(out.sessions_ended);
+            mcast_obs::counter("storm.stale").add(out.stale_events);
+            mcast_obs::counter("storm.batch.sweeps").add(out.batch_sweeps);
+            mcast_obs::counter("storm.trees.batch").add(out.trees_built_batch);
+            mcast_obs::counter("storm.trees.scalar").add(out.trees_built_scalar);
+        }
+        Ok(out)
+    }
+}
+
+fn exp_sample(rng: &mut StdRng, rate: f64) -> f64 {
+    -rng.gen_range(f64::MIN_POSITIVE..1.0f64).ln() / rate
+}
+
+fn uniform_node(rng: &mut StdRng, n: NodeId) -> NodeId {
+    rng.gen_range(0..n)
+}
+
+/// Steady-state scenario: sessions arrive Poisson(`session_rate`) with
+/// exponential lifetimes (M/M/∞ over sessions), and each live session's
+/// membership churns per the embedded [`ChurnConfig`] — arrivals at
+/// uniform non-source sites, lifetimes of the configured shape. The
+/// stationary session count is `session_rate × mean_session_lifetime`.
+#[derive(Clone, Copy, Debug)]
+pub struct SteadyConfig {
+    /// Session arrival rate Λ.
+    pub session_rate: f64,
+    /// Mean session lifetime (exponential).
+    pub mean_session_lifetime: f64,
+    /// Per-session membership process. Only `arrival_rate`,
+    /// `mean_lifetime` and `lifetime_shape` are read — the event horizon
+    /// and seed of the storm run come from this config, not the embedded
+    /// one.
+    pub member: ChurnConfig,
+    /// Generate session arrivals on `[0, horizon)`.
+    pub horizon: f64,
+    /// Start of the measured window (warmup before it; the window closes
+    /// at `horizon`, so the post-horizon drain tail is never measured).
+    pub measure_from: f64,
+    /// Telemetry sampling stride in events (0 disables).
+    pub sample_every: u64,
+    /// RNG seed for the whole generated event set.
+    pub seed: u64,
+}
+
+/// Generate and run a [`SteadyConfig`] scenario on `graph`.
+///
+/// # Panics
+/// Panics if rates are non-positive or the graph has fewer than two
+/// nodes.
+pub fn simulate_steady(graph: &Graph, cfg: &SteadyConfig) -> Result<StormOutcome, ChurnError> {
+    assert!(cfg.session_rate > 0.0, "session rate must be positive");
+    assert!(cfg.mean_session_lifetime > 0.0, "session lifetime must be positive");
+    assert!(cfg.member.arrival_rate > 0.0, "member arrival rate must be positive");
+    assert!(graph.node_count() >= 2, "need at least two nodes");
+    let n = graph.node_count() as NodeId;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut storm = Storm::new(graph)
+        .sample_every(cfg.sample_every)
+        .measure_from(cfg.measure_from)
+        .measure_until(cfg.horizon);
+
+    let mut t = 0.0f64;
+    let mut session: u32 = 0;
+    loop {
+        t += exp_sample(&mut rng, cfg.session_rate);
+        if t >= cfg.horizon {
+            break;
+        }
+        let source = uniform_node(&mut rng, n);
+        let end = t + exp_sample(&mut rng, 1.0 / cfg.mean_session_lifetime);
+        storm.schedule_session_start(t, session, source);
+        // Member arrivals over the session's lifetime; leaves past the
+        // teardown are left to the engine's stale handling, like a real
+        // protocol's prune timers firing after the session is gone.
+        let mut u = t;
+        loop {
+            u += exp_sample(&mut rng, cfg.member.arrival_rate);
+            if u >= end {
+                break;
+            }
+            let site = loop {
+                let v = uniform_node(&mut rng, n);
+                if v != source {
+                    break v;
+                }
+            };
+            storm.schedule_join(u, session, site);
+            storm.schedule_leave(u + cfg.member.sample_lifetime(&mut rng), session, site);
+        }
+        storm.schedule_session_end(end, session);
+        session += 1;
+    }
+    storm.run()
+}
+
+/// Flash-crowd scenario: `sessions` sessions all ignite at `burst_time`
+/// (the same instant, so skeleton grafting hits the batched path), each
+/// with `receivers_per_session` geographically correlated receivers drawn
+/// from the §5 affinity sampler (Metropolis chain over the topology's
+/// BFS skeleton, weighted `exp(−β·d̄)`), joining within `join_window` and
+/// draining with exponential lifetimes.
+#[derive(Clone, Copy, Debug)]
+pub struct FlashConfig {
+    /// Concurrent sessions ignited by the burst.
+    pub sessions: u32,
+    /// Receivers per session.
+    pub receivers_per_session: u32,
+    /// Affinity strength β (`> 0` clusters each session's receivers).
+    pub beta: f64,
+    /// Metropolis sweeps between consecutive sessions' receiver draws.
+    pub sampler_sweeps: u32,
+    /// The instant every session starts.
+    pub burst_time: f64,
+    /// Joins land uniformly in `(burst_time, burst_time + join_window]`
+    /// (0 puts every join in the burst tick itself).
+    pub join_window: f64,
+    /// Mean membership lifetime (exponential drain).
+    pub mean_lifetime: f64,
+    /// Telemetry sampling stride in events (0 disables).
+    pub sample_every: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generate and run a [`FlashConfig`] scenario on `graph`, using `root`
+/// as the BFS-skeleton root for the affinity sampler.
+///
+/// # Panics
+/// Panics if the graph is not connected (the affinity chain needs a
+/// spanning skeleton), `sessions == 0`, or `receivers_per_session == 0`.
+pub fn simulate_flash(
+    graph: &Graph,
+    root: NodeId,
+    cfg: &FlashConfig,
+) -> Result<StormOutcome, ChurnError> {
+    assert!(cfg.sessions > 0, "need at least one session");
+    assert!(cfg.receivers_per_session > 0, "need at least one receiver");
+    assert!(cfg.mean_lifetime > 0.0, "lifetime must be positive");
+    let n = graph.node_count() as NodeId;
+
+    // Spanning BFS skeleton of the topology, rooted at `root`, as the
+    // affinity sampler's tree (§5 samples on rooted trees; distances on
+    // the skeleton are a hop-metric proxy for the full graph's).
+    let mut bfs = Bfs::new(graph);
+    bfs.run_scratch(root);
+    assert_eq!(
+        bfs.scratch_order().len(),
+        graph.node_count(),
+        "flash scenario needs a connected graph"
+    );
+    let edges: Vec<(NodeId, NodeId)> = (0..n)
+        .filter(|&v| v != root)
+        .map(|v| (bfs.scratch_parents()[v as usize], v))
+        .collect();
+    let skeleton = mcast_topology::graph::from_edges(graph.node_count(), &edges);
+    let rooted = crate::affinity::RootedTree::from_graph(&skeleton, root);
+    let mut sampler = crate::affinity::AffinitySampler::new(
+        &rooted,
+        cfg.receivers_per_session as usize,
+        cfg.beta,
+        cfg.seed ^ 0x5701_24af,
+    );
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut storm = Storm::new(graph)
+        .sample_every(cfg.sample_every)
+        .measure_from(cfg.burst_time);
+    for session in 0..cfg.sessions {
+        let source = uniform_node(&mut rng, n);
+        storm.schedule_session_start(cfg.burst_time, session, source);
+        for _ in 0..cfg.sampler_sweeps {
+            sampler.sweep();
+        }
+        let mut last_leave = cfg.burst_time;
+        // Snapshot the chain's current configuration as this session's
+        // receiver set (correlated placements, decorrelated sessions).
+        for i in 0..sampler.receivers().len() {
+            let site = sampler.receivers()[i];
+            let join_at = if cfg.join_window > 0.0 {
+                cfg.burst_time + rng.gen_range(0.0..cfg.join_window)
+            } else {
+                cfg.burst_time
+            };
+            let leave_at = join_at + exp_sample(&mut rng, 1.0 / cfg.mean_lifetime);
+            storm.schedule_join(join_at, session, site);
+            storm.schedule_leave(leave_at, session, site);
+            last_leave = last_leave.max(leave_at);
+        }
+        storm.schedule_session_end(last_leave, session);
+    }
+    storm.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::{LifetimeShape, MemberTree};
+    use mcast_topology::graph::from_edges;
+
+    fn binary_tree(depth: u32) -> Graph {
+        let n = (1u32 << (depth + 1)) - 1;
+        let edges: Vec<_> = (1..n).map(|i| ((i - 1) / 2, i)).collect();
+        from_edges(n as usize, &edges)
+    }
+
+    /// A connected graph with shortest-path ties (a grid-ish mesh), so
+    /// parent-rule determinism actually matters.
+    fn mesh(side: NodeId) -> Graph {
+        let mut edges = Vec::new();
+        for r in 0..side {
+            for c in 0..side {
+                let v = r * side + c;
+                if c + 1 < side {
+                    edges.push((v, v + 1));
+                }
+                if r + 1 < side {
+                    edges.push((v, v + side));
+                }
+            }
+        }
+        from_edges((side * side) as usize, &edges)
+    }
+
+    #[test]
+    fn event_keys_order_by_time_then_session_then_seq() {
+        let k = |t: f64, session: u32, seq: u64| EventKey {
+            time_bits: time_order_bits(t),
+            session,
+            seq,
+        };
+        assert!(k(1.0, 9, 9) < k(2.0, 0, 0));
+        assert!(k(1.0, 0, 9) < k(1.0, 1, 0));
+        assert!(k(1.0, 3, 0) < k(1.0, 3, 1));
+        // Equal times compare equal on bits, never via float comparison.
+        assert_eq!(k(0.1 + 0.2, 0, 0).time_bits, k(0.1 + 0.2, 0, 0).time_bits);
+    }
+
+    #[test]
+    fn session_tree_matches_member_tree_on_unique_spt() {
+        // On a tree graph the shortest-path tree is unique, so the
+        // lowest-id rule and the scalar FIFO rule coincide and the two
+        // implementations must agree link-for-link on any op sequence.
+        let g = binary_tree(5);
+        let mut dense = MemberTree::new(&g, 0);
+        let mut storm = Storm::new(&g);
+        let skeleton = storm.build_scalar(0);
+        let mut sparse = SessionTree::new(skeleton);
+        let ops: [(bool, NodeId); 13] = [
+            (true, 9),
+            (true, 23),
+            (true, 44),
+            (true, 44),
+            (false, 44),
+            (true, 61),
+            (false, 23),
+            (false, 23), // double leave: no-op on both
+            (true, 12),
+            (false, 9),
+            (false, 61),
+            (false, 44), // second leave of the doubly-joined site
+            (false, 12),
+        ];
+        for (join, site) in ops {
+            if join {
+                assert_eq!(dense.join(site), sparse.join(site), "join {site}");
+            } else {
+                let d = dense.leave(site);
+                let s = sparse.leave(site).unwrap_or(0);
+                assert_eq!(d, s, "leave {site}");
+            }
+            assert_eq!(dense.links(), sparse.links());
+            assert_eq!(dense.member_count(), sparse.member_count());
+        }
+        assert_eq!(sparse.links(), 0);
+        assert!(sparse.refcount.is_empty(), "prunes empty the sparse state");
+    }
+
+    fn flash_cfg(sessions: u32) -> FlashConfig {
+        FlashConfig {
+            sessions,
+            receivers_per_session: 3,
+            beta: 1.0,
+            sampler_sweeps: 2,
+            burst_time: 1.0,
+            join_window: 0.5,
+            mean_lifetime: 2.0,
+            sample_every: 64,
+            seed: 1999,
+        }
+    }
+
+    #[test]
+    fn batched_and_scalar_graft_paths_are_bit_identical() {
+        let g = mesh(9); // 81 nodes: a burst can need >64 skeletons
+        let cfg = flash_cfg(200);
+        // Schedule the identical event set through both engines.
+        let run_with = |threshold: usize| {
+            let n = g.node_count() as NodeId;
+            let mut storm = Storm::new(&g)
+                .batch_threshold(threshold)
+                .sample_every(cfg.sample_every)
+                .measure_from(cfg.burst_time);
+            let mut rng = StdRng::seed_from_u64(7);
+            for session in 0..cfg.sessions {
+                let source = uniform_node(&mut rng, n);
+                storm.schedule_session_start(cfg.burst_time, session, source);
+                let mut last = cfg.burst_time;
+                for _ in 0..cfg.receivers_per_session {
+                    let site = uniform_node(&mut rng, n);
+                    let at = cfg.burst_time + rng.gen_range(0.0..cfg.join_window);
+                    let leave = at + exp_sample(&mut rng, 1.0 / cfg.mean_lifetime);
+                    storm.schedule_join(at, session, site);
+                    storm.schedule_leave(leave, session, site);
+                    last = last.max(leave);
+                }
+                storm.schedule_session_end(last, session);
+            }
+            storm.run().expect("calendar is consistent")
+        };
+        let batched = run_with(1);
+        let scalar = run_with(usize::MAX);
+        assert!(batched.batch_sweeps > 0, "batched run must batch");
+        assert_eq!(scalar.batch_sweeps, 0, "scalar run must not");
+        assert!(batched.trees_built_batch >= 64, "burst covers a full word");
+        assert_eq!(batched.events, scalar.events);
+        assert_eq!(batched.grafted_links, scalar.grafted_links);
+        assert_eq!(batched.pruned_links, scalar.pruned_links);
+        assert_eq!(batched.peak_links, scalar.peak_links);
+        assert_eq!(
+            batched.mean_links.to_bits(),
+            scalar.mean_links.to_bits(),
+            "L(m) telemetry must be bit-identical across graft paths"
+        );
+        assert_eq!(batched.samples, scalar.samples);
+    }
+
+    #[test]
+    fn flash_replays_bit_identically() {
+        let g = mesh(6);
+        let cfg = flash_cfg(120);
+        let a = simulate_flash(&g, 0, &cfg).unwrap();
+        let b = simulate_flash(&g, 0, &cfg).unwrap();
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.mean_links.to_bits(), b.mean_links.to_bits());
+        assert_eq!(a.peak_sessions, cfg.sessions as u64);
+        // Everything drains: every join eventually leaves or is torn down.
+        let last = a.samples.last().expect("sampling enabled");
+        assert!(last.links <= a.peak_links);
+        assert_eq!(a.sessions_started, cfg.sessions as u64);
+        assert_eq!(a.sessions_ended, cfg.sessions as u64);
+    }
+
+    #[test]
+    fn steady_state_tracks_mm_infinity_means() {
+        let g = binary_tree(6);
+        let cfg = SteadyConfig {
+            session_rate: 40.0,
+            mean_session_lifetime: 2.0,
+            member: ChurnConfig {
+                arrival_rate: 6.0,
+                mean_lifetime: 1.0,
+                lifetime_shape: LifetimeShape::Exponential,
+                warmup_events: 0,
+                sample_events: 0,
+                seed: 0,
+            },
+            horizon: 60.0,
+            measure_from: 20.0,
+            sample_every: 1024,
+            seed: 11,
+        };
+        let out = simulate_steady(&g, &cfg).unwrap();
+        // E[sessions] = Λ·D = 80.
+        let expect_sessions = cfg.session_rate * cfg.mean_session_lifetime;
+        assert!(
+            (out.mean_sessions - expect_sessions).abs() / expect_sessions < 0.15,
+            "sessions {} vs {expect_sessions}",
+            out.mean_sessions
+        );
+        // E[members] = E[sessions]·(λ·E[S] of a session's *stationary*
+        // phase) — lifetimes truncated by teardown pull it below λ·E[S],
+        // so only sanity-bound it.
+        assert!(out.mean_members > 0.0 && out.mean_links > 0.0);
+        assert!(out.joins > 1_000, "enough churn to measure: {}", out.joins);
+        // Teardown-stranded leaves surface as stale events, never errors.
+        assert!(out.stale_events > 0);
+    }
+
+    #[test]
+    fn duplicate_session_id_is_a_typed_error() {
+        let g = binary_tree(3);
+        let mut storm = Storm::new(&g);
+        storm.schedule_session_start(0.0, 5, 0);
+        storm.schedule_session_start(1.0, 5, 1);
+        let err = storm.run().unwrap_err();
+        assert_eq!(err, ChurnError::DuplicateSession { session: 5, now: 1.0 });
+        assert!(err.to_string().contains("session 5"));
+    }
+
+    #[test]
+    fn stale_events_are_counted_noops() {
+        let g = binary_tree(3);
+        let mut storm = Storm::new(&g);
+        storm.schedule_session_start(0.0, 0, 0);
+        storm.schedule_join(1.0, 0, 7);
+        storm.schedule_session_end(2.0, 0);
+        storm.schedule_leave(3.0, 0, 7); // after teardown: stale
+        storm.schedule_leave(3.5, 1, 4); // unknown session: stale
+        let out = storm.run().unwrap();
+        assert_eq!(out.stale_events, 2);
+        assert_eq!(out.joins, 1);
+        assert_eq!(out.leaves, 0);
+        assert_eq!(out.grafted_links, out.pruned_links);
+    }
+
+    #[test]
+    fn skeletons_are_shared_across_sessions() {
+        let g = binary_tree(4);
+        let mut storm = Storm::new(&g);
+        for s in 0..10 {
+            storm.schedule_session_start(0.5, s, 3);
+            storm.schedule_join(1.0, s, 14);
+            storm.schedule_session_end(2.0, s);
+        }
+        let out = storm.run().unwrap();
+        assert_eq!(out.trees_built_scalar, 1, "one skeleton serves all");
+        assert_eq!(out.peak_sessions, 10);
+    }
+}

@@ -5,10 +5,11 @@ use mcast_topology::graph::{from_edges, Graph};
 use mcast_topology::NodeId;
 use mcast_tree::affinity::{AffinitySampler, RootedTree};
 use mcast_tree::delivery::DeliverySizer;
-use mcast_tree::dynamics::MemberTree;
+use mcast_tree::dynamics::{try_simulate_churn, ChurnConfig, LifetimeShape, MemberTree};
 use mcast_tree::extremes;
 use mcast_tree::policy::{sizer_with_policy, TieBreak};
 use mcast_tree::stats::RunningStats;
+use mcast_tree::storm::Storm;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -159,5 +160,87 @@ proptest! {
         if xs.len() > 1 {
             prop_assert!(s.variance() >= -1e-9);
         }
+    }
+
+    // Satellite of the `(time_bits, session, seq)` event-key fix: a storm
+    // calendar whose times are drawn from a tiny pool — so most events
+    // collide on the exact same instant — replays bit-identically, and
+    // replays bit-identically again when skeleton grafting is forced
+    // through the batched path. Equal-time ordering therefore cannot
+    // depend on heap internals, float comparison quirks, or the graft
+    // schedule.
+    #[test]
+    fn equal_time_storms_replay_bit_identically(
+        graph in tree_strategy(),
+        sessions in 1u32..5,
+        ops in proptest::collection::vec((0u8..4, any::<u32>(), any::<u32>()), 1..80),
+    ) {
+        let n = graph.node_count() as u32;
+        let run = |threshold: usize| {
+            let mut storm = Storm::new(&graph).batch_threshold(threshold).sample_every(1);
+            for s in 0..sessions {
+                // All sessions ignite at the same tied instant.
+                storm.schedule_session_start(1.0, s, s % n);
+            }
+            for &(time_slot, pick, site) in &ops {
+                // Four distinct times across up to 80 events: ties are the
+                // common case, not the corner case.
+                let t = 1.0 + f64::from(time_slot);
+                let session = pick % (sessions + 1); // may hit a never-started id
+                let site = site % n;
+                if pick % 3 == 0 {
+                    storm.schedule_leave(t, session, site);
+                } else {
+                    storm.schedule_join(t, session, site);
+                }
+            }
+            for s in 0..sessions {
+                storm.schedule_session_end(5.0, s);
+            }
+            storm.run().expect("session ids are unique")
+        };
+        let a = run(1);
+        let b = run(1);
+        let scalar = run(usize::MAX);
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(&a.samples, &b.samples);
+        prop_assert_eq!(a.mean_links.to_bits(), b.mean_links.to_bits());
+        prop_assert_eq!(&a.samples, &scalar.samples);
+        prop_assert_eq!(a.grafted_links, scalar.grafted_links);
+        prop_assert_eq!(a.pruned_links, scalar.pruned_links);
+        // Leaves never underflow: every pruned link was first grafted.
+        prop_assert!(a.pruned_links <= a.grafted_links);
+    }
+
+    // The churn runner under the bits-keyed calendar: identical configs
+    // replay bit-identically for every lifetime shape — including Fixed,
+    // where all departures are arrival-time translates and the calendar
+    // order is exactly the arrival order.
+    #[test]
+    fn churn_replays_bit_identically_across_lifetime_shapes(
+        graph in tree_strategy(),
+        shape_pick in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let shape = match shape_pick {
+            0 => LifetimeShape::Exponential,
+            1 => LifetimeShape::Pareto { alpha: 2.5 },
+            _ => LifetimeShape::Fixed,
+        };
+        let cfg = ChurnConfig {
+            arrival_rate: 3.0,
+            mean_lifetime: 1.0,
+            lifetime_shape: shape,
+            warmup_events: 40,
+            sample_events: 120,
+            seed,
+        };
+        let a = try_simulate_churn(&graph, 0, &cfg).expect("calendar stays in sync");
+        let b = try_simulate_churn(&graph, 0, &cfg).expect("calendar stays in sync");
+        prop_assert_eq!(a.mean_links.to_bits(), b.mean_links.to_bits());
+        prop_assert_eq!(a.mean_members.to_bits(), b.mean_members.to_bits());
+        prop_assert_eq!(a.link_samples.count(), b.link_samples.count());
+        prop_assert_eq!(a.grafts, b.grafts);
+        prop_assert_eq!(a.prunes, b.prunes);
     }
 }
