@@ -1,0 +1,90 @@
+//! The serve daemon's hot path: a warm-cache measurement query over a
+//! fresh TCP connection — parse, admission, quota, single-flight memo,
+//! cached body — and the raw protocol codec. The number to watch is the
+//! warm round-trip, which bounds the QPS a drill like
+//! `bench_serve_baseline` can sustain.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcast_experiments::networks;
+use mcast_experiments::service::ServeBackend;
+use mcast_experiments::RunConfig;
+use mcast_serve::protocol::{encode_request, parse_response, RequestParser, DEFAULT_MAX_BODY_BYTES};
+use mcast_serve::{serve, QuotaConfig, ServeConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+fn http(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let raw = encode_request(method, target, &[("X-Client-Id", "bench")], body);
+    stream.write_all(&raw).expect("send");
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).expect("read");
+    let resp = parse_response(&buf).expect("well-formed response");
+    (resp.status, resp.body)
+}
+
+fn bench(c: &mut Criterion) {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        quota: QuotaConfig {
+            rate_per_sec: 1e9,
+            burst: 1e9,
+        },
+        ..ServeConfig::default()
+    };
+    let handle = serve(config, Arc::new(ServeBackend::new(0))).expect("boot daemon");
+    let addr = handle.addr();
+
+    let cfg = RunConfig::fast();
+    let arpa = networks::arpa(&cfg);
+    let edge_list = mcast_topology::io::write_edge_list(&arpa.graph);
+    let (status, up_body) = http(addr, "POST", "/v1/topo?format=edge-list", edge_list.as_bytes());
+    assert_eq!(status, 201);
+    let up = String::from_utf8(up_body).unwrap();
+    let id_start = up.find("\"id\":\"").expect("id field") + 6;
+    let id_end = up[id_start..].find('"').unwrap() + id_start;
+    let query = format!(
+        "{{\"topology\":\"{}\",\"kind\":\"ratio\",\"seed\":7,\
+         \"sources\":2,\"receiver_sets\":2,\"xs\":[1,2,4]}}",
+        &up[id_start..id_end]
+    );
+
+    // Prime the curve so the timed loop measures the warm path only.
+    let (status, expected) = http(addr, "POST", "/v1/measure", query.as_bytes());
+    assert_eq!(status, 200);
+
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(20);
+
+    g.bench_function("warm_query/arpa", |b| {
+        b.iter(|| {
+            let (status, body) = http(addr, "POST", "/v1/measure", query.as_bytes());
+            assert_eq!(status, 200);
+            assert_eq!(body, expected);
+        })
+    });
+
+    // Codec-only floor: encode + incremental parse of a measure request,
+    // no socket.
+    let raw = encode_request(
+        "POST",
+        "/v1/measure",
+        &[("X-Client-Id", "bench")],
+        query.as_bytes(),
+    );
+    g.bench_function("codec/measure_request", |b| {
+        b.iter(|| {
+            let mut parser = RequestParser::new(DEFAULT_MAX_BODY_BYTES);
+            parser.feed(&raw).unwrap().expect("frames")
+        })
+    });
+    g.finish();
+
+    http(addr, "POST", "/v1/admin/shutdown", b"");
+    handle.join();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,176 @@
+//! Records the serve-daemon baseline as machine-readable JSON.
+//!
+//! Boots an in-process `mcast-serve` daemon backed by the real
+//! measurement backend and a disk cache, uploads ti5000, then drives it
+//! the way the E2E acceptance does: an 8-client cold burst (distinct
+//! curve keys, each a full scheduler execution) followed by a
+//! warm-cache QPS drill hammering one cached curve from 8 clients over
+//! fresh TCP connections. The distilled numbers land in
+//! `BENCH_serve.json` so CI can archive them next to the other
+//! baselines and future PRs can diff them.
+//!
+//! Usage: `bench_serve_baseline [OUT_PATH]` (default `BENCH_serve.json`).
+
+use mcast_experiments::networks;
+use mcast_experiments::service::ServeBackend;
+use mcast_experiments::RunConfig;
+use mcast_serve::protocol::{encode_request, parse_response, ParsedResponse};
+use mcast_serve::{serve, QuotaConfig, ServeConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+
+const COLD_CLIENTS: usize = 8;
+const WARM_CLIENTS: usize = 8;
+const WARM_REQUESTS_PER_CLIENT: usize = 250;
+
+/// One round-trip over a fresh connection (the drill deliberately pays
+/// connection setup per request, like a curl-style client would).
+fn http(addr: SocketAddr, method: &str, target: &str, client: &str, body: &[u8]) -> ParsedResponse {
+    let mut stream = TcpStream::connect(addr).expect("connect to daemon");
+    let raw = encode_request(method, target, &[("X-Client-Id", client)], body);
+    stream.write_all(&raw).expect("send request");
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).expect("read response");
+    parse_response(&buf).expect("well-formed response")
+}
+
+fn measure_body(topo_id: &str, seed: u64) -> String {
+    format!(
+        "{{\"topology\":\"{topo_id}\",\"kind\":\"ratio\",\"seed\":{seed},\
+         \"sources\":4,\"receiver_sets\":2,\"xs\":[1,2,4,8,16]}}"
+    )
+}
+
+fn counter(stats: &mcast_obs::json::Value, name: &str) -> u64 {
+    stats
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    let scratch = std::env::temp_dir().join(format!("bench-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    mcast_store::configure(&scratch.join("cache"), false).expect("configure cache");
+    mcast_obs::events::init_from_env();
+    mcast_obs::set_enabled(true);
+
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: WARM_CLIENTS,
+        quota: QuotaConfig {
+            // The drill is throughput-bound, not policy-bound.
+            rate_per_sec: 1e9,
+            burst: 1e9,
+        },
+        ..ServeConfig::default()
+    };
+    let handle = serve(config, Arc::new(ServeBackend::new(0))).expect("boot daemon");
+    let addr = handle.addr();
+
+    // Register the topology the drill measures against.
+    let cfg = RunConfig::fast();
+    let ti5000 = networks::ti5000(&cfg);
+    let nodes = ti5000.graph.node_count();
+    let edge_list = mcast_topology::io::write_edge_list(&ti5000.graph);
+    let up = http(
+        addr,
+        "POST",
+        "/v1/topo?format=edge-list&name=ti5000",
+        "uploader",
+        edge_list.as_bytes(),
+    );
+    assert_eq!(up.status, 201, "upload must succeed: {:?}", String::from_utf8_lossy(&up.body));
+    let up_json = mcast_obs::json::parse(&String::from_utf8_lossy(&up.body))
+        .expect("upload response must parse");
+    let topo_id = up_json
+        .get("id")
+        .and_then(|v| v.as_str())
+        .expect("upload response carries the topology id")
+        .to_string();
+    let topo_id = topo_id.as_str();
+
+    // Cold burst: 8 clients, 8 distinct curve keys, all concurrent —
+    // every one routes through the scheduler and lands in the cache.
+    let t_cold = Instant::now();
+    std::thread::scope(|scope| {
+        for i in 0..COLD_CLIENTS {
+            scope.spawn(move || {
+                let body = measure_body(topo_id, 1_000 + i as u64);
+                let client = format!("cold-{i}");
+                let r = http(addr, "POST", "/v1/measure", &client, body.as_bytes());
+                assert_eq!(r.status, 200, "cold query {i}: {:?}", String::from_utf8_lossy(&r.body));
+                assert_eq!(r.header("x-cache"), Some("miss"), "cold query {i} must miss");
+            });
+        }
+    });
+    let cold_ns = t_cold.elapsed().as_nanos();
+
+    // Prime one curve, then hammer it: 8 clients x 250 requests, fresh
+    // connection each, every response served from cache or the
+    // single-flight memo.
+    let prime = http(addr, "POST", "/v1/measure", "primer", measure_body(topo_id, 42).as_bytes());
+    assert_eq!(prime.status, 200, "prime query: {:?}", String::from_utf8_lossy(&prime.body));
+    let expected = prime.body.clone();
+
+    let t_warm = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..WARM_CLIENTS {
+            let expected = &expected;
+            scope.spawn(move || {
+                let body = measure_body(topo_id, 42);
+                let client = format!("warm-{c}");
+                for _ in 0..WARM_REQUESTS_PER_CLIENT {
+                    let r = http(addr, "POST", "/v1/measure", &client, body.as_bytes());
+                    assert_eq!(r.status, 200);
+                    assert_eq!(r.header("x-cache"), Some("hit"), "warm drill must hit");
+                    assert_eq!(&r.body, expected, "warm bodies must be byte-identical");
+                }
+            });
+        }
+    });
+    let warm_ns = t_warm.elapsed().as_nanos();
+    let warm_requests = WARM_CLIENTS * WARM_REQUESTS_PER_CLIENT;
+
+    let stats_resp = http(addr, "GET", "/v1/stats", "stats", b"");
+    assert_eq!(stats_resp.status, 200);
+    let stats = mcast_obs::json::parse(&String::from_utf8_lossy(&stats_resp.body))
+        .expect("stats must parse");
+    let execs = counter(&stats, "serve.exec");
+    let hits = counter(&stats, "serve.cache.hit");
+    let bytes_out = counter(&stats, "serve.bytes_out");
+    assert_eq!(
+        execs,
+        (COLD_CLIENTS + 1) as u64,
+        "only the cold burst and the primer may execute"
+    );
+    assert!(
+        hits >= warm_requests as u64,
+        "warm drill must be served from cache ({hits} hits)"
+    );
+
+    http(addr, "POST", "/v1/admin/shutdown", "admin", b"");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let cold_secs = cold_ns as f64 / 1e9;
+    let warm_secs = warm_ns as f64 / 1e9;
+    let cold_qps = COLD_CLIENTS as f64 / cold_secs;
+    let warm_qps = warm_requests as f64 / warm_secs;
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"workload\": \"in-process daemon on ti5000: 8-client cold burst (distinct curve keys) + 8x250 warm-cache drill, fresh TCP connection per request\",\n  \"ti5000\": {{\n    \"nodes\": {nodes},\n    \"cold_clients\": {COLD_CLIENTS},\n    \"cold_executions\": {execs_cold},\n    \"cold_wall_ns\": {cold_ns},\n    \"cold_queries_per_sec\": {cold_qps:.1},\n    \"warm_requests\": {warm_requests},\n    \"warm_wall_ns\": {warm_ns},\n    \"warm_qps\": {warm_qps:.0},\n    \"warm_hit_rate\": 1.0,\n    \"bytes_out\": {bytes_out}\n  }}\n}}\n",
+        execs_cold = COLD_CLIENTS,
+    );
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    println!("{json}");
+    eprintln!(
+        "wrote {out_path}: warm {warm_qps:.0} qps over {warm_secs:.2}s, cold burst {cold_secs:.2}s"
+    );
+}

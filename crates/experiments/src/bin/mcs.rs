@@ -8,7 +8,8 @@
 //! mcs topo pack <edge-list-file> <out.mct>
 //! mcs topo unpack <in.mct> <out-edge-list>
 //! mcs topo verify <in.mct>
-//! mcs --cache-dir DIR cache <ls|verify|gc>
+//! mcs --cache-dir DIR cache <ls|verify|gc [--dry-run]>
+//! mcs serve [--port N] [--cache-dir DIR] [--workers N] [...]
 //! mcs obs report <trace.jsonl> [--json] [--top N]
 //! mcs obs flame <trace.jsonl>
 //! mcs obs chrome <trace.jsonl>
@@ -60,7 +61,13 @@
 //!
 //! `cache` inspects a `--cache-dir`: `ls` lists objects, `verify` re-checks
 //! every checksum, `gc` removes corrupt objects, temp litter, and stale
-//! checkpoints.
+//! checkpoints (`gc --dry-run` prints the would-be evictions — reason,
+//! size, age, key — and deletes nothing).
+//!
+//! `serve` boots the measurement daemon (DESIGN.md §12): topology
+//! upload + measurement queries over HTTP/1.1 + JSONL, admission
+//! control, per-client quotas, single-flight coalescing on the same
+//! cache keys `mcs measure --cache-dir` uses, and graceful drain.
 //!
 //! `obs` post-processes a recorded trace: `report` prints the per-span
 //! summary (wall/self time, allocation attribution, lane utilisation;
@@ -111,7 +118,7 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: mcs [--paper|--fast|--scale fast|paper] [--seed N] [--threads N] [--out DIR] [--metrics FILE] [--trace DIR [--trace-alloc]] [--cache-dir DIR] [--resume] [--verbose|--quiet] <table1|fig1..fig9|ablate-*|churn|storm|all|list>...\n       mcs [OPTIONS] suite [--only ID,ID,...] [--keep-going|--fail-fast] [--max-retries N]\n       mcs [OPTIONS] measure <edge-list-file>\n       mcs topo <pack|unpack|verify> <files...>\n       mcs --cache-dir DIR cache <ls|verify|gc>\n       mcs obs <report|flame|chrome> <trace.jsonl> [--json] [--top N]\n       mcs obs diff <base> <candidate> [--budget FILE]"
+    "usage: mcs [--paper|--fast|--scale fast|paper] [--seed N] [--threads N] [--out DIR] [--metrics FILE] [--trace DIR [--trace-alloc]] [--cache-dir DIR] [--resume] [--verbose|--quiet] <table1|fig1..fig9|ablate-*|churn|storm|all|list>...\n       mcs [OPTIONS] suite [--only ID,ID,...] [--keep-going|--fail-fast] [--max-retries N]\n       mcs [OPTIONS] measure <edge-list-file>\n       mcs topo <pack|unpack|verify> <files...>\n       mcs --cache-dir DIR cache <ls|verify|gc [--dry-run]>\n       mcs serve [--addr H:P|--port N] [--cache-dir DIR [--resume]] [--workers N] [--queue-cap N] [--quota-rate R] [--quota-burst B] [--topo-dir DIR] [--request-log FILE] [--addr-file FILE] [--threads N] [--max-body BYTES] [-v]\n       mcs obs <report|flame|chrome> <trace.jsonl> [--json] [--top N]\n       mcs obs diff <base> <candidate> [--budget FILE]"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -186,6 +193,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--verbose" | "-v" => verbose = true,
             "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => return Err(usage().to_string()),
+            // `cache gc --dry-run`: the flag belongs to the cache
+            // subcommand, not the run configuration.
+            "--dry-run" if experiments.first().map(String::as_str) == Some("cache") => {
+                experiments.push(arg.to_string());
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`\n{}", usage()));
             }
@@ -611,8 +623,140 @@ fn run_cache(cmd: &[String], cache_dir: Option<&Path>) -> Result<(), String> {
             println!("removed {removed} file(s)");
             Ok(())
         }
-        _ => Err(format!("cache takes one of: ls, verify, gc\n{}", usage())),
+        [op, flag] if op == "gc" && flag == "--dry-run" => {
+            // Same sweep as `gc`, deleting nothing: one line per
+            // would-be eviction (reason, size, age, key/path).
+            let plan = cache.gc_plan();
+            for c in &plan {
+                println!(
+                    "{:<16} {:>10} B  age {:>8}  {}",
+                    c.reason.name(),
+                    c.bytes,
+                    match c.age_secs {
+                        Some(a) => format!("{a}s"),
+                        None => "?".to_string(),
+                    },
+                    match &c.key {
+                        Some(k) => k.clone(),
+                        None => c.path.display().to_string(),
+                    }
+                );
+            }
+            println!("{} file(s) would be removed", plan.len());
+            Ok(())
+        }
+        _ => Err(format!(
+            "cache takes one of: ls, verify, gc [--dry-run]\n{}",
+            usage()
+        )),
     }
+}
+
+/// `mcs serve`: boot the measurement daemon (protocol/admission/quotas
+/// from `mcast-serve`, measurement + cache from this crate's scheduler).
+/// Runs before `parse_args` (its flags are its own).
+fn run_serve(cmd: &[String]) -> u8 {
+    match serve_main(cmd) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+fn serve_main(cmd: &[String]) -> Result<u8, String> {
+    fn value<'a>(cmd: &'a [String], i: &mut usize, name: &str) -> Result<&'a str, String> {
+        *i += 1;
+        cmd.get(*i)
+            .map(String::as_str)
+            .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+    }
+    fn num<T: std::str::FromStr>(v: &str, name: &str) -> Result<T, String> {
+        v.parse()
+            .map_err(|_| format!("{name}: invalid value `{v}`"))
+    }
+    let mut config = mcast_serve::ServeConfig::default();
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut resume = false;
+    let mut addr_file: Option<PathBuf> = None;
+    let mut verbose = false;
+    let mut i = 0;
+    while i < cmd.len() {
+        match cmd[i].as_str() {
+            "--addr" => config.addr = value(cmd, &mut i, "--addr")?.to_string(),
+            "--port" => {
+                config.addr = format!("127.0.0.1:{}", num::<u16>(value(cmd, &mut i, "--port")?, "--port")?)
+            }
+            "--workers" => config.workers = num(value(cmd, &mut i, "--workers")?, "--workers")?,
+            "--queue-cap" => {
+                config.queue_cap = num(value(cmd, &mut i, "--queue-cap")?, "--queue-cap")?
+            }
+            "--quota-rate" => {
+                config.quota.rate_per_sec =
+                    num(value(cmd, &mut i, "--quota-rate")?, "--quota-rate")?
+            }
+            "--quota-burst" => {
+                config.quota.burst = num(value(cmd, &mut i, "--quota-burst")?, "--quota-burst")?
+            }
+            "--max-body" => config.max_body = num(value(cmd, &mut i, "--max-body")?, "--max-body")?,
+            "--threads" => config.threads = num(value(cmd, &mut i, "--threads")?, "--threads")?,
+            "--topo-dir" => config.topo_dir = Some(PathBuf::from(value(cmd, &mut i, "--topo-dir")?)),
+            "--request-log" => {
+                config.request_log = Some(PathBuf::from(value(cmd, &mut i, "--request-log")?))
+            }
+            "--cache-dir" => cache_dir = Some(PathBuf::from(value(cmd, &mut i, "--cache-dir")?)),
+            "--resume" => resume = true,
+            "--addr-file" => addr_file = Some(PathBuf::from(value(cmd, &mut i, "--addr-file")?)),
+            "--verbose" | "-v" => verbose = true,
+            other => return Err(format!("serve: unknown argument `{other}`\n{}", usage())),
+        }
+        i += 1;
+    }
+    if resume && cache_dir.is_none() {
+        return Err("serve: --resume needs --cache-dir".to_string());
+    }
+
+    // Counters drive `/v1/stats` (and the CI hit-rate gate), so
+    // observability is always on in serve mode; it never changes the
+    // measured numbers.
+    mcast_obs::events::init_from_env();
+    mcast_obs::set_enabled(true);
+    if verbose && mcast_obs::events::level() == mcast_obs::Level::Off {
+        mcast_obs::set_level(mcast_obs::Level::Info);
+    }
+
+    if let Some(dir) = &cache_dir {
+        mcast_store::configure(dir, resume)
+            .map_err(|e| format!("cannot open cache dir `{}`: {e}", dir.display()))?;
+    } else {
+        eprintln!("mcs serve: no --cache-dir; results will not persist across restarts");
+    }
+
+    let backend = std::sync::Arc::new(mcast_experiments::service::ServeBackend::new(
+        config.threads,
+    ));
+    let handle = mcast_serve::serve(config, backend)
+        .map_err(|e| format!("cannot start server: {e}"))?;
+    let addr = handle.addr();
+    // The listening line is the startup handshake: tests and scripts
+    // bind port 0 and scrape the resolved address from stdout (or the
+    // `--addr-file`, which is written atomically for poll-safety).
+    println!("mcs serve: listening on http://{addr}");
+    {
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+    }
+    if let Some(path) = &addr_file {
+        mcast_store::write_atomic_str(path, &format!("{addr}\n"))
+            .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+    }
+    // Serve until `/v1/admin/shutdown` drains us; every in-flight
+    // request finishes (and its groups are checkpointed) before join
+    // returns.
+    handle.join();
+    println!("mcs serve: drained and stopped");
+    Ok(0)
 }
 
 /// Drive the resolved ids through the fault-isolated suite scheduler,
@@ -722,6 +866,12 @@ fn main() -> ExitCode {
     // it before parse_args (which rejects unknown `-` options).
     if argv.first().map(String::as_str) == Some("obs") {
         return ExitCode::from(run_obs(&argv[1..]));
+    }
+    // Likewise `serve`: the daemon owns its flag grammar and its own
+    // lifecycle (per-request run-meta sidecars instead of the one-shot
+    // `finalize_run` below, which assumes a single run per process).
+    if argv.first().map(String::as_str) == Some("serve") {
+        return ExitCode::from(run_serve(&argv[1..]));
     }
     let args = match parse_args(&argv) {
         Ok(a) => a,

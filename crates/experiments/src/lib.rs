@@ -26,6 +26,7 @@ pub mod networks;
 pub mod render;
 pub mod runner;
 pub mod sched;
+pub mod service;
 pub mod suite;
 pub mod svg;
 

@@ -585,8 +585,11 @@ fn plan_mean_distances(graph: &Graph, nodes: &[NodeId], cfg: &RunConfig) -> Opti
 /// Cache key for one measured curve: every input that determines the
 /// numbers. Thread count is deliberately absent — results are
 /// bit-identical at any thread count, which is what makes the cache
-/// shareable between differently-parallel runs.
-fn curve_key(graph: &Graph, xs: &[usize], mcfg: &MeasureConfig, kind: SampleKind) -> Key {
+/// shareable between differently-parallel runs (and between a one-shot
+/// `mcs measure --cache-dir` and a `mcs serve` daemon: the serve
+/// backend keys its single-flight table and cache probes with exactly
+/// this function).
+pub fn curve_key(graph: &Graph, xs: &[usize], mcfg: &MeasureConfig, kind: SampleKind) -> Key {
     let kind_name = match kind {
         SampleKind::Ratio => "ratio",
         SampleKind::NormalizedTree => "normalized-tree",

@@ -368,6 +368,67 @@ fn second_cached_run_hits_at_least_95_percent_and_is_byte_identical() {
     std::fs::remove_dir_all(&base).ok();
 }
 
+#[test]
+fn cache_gc_dry_run_lists_evictions_without_deleting() {
+    let base = std::env::temp_dir().join(format!("mcs-gc-dry-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let cache_dir = base.join("cache");
+    // Plant a healthy object, then corrupt it, and drop temp litter
+    // beside it — both are gc candidates of different reasons.
+    let corrupt_key_hex;
+    {
+        let cache = mcast_store::DiskCache::open(&cache_dir).unwrap();
+        let key = mcast_store::KeyBuilder::new("cli-test").u64("x", 7).finish();
+        corrupt_key_hex = key.hex();
+        cache
+            .put(&key, mcast_store::ObjectKind::Curve, b"soon to be corrupt")
+            .unwrap();
+        let objects = walk_mco(&cache_dir.join("objects"));
+        assert_eq!(objects.len(), 1);
+        let mut bytes = std::fs::read(&objects[0]).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&objects[0], &bytes).unwrap();
+        std::fs::write(cache_dir.join("objects").join("litter.tmp"), b"junk").unwrap();
+    }
+    let cache_cmd = |ops: &[&str]| {
+        let mut args = vec!["--cache-dir", cache_dir.to_str().unwrap(), "cache"];
+        args.extend(ops);
+        mcs().args(&args).output().unwrap()
+    };
+
+    // Dry run: both candidates named (reason, bytes, key) — nothing gone.
+    let out = cache_cmd(&["gc", "--dry-run"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("2 file(s) would be removed"), "{stdout}");
+    assert!(stdout.contains("corrupt-object"), "{stdout}");
+    assert!(stdout.contains("temp-litter"), "{stdout}");
+    assert!(stdout.contains(&corrupt_key_hex), "{stdout}");
+    assert_eq!(walk_mco(&cache_dir.join("objects")).len(), 1, "object kept");
+    assert!(cache_dir.join("objects").join("litter.tmp").exists(), "litter kept");
+
+    // The real gc then removes exactly what the plan listed.
+    let out = cache_cmd(&["gc"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("removed 2"));
+    assert!(walk_mco(&cache_dir.join("objects")).is_empty());
+    assert!(!cache_dir.join("objects").join("litter.tmp").exists());
+
+    // An empty plan is an empty dry run.
+    let out = cache_cmd(&["gc", "--dry-run"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("0 file(s) would be removed"));
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
 fn walk_mco(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
     let mut found = Vec::new();
     let Ok(entries) = std::fs::read_dir(dir) else {

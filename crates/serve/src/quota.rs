@@ -1,0 +1,176 @@
+//! Per-client token-bucket quotas.
+//!
+//! Each client id (the `X-Client-Id` header, `anonymous` when absent)
+//! gets its own bucket: `burst` tokens of headroom refilled at
+//! `rate_per_sec`. Every admitted measurement or upload costs one
+//! token; an empty bucket answers 429 with a `retry_after_ms` hint so
+//! well-behaved clients back off instead of hammering the acceptor.
+//!
+//! Buckets take the clock as an explicit nanosecond argument, so the
+//! refill arithmetic is directly testable without sleeping.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Quota parameters shared by every client of one server.
+#[derive(Clone, Copy, Debug)]
+pub struct QuotaConfig {
+    /// Sustained request rate per client (tokens per second). Zero
+    /// disables refill (each client gets `burst` requests, ever).
+    pub rate_per_sec: f64,
+    /// Bucket capacity: how far a client may burst above the rate.
+    pub burst: f64,
+}
+
+impl Default for QuotaConfig {
+    fn default() -> Self {
+        // Generous for interactive use; the CLI exposes both knobs.
+        Self {
+            rate_per_sec: 50.0,
+            burst: 100.0,
+        }
+    }
+}
+
+/// One client's bucket.
+#[derive(Clone, Copy, Debug)]
+struct Bucket {
+    tokens: f64,
+    last_ns: u64,
+}
+
+/// Outcome of a quota check.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QuotaDecision {
+    /// Token taken; proceed.
+    Admit,
+    /// Bucket empty; retry after roughly this many milliseconds.
+    Throttle {
+        /// Milliseconds until one token will have refilled.
+        retry_after_ms: u64,
+    },
+}
+
+/// Token buckets for all clients of one server.
+#[derive(Debug)]
+pub struct Quotas {
+    config: QuotaConfig,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl Quotas {
+    /// New quota table; all buckets start full.
+    pub fn new(config: QuotaConfig) -> Self {
+        Self {
+            config,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> QuotaConfig {
+        self.config
+    }
+
+    /// Try to take one token for `client` at time `now_ns` (any
+    /// monotonic nanosecond clock; tests pass synthetic values).
+    pub fn admit_at(&self, client: &str, now_ns: u64) -> QuotaDecision {
+        let mut buckets = self.buckets.lock().expect("quota mutex poisoned");
+        let bucket = buckets.entry(client.to_string()).or_insert(Bucket {
+            tokens: self.config.burst,
+            last_ns: now_ns,
+        });
+        let elapsed = now_ns.saturating_sub(bucket.last_ns) as f64 / 1e9;
+        bucket.tokens = (bucket.tokens + elapsed * self.config.rate_per_sec)
+            .min(self.config.burst);
+        bucket.last_ns = now_ns;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            QuotaDecision::Admit
+        } else {
+            let deficit = 1.0 - bucket.tokens;
+            let retry_after_ms = if self.config.rate_per_sec > 0.0 {
+                (deficit / self.config.rate_per_sec * 1e3).ceil() as u64
+            } else {
+                u64::MAX
+            };
+            QuotaDecision::Throttle { retry_after_ms }
+        }
+    }
+
+    /// [`Quotas::admit_at`] against the process monotonic clock.
+    pub fn admit(&self, client: &str) -> QuotaDecision {
+        self.admit_at(client, monotonic_ns())
+    }
+
+    /// Number of clients that have ever been seen.
+    pub fn client_count(&self) -> usize {
+        self.buckets.lock().expect("quota mutex poisoned").len()
+    }
+}
+
+/// Nanoseconds from a process-local monotonic epoch.
+pub fn monotonic_ns() -> u64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now().duration_since(epoch).as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quotas(rate: f64, burst: f64) -> Quotas {
+        Quotas::new(QuotaConfig {
+            rate_per_sec: rate,
+            burst,
+        })
+    }
+
+    #[test]
+    fn burst_then_throttle() {
+        let q = quotas(1.0, 3.0);
+        for _ in 0..3 {
+            assert_eq!(q.admit_at("c", 0), QuotaDecision::Admit);
+        }
+        match q.admit_at("c", 0) {
+            QuotaDecision::Throttle { retry_after_ms } => {
+                // Needs one full token at 1/sec → ~1000 ms.
+                assert!((900..=1100).contains(&retry_after_ms), "{retry_after_ms}");
+            }
+            other => panic!("expected throttle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refill_restores_admission() {
+        let q = quotas(2.0, 1.0);
+        assert_eq!(q.admit_at("c", 0), QuotaDecision::Admit);
+        assert!(matches!(q.admit_at("c", 1), QuotaDecision::Throttle { .. }));
+        // 0.6 s at 2 tokens/s refills 1.2 → capped at burst 1.0.
+        assert_eq!(q.admit_at("c", 600_000_000), QuotaDecision::Admit);
+    }
+
+    #[test]
+    fn clients_are_independent() {
+        let q = quotas(0.0, 1.0);
+        assert_eq!(q.admit_at("a", 0), QuotaDecision::Admit);
+        assert!(matches!(q.admit_at("a", 0), QuotaDecision::Throttle { .. }));
+        assert_eq!(q.admit_at("b", 0), QuotaDecision::Admit);
+        assert_eq!(q.client_count(), 2);
+    }
+
+    #[test]
+    fn zero_rate_never_refills() {
+        let q = quotas(0.0, 1.0);
+        assert_eq!(q.admit_at("c", 0), QuotaDecision::Admit);
+        match q.admit_at("c", u64::MAX / 2) {
+            QuotaDecision::Throttle { retry_after_ms } => {
+                assert_eq!(retry_after_ms, u64::MAX);
+            }
+            other => panic!("expected throttle, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,741 @@
+//! Request routing: the endpoint table, the measurement backend trait,
+//! and the per-request error payload mapping.
+//!
+//! Endpoints (all answers are JSON; streams are JSONL over chunked
+//! transfer encoding):
+//!
+//! | Method | Path                 | Purpose                                  |
+//! |--------|----------------------|------------------------------------------|
+//! | GET    | `/v1/health`         | liveness + uptime                        |
+//! | GET    | `/v1/stats`          | serve/store counters, catalogue, flights |
+//! | GET    | `/v1/topo`           | list registered topologies               |
+//! | POST   | `/v1/topo`           | upload (`?format=edge-list\|mctb`)       |
+//! | POST   | `/v1/measure`        | run / fetch a measurement query          |
+//! | POST   | `/v1/admin/shutdown` | graceful drain                           |
+//!
+//! The measurement engine itself lives above this crate (the scheduler
+//! and cache glue are in `mcast-experiments`, which *depends on* this
+//! crate), so the router talks to it through the [`Backend`] trait:
+//! the server owns protocol, admission, quotas and coalescing; the
+//! backend owns keys, cache lookups and scheduler execution.
+
+use crate::protocol::{
+    chunk, chunked_head, error_body, unary_response, Request, CHUNK_END,
+};
+use crate::quota::{QuotaDecision, Quotas};
+use crate::registry::{FlightRole, Flights, Outcome, TopologyEntry, TopologyRegistry};
+use mcast_obs::json::{self, write_str, Value};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Which curve a query asks for (mirrors the `mcs measure` contract).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Normalised tree cost `N(m)/ū` ("ratio").
+    Ratio,
+    /// Chuang–Sirbu `L̂(m)` per-link form ("lhat").
+    Lhat,
+}
+
+impl QueryKind {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryKind::Ratio => "ratio",
+            QueryKind::Lhat => "lhat",
+        }
+    }
+
+    /// Parse the wire name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ratio" => Some(QueryKind::Ratio),
+            "lhat" => Some(QueryKind::Lhat),
+            _ => None,
+        }
+    }
+}
+
+/// A fully resolved measurement query.
+pub struct MeasureSpec {
+    /// The registered topology the query runs against.
+    pub topology: Arc<TopologyEntry>,
+    /// Which curve family.
+    pub kind: QueryKind,
+    /// Base RNG seed (same meaning as `mcs measure --seed`).
+    pub seed: u64,
+    /// Sources per group size.
+    pub sources: usize,
+    /// Receiver sets per source.
+    pub receiver_sets: usize,
+    /// Explicit group sizes; `None` → the `mcs measure` default grid.
+    pub xs: Option<Vec<usize>>,
+    /// Worker threads the backend may use (server-wide setting; not
+    /// part of the cache key).
+    pub threads: usize,
+    /// Unique id of this request within the server process — the
+    /// backend uses it to give every request its own run-meta sidecar.
+    pub request_id: u64,
+}
+
+/// Successful measurement: canonical body bytes. The body depends only
+/// on the query (never on cache state or timing), so identical queries
+/// produce byte-identical bodies regardless of how they were served.
+#[derive(Debug)]
+pub struct MeasureOutput {
+    /// Canonical JSON response body.
+    pub body: Vec<u8>,
+    /// Whether the MCSO cache already held the curve.
+    pub cache_hit: bool,
+}
+
+/// One failed dedup group, surfaced from the scheduler's exit-2
+/// partial-failure semantics.
+#[derive(Debug)]
+pub struct GroupFailureInfo {
+    /// Index of the group in the measurement's source plan.
+    pub group_index: usize,
+    /// The distinct source node the failed group measures.
+    pub source: usize,
+    /// Panic/abort payload text.
+    pub message: String,
+}
+
+/// A failed (possibly partially completed) measurement.
+#[derive(Debug)]
+pub struct BackendError {
+    /// Human-readable summary.
+    pub message: String,
+    /// Machine-readable code (`partial_failure`, `invalid_query`, …).
+    pub code: &'static str,
+    /// HTTP status this maps to (400 for invalid queries, 500 for
+    /// execution failures).
+    pub status: u16,
+    /// Dedup groups that *did* complete (and were checkpointed).
+    pub completed: usize,
+    /// Per-group failure detail.
+    pub groups: Vec<GroupFailureInfo>,
+}
+
+/// The measurement engine behind the daemon.
+pub trait Backend: Send + Sync {
+    /// Stable cache key for a query. Identical queries (same topology
+    /// bytes, kind, seed, sources, receiver sets, grid) must map to
+    /// identical keys; the key must not depend on `threads` or
+    /// `request_id`.
+    fn query_key(&self, spec: &MeasureSpec) -> String;
+
+    /// Execute (or fetch) the query. `progress` receives JSONL event
+    /// lines to forward to streaming clients; implementations may call
+    /// it from the measuring thread.
+    fn measure(
+        &self,
+        spec: &MeasureSpec,
+        progress: &mut dyn FnMut(String),
+    ) -> Result<MeasureOutput, BackendError>;
+}
+
+/// Coordinates graceful shutdown: the flag is observed by the acceptor
+/// and worker pool; `trigger` also pokes the listening socket so a
+/// blocking `accept` wakes up.
+pub struct ShutdownSignal {
+    flag: AtomicBool,
+    addr: Mutex<Option<std::net::SocketAddr>>,
+}
+
+impl ShutdownSignal {
+    /// A fresh, un-triggered signal.
+    pub fn new() -> Self {
+        Self {
+            flag: AtomicBool::new(false),
+            addr: Mutex::new(None),
+        }
+    }
+
+    /// Record the bound address (server calls this after `bind`).
+    pub fn set_addr(&self, addr: std::net::SocketAddr) {
+        *self.addr.lock().expect("shutdown mutex poisoned") = Some(addr);
+    }
+
+    /// Has shutdown been requested?
+    pub fn is_triggered(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Request shutdown and wake the acceptor.
+    pub fn trigger(&self) {
+        if self.flag.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let addr = *self.addr.lock().expect("shutdown mutex poisoned");
+        if let Some(addr) = addr {
+            // A throwaway connection unblocks `accept`; the acceptor
+            // re-checks the flag before handling it.
+            let _ = std::net::TcpStream::connect(addr);
+        }
+    }
+}
+
+impl Default for ShutdownSignal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Shared state every worker sees.
+pub struct Ctx {
+    /// Topology catalogue.
+    pub registry: TopologyRegistry,
+    /// Single-flight table.
+    pub flights: Flights,
+    /// Per-client quotas.
+    pub quotas: Quotas,
+    /// The measurement engine.
+    pub backend: Arc<dyn Backend>,
+    /// Shutdown coordination.
+    pub shutdown: Arc<ShutdownSignal>,
+    /// Worker threads handed to the backend.
+    pub threads: usize,
+    /// Process start, for uptime.
+    pub started: Instant,
+    /// Monotonic request id source.
+    pub next_request_id: AtomicU64,
+}
+
+/// What the connection handler reports back for logging.
+pub struct ResponseInfo {
+    /// HTTP status sent.
+    pub status: u16,
+    /// Total bytes written to the socket.
+    pub bytes_out: u64,
+    /// Whether the response streamed (chunked).
+    pub streamed: bool,
+}
+
+fn count_write(out: &mut dyn Write, bytes: &[u8], total: &mut u64) -> std::io::Result<()> {
+    out.write_all(bytes)?;
+    *total += bytes.len() as u64;
+    Ok(())
+}
+
+fn send_unary(
+    out: &mut dyn Write,
+    status: u16,
+    body: &[u8],
+    extra: &[(&str, &str)],
+) -> std::io::Result<ResponseInfo> {
+    let mut bytes_out = 0u64;
+    let frame = unary_response(status, "application/json", body, extra);
+    count_write(out, &frame, &mut bytes_out)?;
+    out.flush()?;
+    if status < 400 {
+        mcast_obs::counter("serve.request.ok").add(1);
+    } else {
+        mcast_obs::counter("serve.request.error").add(1);
+    }
+    mcast_obs::counter("serve.bytes_out").add(bytes_out);
+    Ok(ResponseInfo {
+        status,
+        bytes_out,
+        streamed: false,
+    })
+}
+
+fn send_error(
+    out: &mut dyn Write,
+    status: u16,
+    code: &str,
+    message: &str,
+    extra: &[(&str, Value)],
+    headers: &[(&str, &str)],
+) -> std::io::Result<ResponseInfo> {
+    let body = error_body(status, code, message, extra);
+    send_unary(out, status, body.as_bytes(), headers)
+}
+
+/// The client id a request runs under.
+pub fn client_id(req: &Request) -> &str {
+    req.header("x-client-id").filter(|s| !s.is_empty()).unwrap_or("anonymous")
+}
+
+/// Route one parsed request and write the full response.
+pub fn handle(ctx: &Ctx, req: &Request, out: &mut dyn Write) -> std::io::Result<ResponseInfo> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/v1/health") => handle_health(ctx, out),
+        ("GET", "/v1/stats") => handle_stats(ctx, out),
+        ("GET", "/v1/topo") => handle_topo_list(ctx, out),
+        ("POST", "/v1/topo") => handle_topo_upload(ctx, req, out),
+        ("POST", "/v1/measure") => handle_measure(ctx, req, out),
+        ("POST", "/v1/admin/shutdown") => handle_shutdown(ctx, out),
+        (_, "/v1/health" | "/v1/stats" | "/v1/topo" | "/v1/measure" | "/v1/admin/shutdown") => {
+            send_error(
+                out,
+                405,
+                "method_not_allowed",
+                &format!("{} is not supported on {}", req.method, req.path),
+                &[],
+                &[],
+            )
+        }
+        _ => send_error(
+            out,
+            404,
+            "not_found",
+            &format!("no route for {}", req.path),
+            &[],
+            &[],
+        ),
+    }
+}
+
+fn handle_health(ctx: &Ctx, out: &mut dyn Write) -> std::io::Result<ResponseInfo> {
+    let mut body = String::from("{\"ok\":true,\"uptime_ms\":");
+    body.push_str(&(ctx.started.elapsed().as_millis() as u64).to_string());
+    body.push_str(",\"draining\":");
+    body.push_str(if ctx.shutdown.is_triggered() { "true" } else { "false" });
+    body.push('}');
+    send_unary(out, 200, body.as_bytes(), &[])
+}
+
+fn handle_stats(ctx: &Ctx, out: &mut dyn Write) -> std::io::Result<ResponseInfo> {
+    let mut counters: Vec<(String, u64)> = mcast_obs::metrics::counters_snapshot()
+        .into_iter()
+        .filter(|(name, _)| name.starts_with("serve.") || name.starts_with("store.cache."))
+        .collect();
+    counters.sort();
+    let mut body = String::from("{\"counters\":{");
+    for (i, (name, v)) in counters.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        write_str(&mut body, name);
+        body.push(':');
+        body.push_str(&v.to_string());
+    }
+    body.push_str("},\"queue_depth\":");
+    body.push_str(&mcast_obs::gauge("serve.queue_depth").get().to_string());
+    body.push_str(",\"inflight\":");
+    body.push_str(&ctx.flights.inflight_len().to_string());
+    body.push_str(",\"topologies\":");
+    body.push_str(&ctx.registry.len().to_string());
+    body.push_str(",\"clients\":");
+    body.push_str(&ctx.quotas.client_count().to_string());
+    body.push('}');
+    send_unary(out, 200, body.as_bytes(), &[])
+}
+
+fn handle_topo_list(ctx: &Ctx, out: &mut dyn Write) -> std::io::Result<ResponseInfo> {
+    let mut body = String::from("{\"topologies\":[");
+    for (i, (id, nodes, edges)) in ctx.registry.list().iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str("{\"id\":");
+        write_str(&mut body, id);
+        body.push_str(&format!(",\"nodes\":{nodes},\"edges\":{edges}}}"));
+    }
+    body.push_str("]}");
+    send_unary(out, 200, body.as_bytes(), &[])
+}
+
+fn check_quota(
+    ctx: &Ctx,
+    req: &Request,
+    out: &mut dyn Write,
+) -> std::io::Result<Option<ResponseInfo>> {
+    let client = client_id(req);
+    match ctx.quotas.admit(client) {
+        QuotaDecision::Admit => Ok(None),
+        QuotaDecision::Throttle { retry_after_ms } => {
+            mcast_obs::counter("serve.request.throttled").add(1);
+            let retry_secs = (retry_after_ms / 1000).max(1).to_string();
+            send_error(
+                out,
+                429,
+                "quota_exhausted",
+                &format!("client `{client}` is out of tokens"),
+                &[
+                    ("client", Value::Str(client.to_string())),
+                    ("retry_after_ms", Value::U64(retry_after_ms)),
+                ],
+                &[("Retry-After", retry_secs.as_str())],
+            )
+            .map(Some)
+        }
+    }
+}
+
+fn handle_topo_upload(
+    ctx: &Ctx,
+    req: &Request,
+    out: &mut dyn Write,
+) -> std::io::Result<ResponseInfo> {
+    if let Some(resp) = check_quota(ctx, req, out)? {
+        return Ok(resp);
+    }
+    let format = req.query_param("format").unwrap_or("edge-list");
+    match ctx.registry.register(format, &req.body) {
+        Ok((entry, created)) => {
+            mcast_obs::counter("serve.topo.upload").add(1);
+            let mut body = String::from("{\"id\":");
+            write_str(&mut body, &entry.id);
+            body.push_str(&format!(
+                ",\"nodes\":{},\"edges\":{},\"created\":{created}}}",
+                entry.graph.node_count(),
+                entry.graph.edge_count()
+            ));
+            send_unary(out, if created { 201 } else { 200 }, body.as_bytes(), &[])
+        }
+        Err(err) => send_error(out, 400, "invalid_topology", &err.message, &[], &[]),
+    }
+}
+
+fn handle_shutdown(ctx: &Ctx, out: &mut dyn Write) -> std::io::Result<ResponseInfo> {
+    mcast_obs::info!("serve", "shutdown requested; draining");
+    let resp = send_unary(out, 200, b"{\"ok\":true,\"draining\":true}", &[])?;
+    ctx.shutdown.trigger();
+    Ok(resp)
+}
+
+/// Parse the measurement request body into a spec (minus request id).
+fn parse_measure_spec(ctx: &Ctx, body: &[u8]) -> Result<(MeasureSpec, bool), (u16, &'static str, String)> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| (400u16, "bad_request", "body is not UTF-8".to_string()))?;
+    let v = json::parse(text).map_err(|e| (400, "bad_request", format!("body is not JSON: {e}")))?;
+    let topo_id = v
+        .get("topology")
+        .and_then(Value::as_str)
+        .ok_or((400, "bad_request", "missing string field `topology`".to_string()))?;
+    let topology = ctx.registry.get(topo_id).ok_or((
+        404,
+        "unknown_topology",
+        format!("topology `{topo_id}` is not registered"),
+    ))?;
+    let kind = match v.get("kind") {
+        None => QueryKind::Ratio,
+        Some(k) => {
+            let name = k
+                .as_str()
+                .ok_or((400, "bad_request", "`kind` must be a string".to_string()))?;
+            QueryKind::parse(name).ok_or((
+                400,
+                "bad_request",
+                format!("unknown kind `{name}` (expected `ratio` or `lhat`)"),
+            ))?
+        }
+    };
+    let uint = |field: &str, default: u64| -> Result<u64, (u16, &'static str, String)> {
+        match v.get(field) {
+            None => Ok(default),
+            Some(x) => x
+                .as_u64()
+                .ok_or((400, "bad_request", format!("`{field}` must be a non-negative integer"))),
+        }
+    };
+    let seed = uint("seed", 1)?;
+    let sources = uint("sources", 12)? as usize;
+    let receiver_sets = uint("receiver_sets", 12)? as usize;
+    if sources == 0 || receiver_sets == 0 {
+        return Err((
+            400,
+            "bad_request",
+            "`sources` and `receiver_sets` must be positive".to_string(),
+        ));
+    }
+    let xs = match v.get("xs") {
+        None => None,
+        Some(arr) => {
+            let items = arr
+                .as_arr()
+                .ok_or((400, "bad_request", "`xs` must be an array".to_string()))?;
+            let mut xs = Vec::with_capacity(items.len());
+            for item in items {
+                let m = item.as_u64().filter(|&m| m >= 1).ok_or((
+                    400,
+                    "bad_request",
+                    "`xs` entries must be integers ≥ 1".to_string(),
+                ))? as usize;
+                xs.push(m);
+            }
+            if xs.is_empty() {
+                return Err((400, "bad_request", "`xs` must not be empty".to_string()));
+            }
+            Some(xs)
+        }
+    };
+    let stream = v.get("stream").and_then(Value::as_bool).unwrap_or(false);
+    Ok((
+        MeasureSpec {
+            topology,
+            kind,
+            seed,
+            sources,
+            receiver_sets,
+            xs,
+            threads: ctx.threads,
+            request_id: 0,
+        },
+        stream,
+    ))
+}
+
+fn backend_error_payload(err: &BackendError) -> String {
+    let mut groups = Vec::with_capacity(err.groups.len());
+    for g in &err.groups {
+        groups.push(Value::Obj(vec![
+            ("group_index".to_string(), Value::U64(g.group_index as u64)),
+            ("source".to_string(), Value::U64(g.source as u64)),
+            ("message".to_string(), Value::Str(g.message.clone())),
+        ]));
+    }
+    error_body(
+        err.status,
+        err.code,
+        &err.message,
+        &[
+            ("completed", Value::U64(err.completed as u64)),
+            ("groups", Value::Arr(groups)),
+        ],
+    )
+}
+
+/// Run the backend while draining its progress lines into `emit`
+/// (called on the request thread only). Returns the backend result.
+fn run_with_progress(
+    ctx: &Ctx,
+    spec: &MeasureSpec,
+    mut emit: impl FnMut(String) -> std::io::Result<()>,
+) -> std::io::Result<Result<MeasureOutput, BackendError>> {
+    use std::sync::atomic::AtomicBool as Flag;
+    let done = Flag::new(false);
+    let slot: Mutex<Option<Result<MeasureOutput, BackendError>>> = Mutex::new(None);
+    let lines: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let backend = Arc::clone(&ctx.backend);
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        scope.spawn(|| {
+            let result = backend.measure(spec, &mut |line| {
+                lines.lock().expect("progress mutex poisoned").push(line);
+            });
+            *slot.lock().expect("result mutex poisoned") = Some(result);
+            done.store(true, Ordering::Release);
+        });
+        let started = Instant::now();
+        let mut last_heartbeat = 0u64;
+        loop {
+            let finished = done.load(Ordering::Acquire);
+            let drained: Vec<String> =
+                std::mem::take(&mut *lines.lock().expect("progress mutex poisoned"));
+            for line in drained {
+                emit(line)?;
+            }
+            if finished {
+                return Ok(());
+            }
+            let elapsed_ms = started.elapsed().as_millis() as u64;
+            if elapsed_ms >= last_heartbeat + 1000 {
+                last_heartbeat = elapsed_ms;
+                let mut line = String::from("{\"ev\":\"serve.progress\",\"elapsed_ms\":");
+                line.push_str(&elapsed_ms.to_string());
+                line.push_str(",\"queue_depth\":");
+                line.push_str(&mcast_obs::gauge("serve.queue_depth").get().to_string());
+                line.push_str(",\"cache_hit\":");
+                line.push_str(&mcast_obs::counter("serve.cache.hit").get().to_string());
+                line.push_str(",\"cache_miss\":");
+                line.push_str(&mcast_obs::counter("serve.cache.miss").get().to_string());
+                line.push('}');
+                emit(line)?;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+    })?;
+    Ok(slot
+        .into_inner()
+        .expect("result mutex poisoned")
+        .expect("backend thread always fills the slot"))
+}
+
+fn handle_measure(ctx: &Ctx, req: &Request, out: &mut dyn Write) -> std::io::Result<ResponseInfo> {
+    if let Some(resp) = check_quota(ctx, req, out)? {
+        return Ok(resp);
+    }
+    let (mut spec, stream) = match parse_measure_spec(ctx, &req.body) {
+        Ok(parsed) => parsed,
+        Err((status, code, message)) => {
+            return send_error(out, status, code, &message, &[], &[]);
+        }
+    };
+    spec.request_id = ctx.next_request_id.fetch_add(1, Ordering::Relaxed);
+    let key = ctx.backend.query_key(&spec);
+    let _span = mcast_obs::span_at(format!("serve.measure.{}", spec.kind.name()));
+
+    // Single-flight: at most one thread executes a given key at a time.
+    let (outcome, source) = match ctx.flights.join(&key) {
+        FlightRole::Memoized(outcome) => (outcome, "memo"),
+        FlightRole::Follower(outcome) => (outcome, "flight"),
+        FlightRole::Leader => {
+            mcast_obs::gauge("serve.inflight").add(1);
+            let result = if stream {
+                lead_streamed(ctx, &spec, &key, out)
+            } else {
+                lead_unary(ctx, &spec, &key)
+            };
+            mcast_obs::gauge("serve.inflight").add(-1);
+            match result {
+                // Streamed leaders already wrote the response.
+                Ok(LeaderOutput::Streamed(info)) => return Ok(info),
+                Ok(LeaderOutput::Done(outcome)) => (outcome, "lead"),
+                Err(io_err) => {
+                    // The connection died mid-execution; retire the
+                    // flight with an error outcome so followers are
+                    // not stranded, then propagate the IO error.
+                    let body = error_body(
+                        500,
+                        "io_error",
+                        &format!("leader connection failed: {io_err}"),
+                        &[],
+                    );
+                    ctx.flights.complete(
+                        &key,
+                        Arc::new(Outcome {
+                            body: Arc::new(body.into_bytes()),
+                            is_error: true,
+                            cache_hit: false,
+                        }),
+                    );
+                    return Err(io_err);
+                }
+            }
+        }
+    };
+
+    if source != "lead" {
+        mcast_obs::counter("serve.cache.hit").add(1);
+    }
+    let status = if outcome.is_error { 500 } else { 200 };
+    let cache_header = if outcome.is_error {
+        "error"
+    } else if source == "lead" && !outcome.cache_hit {
+        "miss"
+    } else {
+        "hit"
+    };
+    if stream {
+        let mut bytes_out = 0u64;
+        count_write(out, &chunked_head(status, "application/x-jsonl"), &mut bytes_out)?;
+        let mut line = String::from("{\"ev\":\"serve.join\",\"source\":");
+        write_str(&mut line, source);
+        line.push('}');
+        line.push('\n');
+        count_write(out, &chunk(line.as_bytes()), &mut bytes_out)?;
+        let mut final_line = Vec::with_capacity(outcome.body.len() + 1);
+        final_line.extend_from_slice(&outcome.body);
+        final_line.push(b'\n');
+        count_write(out, &chunk(&final_line), &mut bytes_out)?;
+        count_write(out, CHUNK_END, &mut bytes_out)?;
+        out.flush()?;
+        finish_counts(status, bytes_out);
+        Ok(ResponseInfo {
+            status,
+            bytes_out,
+            streamed: true,
+        })
+    } else {
+        send_unary(out, status, &outcome.body, &[("X-Cache", cache_header)])
+    }
+}
+
+enum LeaderOutput {
+    /// Non-streamed: outcome for the caller to render.
+    Done(Arc<Outcome>),
+    /// Streamed: the response has been fully written already.
+    Streamed(ResponseInfo),
+}
+
+fn execute(ctx: &Ctx, spec: &MeasureSpec, key: &str, result: Result<MeasureOutput, BackendError>) -> Arc<Outcome> {
+    let outcome = match result {
+        Ok(output) => {
+            if output.cache_hit {
+                mcast_obs::counter("serve.cache.hit").add(1);
+            } else {
+                mcast_obs::counter("serve.cache.miss").add(1);
+                mcast_obs::counter("serve.exec").add(1);
+            }
+            Arc::new(Outcome {
+                body: Arc::new(output.body),
+                is_error: false,
+                cache_hit: output.cache_hit,
+            })
+        }
+        Err(err) => {
+            mcast_obs::counter("serve.cache.miss").add(1);
+            mcast_obs::counter("serve.exec").add(1);
+            mcast_obs::warn!(
+                "serve",
+                "measurement {key} failed for request {}: {}",
+                spec.request_id,
+                err.message
+            );
+            Arc::new(Outcome {
+                body: Arc::new(backend_error_payload(&err).into_bytes()),
+                is_error: true,
+                cache_hit: false,
+            })
+        }
+    };
+    ctx.flights.complete(key, Arc::clone(&outcome));
+    outcome
+}
+
+fn lead_unary(ctx: &Ctx, spec: &MeasureSpec, key: &str) -> std::io::Result<LeaderOutput> {
+    let result = run_with_progress(ctx, spec, |_line| Ok(()))?;
+    Ok(LeaderOutput::Done(execute(ctx, spec, key, result)))
+}
+
+fn finish_counts(status: u16, bytes_out: u64) {
+    if status < 400 {
+        mcast_obs::counter("serve.request.ok").add(1);
+    } else {
+        mcast_obs::counter("serve.request.error").add(1);
+    }
+    mcast_obs::counter("serve.bytes_out").add(bytes_out);
+}
+
+fn lead_streamed(
+    ctx: &Ctx,
+    spec: &MeasureSpec,
+    key: &str,
+    out: &mut dyn Write,
+) -> std::io::Result<LeaderOutput> {
+    // The stream must start before the outcome is known, so a failed
+    // measurement is reported in-band: a final `error` JSONL line
+    // inside a 200 chunked response.
+    let mut bytes_out = 0u64;
+    count_write(out, &chunked_head(200, "application/x-jsonl"), &mut bytes_out)?;
+    let mut line = String::from("{\"ev\":\"serve.join\",\"source\":\"lead\",\"key\":");
+    write_str(&mut line, key);
+    line.push('}');
+    line.push('\n');
+    count_write(out, &chunk(line.as_bytes()), &mut bytes_out)?;
+    out.flush()?;
+    let result = run_with_progress(ctx, spec, |mut line| {
+        line.push('\n');
+        count_write(out, &chunk(line.as_bytes()), &mut bytes_out)?;
+        out.flush()
+    })?;
+    let outcome = execute(ctx, spec, key, result);
+    let mut final_line = Vec::with_capacity(outcome.body.len() + 1);
+    final_line.extend_from_slice(&outcome.body);
+    final_line.push(b'\n');
+    count_write(out, &chunk(&final_line), &mut bytes_out)?;
+    count_write(out, CHUNK_END, &mut bytes_out)?;
+    out.flush()?;
+    let status = if outcome.is_error { 500 } else { 200 };
+    finish_counts(status, bytes_out);
+    Ok(LeaderOutput::Streamed(ResponseInfo {
+        status,
+        bytes_out,
+        streamed: true,
+    }))
+}

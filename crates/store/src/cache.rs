@@ -227,20 +227,26 @@ impl DiskCache {
         report
     }
 
-    /// Remove corrupt objects, stale temp files, and stale checkpoints.
-    /// Returns the number of files deleted.
-    pub fn gc(&self) -> usize {
-        let mut removed = 0;
+    /// Compute what [`DiskCache::gc`] would delete, without deleting
+    /// anything: corrupt objects, stale temp files, and checkpoints
+    /// whose final object already landed. This is the audit surface for
+    /// `mcs cache gc --dry-run` — an operator inspecting a cache shared
+    /// by a running `mcs serve` daemon can see exactly which files a gc
+    /// would touch (with sizes and ages) before committing to it.
+    pub fn gc_plan(&self) -> Vec<GcCandidate> {
+        let mut plan = Vec::new();
         for p in self.object_files() {
             let corrupt = fs::read(&p)
                 .map(|d| decode_object(&d, None).is_err())
                 .unwrap_or(true);
-            if corrupt && fs::remove_file(&p).is_ok() {
-                removed += 1;
+            if corrupt {
+                plan.push(GcCandidate::new(p, GcReason::CorruptObject));
             }
         }
         // Temp litter from killed writers, anywhere under the root.
-        removed += remove_matching(&self.root, &|name| name.ends_with(".tmp"));
+        for p in collect_matching(&self.root, &|name| name.ends_with(".tmp")) {
+            plan.push(GcCandidate::new(p, GcReason::TempLitter));
+        }
         // Checkpoints are only useful until their final object lands; a
         // checkpoint whose curve/report was completed is unreachable.
         if let Ok(ckpts) = fs::read_dir(self.checkpoint_dir()) {
@@ -249,35 +255,101 @@ impl DiskCache {
                 let stale = p
                     .file_stem()
                     .and_then(|s| s.to_str())
-                    .and_then(|hex| Key::from_hex(hex))
+                    .and_then(Key::from_hex)
                     .is_some_and(|key| self.contains(&key));
-                if stale && fs::remove_file(&p).is_ok() {
-                    removed += 1;
+                if stale {
+                    plan.push(GcCandidate::new(p, GcReason::StaleCheckpoint));
                 }
             }
         }
-        removed
+        plan.sort_by(|a, b| a.path.cmp(&b.path));
+        plan
+    }
+
+    /// Remove corrupt objects, stale temp files, and stale checkpoints
+    /// (exactly the [`DiskCache::gc_plan`] set). Returns the number of
+    /// files deleted.
+    pub fn gc(&self) -> usize {
+        self.gc_plan()
+            .iter()
+            .filter(|c| fs::remove_file(&c.path).is_ok())
+            .count()
     }
 }
 
-fn remove_matching(dir: &Path, pred: &dyn Fn(&str) -> bool) -> usize {
-    let mut removed = 0;
+/// Why [`DiskCache::gc`] would remove a file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GcReason {
+    /// An object file whose frame or checksum no longer verifies.
+    CorruptObject,
+    /// A `.tmp` file left behind by a killed atomic writer.
+    TempLitter,
+    /// A checkpoint whose final object already landed in the cache.
+    StaleCheckpoint,
+}
+
+impl GcReason {
+    /// Short name for listings.
+    pub fn name(self) -> &'static str {
+        match self {
+            GcReason::CorruptObject => "corrupt-object",
+            GcReason::TempLitter => "temp-litter",
+            GcReason::StaleCheckpoint => "stale-checkpoint",
+        }
+    }
+}
+
+/// One file a gc would delete; see [`DiskCache::gc_plan`].
+#[derive(Clone, Debug)]
+pub struct GcCandidate {
+    /// Absolute path of the doomed file.
+    pub path: PathBuf,
+    /// Hex key stem, when the file name carries one.
+    pub key: Option<String>,
+    /// Why it would be removed.
+    pub reason: GcReason,
+    /// File size in bytes (0 if unreadable).
+    pub bytes: u64,
+    /// Seconds since last modification, when the filesystem says.
+    pub age_secs: Option<u64>,
+}
+
+impl GcCandidate {
+    fn new(path: PathBuf, reason: GcReason) -> Self {
+        let meta = fs::metadata(&path).ok();
+        let bytes = meta.as_ref().map_or(0, |m| m.len());
+        let age_secs = meta
+            .and_then(|m| m.modified().ok())
+            .and_then(|t| t.elapsed().ok())
+            .map(|d| d.as_secs());
+        let key = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .filter(|hex| Key::from_hex(hex).is_some())
+            .map(str::to_string);
+        Self {
+            path,
+            key,
+            reason,
+            bytes,
+            age_secs,
+        }
+    }
+}
+
+fn collect_matching(dir: &Path, pred: &dyn Fn(&str) -> bool) -> Vec<PathBuf> {
+    let mut found = Vec::new();
     if let Ok(entries) = fs::read_dir(dir) {
         for e in entries.flatten() {
             let p = e.path();
             if p.is_dir() {
-                removed += remove_matching(&p, pred);
-            } else if p
-                .file_name()
-                .and_then(|n| n.to_str())
-                .is_some_and(pred)
-                && fs::remove_file(&p).is_ok()
-            {
-                removed += 1;
+                found.extend(collect_matching(&p, pred));
+            } else if p.file_name().and_then(|n| n.to_str()).is_some_and(pred) {
+                found.push(p);
             }
         }
     }
-    removed
+    found
 }
 
 /// Frame a payload as a self-verifying object file.
@@ -442,9 +514,29 @@ mod tests {
         let ckpt_dir = cache.checkpoint_dir();
         fs::create_dir_all(&ckpt_dir).unwrap();
         fs::write(ckpt_dir.join(format!("{}.ckpt", key(11).hex())), b"old").unwrap();
+        // The dry-run plan names all three candidates (with reasons and
+        // sizes) without touching anything.
+        let plan = cache.gc_plan();
+        assert_eq!(plan.len(), 3);
+        let reasons: Vec<GcReason> = plan.iter().map(|c| c.reason).collect();
+        assert!(reasons.contains(&GcReason::CorruptObject));
+        assert!(reasons.contains(&GcReason::TempLitter));
+        assert!(reasons.contains(&GcReason::StaleCheckpoint));
+        for c in &plan {
+            assert!(c.bytes > 0, "{:?} should report its size", c.path);
+            assert!(c.path.exists(), "gc_plan must not delete");
+        }
+        let stale = plan
+            .iter()
+            .find(|c| c.reason == GcReason::StaleCheckpoint)
+            .unwrap();
+        assert_eq!(stale.key.as_deref(), Some(key(11).hex().as_str()));
+        assert_eq!(cache.verify_all(), VerifyReport { ok: 1, corrupt: 1 });
+
         let removed = cache.gc();
         assert_eq!(removed, 3, "corrupt object + temp file + stale checkpoint");
         assert_eq!(cache.verify_all(), VerifyReport { ok: 1, corrupt: 0 });
+        assert!(cache.gc_plan().is_empty(), "clean cache has an empty plan");
         fs::remove_dir_all(&root).unwrap();
     }
 

@@ -42,7 +42,9 @@ pub mod format;
 pub mod hash;
 
 pub use atomic::{write_atomic, write_atomic_str};
-pub use cache::{active, configure, deactivate, CacheHandle, DiskCache, ObjectKind};
+pub use cache::{
+    active, configure, deactivate, CacheHandle, DiskCache, GcCandidate, GcReason, ObjectKind,
+};
 pub use error::StoreError;
 pub use format::{decode_graph, encode_graph, load_graph, save_graph, FORMAT_VERSION};
 pub use hash::{sha256, Digest, Key, KeyBuilder};
