@@ -14,7 +14,7 @@ use crate::networks::{self, Network};
 use crate::runner::{log_grid, parallel_lhat_curve};
 use mcast_analysis::fit::linear_fit;
 use mcast_analysis::reachability::empirical_all_sites;
-use mcast_topology::batch::{BatchBfs, MAX_LANES};
+use mcast_topology::batch::{max_lanes, BatchBfs};
 use mcast_topology::reachability::Reachability;
 use mcast_topology::Graph;
 
@@ -37,7 +37,7 @@ fn prediction(net: &Network, ns: &[usize]) -> Vec<(f64, f64)> {
     // The batched sweep hands back each lane's S(r) histogram directly;
     // the per-source accumulation below is unchanged (and runs in source
     // order), so the predicted series is bit-identical to the scalar path.
-    for chunk in sources.chunks(MAX_LANES) {
+    for chunk in sources.chunks(max_lanes()) {
         batch.run_profiles(chunk);
         for lane in 0..batch.lanes() {
             let profile = Reachability::from_level_counts(batch.level_counts(lane).to_vec());

@@ -15,7 +15,7 @@ use crate::config::RunConfig;
 use mcast_obs::Progress;
 use mcast_store::checkpoint::{CheckpointWriter, GroupRecord, IndexStats};
 use mcast_store::{CacheHandle, Key, KeyBuilder, ObjectKind};
-use mcast_topology::batch::{BatchBfs, MAX_LANES};
+use mcast_topology::batch::{max_lanes, BatchBfs};
 use mcast_topology::{Graph, NodeId};
 use mcast_tree::measure::{
     batched_mean_distances, measure_group, measure_group_with_mean, merge_indexed, CurvePoint,
@@ -554,8 +554,9 @@ fn try_measure_curve(
     Ok(merge_indexed(xs, done))
 }
 
-/// Plan-level ū pre-sweep: one bit-parallel sweep per ≤64 pending distinct
-/// sources replaces each group's O(V) receiver-pool distance scan. The
+/// Plan-level ū pre-sweep: one bit-parallel sweep per lane-width batch of
+/// pending distinct sources replaces each group's O(V) receiver-pool
+/// distance scan. The
 /// batched means are bit-identical to the scans
 /// ([`batched_mean_distances`]), so curves are unchanged; if the sweep
 /// itself panics the caller falls back to the scanning path rather than
@@ -564,7 +565,7 @@ fn plan_mean_distances(graph: &Graph, nodes: &[NodeId], cfg: &RunConfig) -> Opti
     if nodes.is_empty() {
         return Some(Vec::new());
     }
-    let chunks: Vec<&[NodeId]> = nodes.chunks(MAX_LANES).collect();
+    let chunks: Vec<&[NodeId]> = nodes.chunks(max_lanes()).collect();
     match try_parallel_map_with(
         chunks.len(),
         cfg,

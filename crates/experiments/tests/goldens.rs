@@ -58,3 +58,31 @@ fn fig7_report_is_byte_identical_to_prebatch_golden() {
         "fig7",
     );
 }
+
+#[test]
+fn fig6_report_is_byte_identical_in_every_kernel_mode() {
+    // The direction-optimising wide-lane kernel must not move a single
+    // bit of any artefact: replay fig6 with the traversal forced
+    // top-down, forced bottom-up, and at each supported lane cap, and
+    // demand the pre-batch golden every time. (Overrides are process
+    // globals; restore them even though tests in this binary run the
+    // figure serially.)
+    use mcast_topology::batch::{set_direction_override, set_lane_limit, DirectionOverride};
+    let golden = include_str!("goldens/fig6-fast.txt");
+    for (name, dir) in [
+        ("push-only", DirectionOverride::Push),
+        ("pull-enabled", DirectionOverride::Pull),
+        ("auto", DirectionOverride::Auto),
+    ] {
+        set_direction_override(Some(dir));
+        let report = fig6::run(&cfg());
+        set_direction_override(None);
+        assert_canonical_eq(&report_canonical(&report), golden, name);
+    }
+    for width in [64usize, 256, 512] {
+        set_lane_limit(Some(width));
+        let report = fig6::run(&cfg());
+        set_lane_limit(None);
+        assert_canonical_eq(&report_canonical(&report), golden, &format!("width-{width}"));
+    }
+}

@@ -93,6 +93,46 @@ fn measurement_spans_and_sample_counters_nest_under_the_experiment() {
 }
 
 #[test]
+fn batch_lane_accounting_matches_requested_sources() {
+    let _g = lock();
+    // Edges confined to the low ids: the trailing sources are isolated,
+    // so the final chunk's lanes are all disconnected and terminate at
+    // S(0) = 1. The kernel's lane bookkeeping must still account for
+    // every requested source exactly — dead mask-word tails are inert
+    // and never inflate or deflate `bfs.batch.sources`.
+    let edges: Vec<_> = (0..40u32).map(|i| (i, i + 1)).collect();
+    let g = from_edges(100, &edges);
+    let sources: Vec<u32> = (0..100).collect();
+
+    mcast_obs::reset();
+    mcast_obs::set_enabled(true);
+    let wide =
+        mcast_topology::reachability::AverageReachability::over_sources(&g, &sources).unwrap();
+    assert_eq!(mcast_obs::counter("bfs.batch.sources").get(), 100);
+    assert_eq!(mcast_obs::counter("bfs.batch.sweeps").get(), 1);
+
+    // Narrowed to one mask word the same request splits 64 + 36, the
+    // tail chunk entirely disconnected; the counter still totals the
+    // requested sources and the averaged curve is bit-identical.
+    mcast_topology::batch::set_lane_limit(Some(64));
+    let narrow =
+        mcast_topology::reachability::AverageReachability::over_sources(&g, &sources).unwrap();
+    mcast_topology::batch::set_lane_limit(None);
+    assert_eq!(mcast_obs::counter("bfs.batch.sources").get(), 200);
+    assert_eq!(mcast_obs::counter("bfs.batch.sweeps").get(), 3);
+    assert_eq!(wide.t_vec().len(), narrow.t_vec().len());
+    for (a, b) in wide.t_vec().iter().zip(narrow.t_vec()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "width must not change T(r)");
+    }
+
+    // The path-statistics consumer routes through the same kernel.
+    let _ = mcast_topology::metrics::sampled_path_stats(&g, &sources[..65]);
+    assert_eq!(mcast_obs::counter("bfs.batch.sources").get(), 265);
+    mcast_obs::set_enabled(false);
+    mcast_obs::reset();
+}
+
+#[test]
 fn observability_never_changes_the_numbers() {
     let _g = lock();
     let cfg = RunConfig {

@@ -6,7 +6,7 @@
 //! nodes) and a sampled estimator (for the 56k-node Internet stand-in) are
 //! provided.
 
-use crate::batch::{BatchBfs, MAX_LANES};
+use crate::batch::{max_lanes, BatchBfs};
 use crate::bfs::Bfs;
 use crate::graph::{Graph, NodeId};
 
@@ -50,7 +50,7 @@ fn path_stats_over(graph: &Graph, sources: &[NodeId]) -> (f64, u32) {
     let mut max_seen = 0u32;
     if !sources.is_empty() {
         let mut batch = BatchBfs::new(graph);
-        for chunk in sources.chunks(MAX_LANES) {
+        for chunk in sources.chunks(max_lanes()) {
             batch.run_profiles(chunk);
             for lane in 0..batch.lanes() {
                 total += u128::from(batch.total_distance(lane));
@@ -67,8 +67,8 @@ fn path_stats_over(graph: &Graph, sources: &[NodeId]) -> (f64, u32) {
 }
 
 /// Exact average hop distance over all ordered reachable pairs `(u, v)`,
-/// `u != v`, and the exact diameter, via one bit-parallel BFS sweep per 64
-/// nodes.
+/// `u != v`, and the exact diameter, via one bit-parallel BFS sweep per
+/// [`max_lanes`] nodes.
 ///
 /// Returns `(avg_path_length, diameter)`. For graphs with fewer than two
 /// nodes (or no reachable pairs) both are zero.

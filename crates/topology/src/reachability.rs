@@ -7,7 +7,7 @@
 //! whether `S(r)` grows exponentially; Figure 7 plots `ln T(r)` versus `r`
 //! averaged over random sources.
 
-use crate::batch::{BatchBfs, MAX_LANES};
+use crate::batch::{max_lanes, BatchBfs};
 use crate::bfs::Bfs;
 use crate::graph::{Graph, NodeId};
 
@@ -123,11 +123,18 @@ pub struct AverageReachability {
 impl AverageReachability {
     /// Average the profiles of the given `sources` on `graph`.
     ///
-    /// Sources are swept in ≤64-lane batches by [`BatchBfs`] and their
-    /// `T(r)` curves folded into one running integer sum, so memory stays
-    /// `O(max eccentricity)` no matter how many sources are averaged. The
-    /// summed counts are exact integers below 2⁵³, so the result is
-    /// bit-identical to averaging scalar per-source profiles.
+    /// Sources are swept in batches of up to [`max_lanes`] by
+    /// [`BatchBfs::run_totals`], which hands back each batch's
+    /// lane-summed discovery histogram; its cumulative sum *is*
+    /// `Σ_lane T_lane(r)` (a lane's `S` is zero past its eccentricity,
+    /// so saturation is automatic), and one integer add per radius folds
+    /// the batch in. Memory stays `O(max eccentricity)` no matter how
+    /// many sources are averaged. The summed counts are exact integers
+    /// below 2⁵³, so the result is bit-identical to averaging scalar
+    /// per-source profiles at every lane width and in every fold order.
+    /// A trailing sub-width chunk (even one whose sources are all
+    /// isolated) contributes exactly its lanes — the kernel's dead lanes
+    /// are inert and never reach the fold.
     ///
     /// # Errors
     /// Returns [`ReachabilityError::NoSources`] if `sources` is empty.
@@ -139,22 +146,20 @@ impl AverageReachability {
         // sums[r] = Σ over processed sources of T_src(r); a source whose
         // eccentricity lies below r contributes its saturated total there.
         let mut sums: Vec<u64> = Vec::new();
-        for chunk in sources.chunks(MAX_LANES) {
-            batch.run_profiles(chunk);
-            for lane in 0..batch.lanes() {
-                let s = batch.level_counts(lane);
-                let prev_total = sums.last().copied().unwrap_or(0);
-                if s.len() > sums.len() {
-                    sums.resize(s.len(), prev_total);
-                }
-                let mut cum = 0u64;
-                for (r, &sr) in s.iter().enumerate() {
-                    cum += sr;
-                    sums[r] += cum;
-                }
-                for slot in sums.iter_mut().skip(s.len()) {
-                    *slot += cum;
-                }
+        for chunk in sources.chunks(max_lanes()) {
+            batch.run_totals(chunk);
+            let agg = batch.level_totals();
+            let prev_total = sums.last().copied().unwrap_or(0);
+            if agg.len() > sums.len() {
+                sums.resize(agg.len(), prev_total);
+            }
+            let mut cum = 0u64;
+            for (r, &ar) in agg.iter().enumerate() {
+                cum += ar;
+                sums[r] += cum;
+            }
+            for slot in sums.iter_mut().skip(agg.len()) {
+                *slot += cum;
             }
         }
         let count = sources.len() as f64;
@@ -332,8 +337,10 @@ mod tests {
 
     #[test]
     fn many_sources_stream_past_one_batch() {
-        // 70 sources forces two BatchBfs chunks (64 + 6); the running-sum
-        // merge must agree with averaging each scalar profile.
+        // 70 sources once forced two 64-lane chunks; the wide kernel now
+        // takes them in one 4-word sweep, and with a narrowed lane limit
+        // they split again — either way the running-sum merge must agree
+        // with averaging each scalar profile.
         let g = path_graph(70);
         let sources: Vec<NodeId> = (0..70).collect();
         let avg = AverageReachability::over_sources(&g, &sources).unwrap();

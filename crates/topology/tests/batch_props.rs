@@ -5,7 +5,7 @@
 //! from sampled seeds with an inline splitmix64, so the same file runs
 //! under real proptest in CI and under the offline harness's stub.
 
-use mcast_topology::batch::{BatchBfs, MAX_LANES};
+use mcast_topology::batch::{BatchBfs, Direction, MAX_LANES};
 use mcast_topology::bfs::{Bfs, UNREACHED};
 use mcast_topology::graph::{from_edges, Graph, NodeId};
 use mcast_topology::reachability::{AverageReachability, Reachability};
@@ -28,6 +28,21 @@ fn random_graph(n: usize, edge_count: usize, seed: u64) -> Graph {
         .map(|_| {
             let u = (splitmix(&mut state) % n as u64) as NodeId;
             let v = (splitmix(&mut state) % n as u64) as NodeId;
+            (u, v)
+        })
+        .collect();
+    from_edges(n, &edges)
+}
+
+/// Like [`random_graph`], but edges are drawn only among the first
+/// `prefix` nodes — everything past the prefix is guaranteed isolated,
+/// making unreachable sentinels the common case rather than the corner.
+fn random_graph_on_prefix(n: usize, prefix: usize, edge_count: usize, seed: u64) -> Graph {
+    let mut state = seed ^ 0x0dd0_0d15;
+    let edges: Vec<(NodeId, NodeId)> = (0..edge_count)
+        .map(|_| {
+            let u = (splitmix(&mut state) % prefix as u64) as NodeId;
+            let v = (splitmix(&mut state) % prefix as u64) as NodeId;
             (u, v)
         })
         .collect();
@@ -73,8 +88,8 @@ proptest! {
 
     // The bit-parallel kernel against the scalar BFS, across the batch
     // widths that exercise its mask boundaries: 1 (single lane), 63 (one
-    // bit shy of a full word), 64 (exactly one word), 65 (spills into a
-    // second sweep).
+    // bit shy of a full word), 64 (exactly one word), 65 (spills into the
+    // second mask word), 256 (full 4-word sweep), 512 (full 8-word sweep).
     #[test]
     fn batched_bfs_is_bit_identical_to_scalar(
         n in 2usize..40,
@@ -84,7 +99,7 @@ proptest! {
         let g = random_graph(n, edge_count, seed);
         let mut batch = BatchBfs::new(&g);
         let mut scalar = Bfs::new(&g);
-        for width in [1usize, 63, 64, 65] {
+        for width in [1usize, 63, 64, 65, 256, 512] {
             let sources = random_sources(n, width, seed ^ width as u64);
             for chunk in sources.chunks(MAX_LANES) {
                 batch.run(chunk);
@@ -172,6 +187,156 @@ proptest! {
                     }
                 }
             }
+        }
+    }
+
+    // Direction independence: the kernel is level-synchronous, so a
+    // level's discovery set — and therefore every distance and S(r)
+    // histogram — cannot depend on whether it was computed top-down or
+    // bottom-up. Sweep the same batch under the default heuristic,
+    // forced push, forced pull, and random α/β switch points (α=0 never
+    // pulls, large α with β=0 bounces back immediately) and demand bit
+    // identity throughout.
+    #[test]
+    fn pull_and_push_sweeps_are_bit_identical(
+        n in 2usize..40,
+        edge_count in 0usize..140,
+        source_count in 1usize..70,
+        alpha in 0u64..40,
+        beta in 0u64..60,
+        seed in any::<u64>(),
+    ) {
+        let g = random_graph(n, edge_count, seed);
+        let sources = random_sources(n, source_count, seed);
+        let mut reference = BatchBfs::new(&g);
+        reference.set_direction(Direction::AlwaysPush);
+        reference.run(&sources);
+        prop_assert_eq!(reference.pull_levels(), 0);
+        let policies = [
+            Direction::default(),
+            Direction::AlwaysPull,
+            Direction::Auto { alpha, beta },
+            Direction::Auto { alpha: u64::MAX, beta: 0 },
+        ];
+        for policy in policies {
+            let mut other = BatchBfs::new(&g);
+            other.set_direction(policy);
+            other.run(&sources);
+            for lane in 0..sources.len() {
+                prop_assert_eq!(
+                    other.distances(lane), reference.distances(lane),
+                    "{:?} lane {}", policy, lane);
+                prop_assert_eq!(
+                    other.level_counts(lane), reference.level_counts(lane),
+                    "{:?} lane {}", policy, lane);
+            }
+            // The profiles path counts discoveries through the bit-sliced
+            // counter rather than distance-array scans; histograms must
+            // not care.
+            other.run_profiles(&sources);
+            for lane in 0..sources.len() {
+                prop_assert_eq!(other.level_counts(lane), reference.level_counts(lane));
+            }
+        }
+    }
+
+    // Width genericity: forcing the mask width to any of the supported
+    // word counts (sources permitting) changes only the sweep shape,
+    // never the results.
+    #[test]
+    fn forced_widths_are_bit_identical(
+        n in 2usize..40,
+        edge_count in 0usize..120,
+        source_count in 1usize..65,
+        seed in any::<u64>(),
+    ) {
+        let g = random_graph(n, edge_count, seed);
+        let sources = random_sources(n, source_count, seed);
+        let mut reference = BatchBfs::new(&g);
+        reference.run(&sources);
+        prop_assert_eq!(reference.words(), 1);
+        for w in [1usize, 4, 8] {
+            let mut forced = BatchBfs::new(&g);
+            forced.force_words(Some(w));
+            forced.run(&sources);
+            prop_assert_eq!(forced.words(), w);
+            for lane in 0..sources.len() {
+                prop_assert_eq!(
+                    forced.distances(lane), reference.distances(lane), "W={} lane {}", w, lane);
+                prop_assert_eq!(forced.level_counts(lane), reference.level_counts(lane));
+                prop_assert_eq!(forced.total_distance(lane), reference.total_distance(lane));
+            }
+        }
+    }
+
+    // Sentinel agreement on disconnected graphs: edges are confined to
+    // the low half of the id range, so sources in the high half are
+    // isolated (or in tiny shards) and most distances stay UNREACHED.
+    // Batch and scalar must agree on exactly which nodes are unreachable
+    // — same u32::MAX sentinel, no width-dependent misreads — at every
+    // mask boundary width.
+    #[test]
+    fn disconnected_sentinels_agree_with_scalar(
+        n in 4usize..40,
+        edge_count in 0usize..60,
+        seed in any::<u64>(),
+    ) {
+        let half = n / 2;
+        let g = random_graph_on_prefix(n, half.max(1), edge_count, seed);
+        let mut batch = BatchBfs::new(&g);
+        let mut scalar = Bfs::new(&g);
+        for width in [1usize, 63, 64, 65, 256, 512] {
+            let sources = random_sources(n, width, seed ^ (width as u64) << 8);
+            batch.run(&sources);
+            for (lane, &s) in sources.iter().enumerate() {
+                scalar.run_scratch(s);
+                let sd = scalar.scratch_distances();
+                prop_assert_eq!(batch.distances(lane), sd, "width {} lane {}", width, lane);
+                let unreached =
+                    batch.distances(lane).iter().filter(|&&d| d == UNREACHED).count();
+                prop_assert_eq!(
+                    unreached, n - batch.reached(lane) as usize,
+                    "width {} lane {}", width, lane);
+            }
+        }
+    }
+
+    // The leaf-folded totals sweep must reproduce the per-lane profile
+    // fold exactly: `level_totals()[r] == Σ_lane S_lane(r)` (lanes past
+    // their own eccentricity contribute zero). Sparse random graphs are
+    // rich in the shapes the fold has to get right — leaf sources,
+    // leaf–leaf two-node components, isolated sources, duplicate
+    // sources sharing a promoted slot — and the width loop crosses every
+    // mask-word boundary.
+    #[test]
+    fn leaf_folded_totals_match_per_lane_fold(
+        n in 2usize..40,
+        edge_count in 0usize..50,
+        seed in any::<u64>(),
+    ) {
+        let g = random_graph(n, edge_count, seed);
+        let mut batch = BatchBfs::new(&g);
+        for width in [1usize, 63, 64, 65, 256, 512] {
+            let mut sources = random_sources(n, width, seed ^ (width as u64) << 8);
+            // Force at least one duplicate pair once the batch has room.
+            if sources.len() >= 2 {
+                sources[0] = sources[1];
+            }
+            batch.run_profiles(&sources);
+            let mut expect: Vec<u64> = Vec::new();
+            for lane in 0..sources.len() {
+                let counts = batch.level_counts(lane);
+                if counts.len() > expect.len() {
+                    expect.resize(counts.len(), 0);
+                }
+                for (r, &c) in counts.iter().enumerate() {
+                    expect[r] += c;
+                }
+            }
+            // Reusing the same engine crosses the folded and unfolded
+            // representations; neither may leak into the other.
+            batch.run_totals(&sources);
+            prop_assert_eq!(batch.level_totals(), &expect[..], "width {}", width);
         }
     }
 

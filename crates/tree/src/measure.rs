@@ -24,7 +24,7 @@
 use crate::delivery::DeliverySizer;
 use crate::sampling::{self, DedupMarks, ReceiverPool};
 use crate::stats::RunningStats;
-use mcast_topology::batch::{BatchBfs, MAX_LANES};
+use mcast_topology::batch::{max_lanes, BatchBfs};
 use mcast_topology::bfs::Bfs;
 use mcast_topology::{Graph, NodeId};
 use rand::rngs::StdRng;
@@ -275,8 +275,9 @@ fn mean_pool_distance(sizer: &DeliverySizer, pool: &ReceiverPool) -> f64 {
     }
 }
 
-/// `ū` for each of `nodes` via the bit-parallel kernel: one sweep per 64
-/// sources instead of one O(pool) distance scan each. For the
+/// `ū` for each of `nodes` via the bit-parallel kernel: one sweep per
+/// lane-width batch of sources instead of one O(pool) distance scan each.
+/// For the
 /// general-network pool (every node except the source) the scan sums hop
 /// distances over exactly the reachable non-source sites — the kernel's
 /// `Σ r·S(r)` over `reached − 1` — as exact integers, so every returned
@@ -284,7 +285,7 @@ fn mean_pool_distance(sizer: &DeliverySizer, pool: &ReceiverPool) -> f64 {
 /// including the `0.0` convention for sources that reach no site.
 pub fn batched_mean_distances(batch: &mut BatchBfs<'_>, nodes: &[NodeId]) -> Vec<f64> {
     let mut out = Vec::with_capacity(nodes.len());
-    for chunk in nodes.chunks(MAX_LANES) {
+    for chunk in nodes.chunks(max_lanes()) {
         batch.run_profiles(chunk);
         for lane in 0..batch.lanes() {
             let reached = batch.reached(lane);

@@ -9,6 +9,7 @@
 //! [`crate::DeliverySizer`] bounds how much of the `L(m)` cost is due to
 //! shortest-path routing rather than the group's intrinsic span.
 
+use mcast_topology::bfs::UNREACHED;
 use mcast_topology::{Graph, NodeId};
 
 /// Greedy Steiner heuristic engine (reusable scratch buffers).
@@ -26,7 +27,7 @@ impl<'g> SteinerHeuristic<'g> {
         let n = graph.node_count();
         Self {
             graph,
-            dist: vec![u32::MAX; n],
+            dist: vec![UNREACHED; n],
             parent: vec![0; n],
             in_tree: vec![false; n],
             queue: Vec::with_capacity(n),
@@ -57,7 +58,7 @@ impl<'g> SteinerHeuristic<'g> {
 
         while !remaining.is_empty() {
             // Multi-source BFS from the current tree.
-            self.dist.fill(u32::MAX);
+            self.dist.fill(UNREACHED);
             self.queue.clear();
             for v in 0..self.graph.node_count() as NodeId {
                 if self.in_tree[v as usize] {
@@ -71,7 +72,7 @@ impl<'g> SteinerHeuristic<'g> {
                 head += 1;
                 let du = self.dist[u as usize];
                 for &w in self.graph.neighbors(u) {
-                    if self.dist[w as usize] == u32::MAX {
+                    if self.dist[w as usize] == UNREACHED {
                         self.dist[w as usize] = du + 1;
                         self.parent[w as usize] = u;
                         self.queue.push(w);
@@ -82,7 +83,7 @@ impl<'g> SteinerHeuristic<'g> {
             let Some((&best, &bd)) = remaining
                 .iter()
                 .map(|t| (t, &self.dist[*t as usize]))
-                .filter(|&(_, &d)| d != u32::MAX)
+                .filter(|&(_, &d)| d != UNREACHED)
                 .min_by_key(|&(t, &d)| (d, *t))
             else {
                 break; // everything left is unreachable

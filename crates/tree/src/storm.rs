@@ -38,7 +38,7 @@
 //! count.
 
 use crate::dynamics::{time_order_bits, ChurnConfig, ChurnError};
-use mcast_topology::batch::{BatchBfs, MAX_LANES};
+use mcast_topology::batch::{max_lanes, BatchBfs, LANES_PER_WORD};
 use mcast_topology::bfs::{min_index_parents, Bfs, UNREACHED};
 use mcast_topology::{Graph, NodeId};
 use rand::rngs::StdRng;
@@ -302,8 +302,11 @@ pub struct Storm<'g> {
 
 impl<'g> Storm<'g> {
     /// Ticks grafting at least this many uncached sources route skeleton
-    /// construction through [`BatchBfs`] (one word of lanes).
-    pub const DEFAULT_BATCH_THRESHOLD: usize = MAX_LANES;
+    /// construction through [`BatchBfs`]. Pinned to one mask word of
+    /// lanes — the narrowest sweep the kernel runs — not to the kernel's
+    /// maximum width, so the break-even point does not move when the
+    /// wide-lane ceiling grows.
+    pub const DEFAULT_BATCH_THRESHOLD: usize = LANES_PER_WORD;
 
     /// New engine over `graph` with an empty calendar.
     pub fn new(graph: &'g Graph) -> Self {
@@ -464,7 +467,14 @@ impl<'g> Storm<'g> {
             wanted.sort_unstable();
             wanted.dedup();
             if wanted.len() >= self.batch_threshold {
-                for chunk in wanted.chunks(MAX_LANES) {
+                for chunk in wanted.chunks(max_lanes()) {
+                    // An exactly-threshold tick is one batch sweep and
+                    // nothing else; only a trailing chunk too small to
+                    // amortise a sweep falls through to the per-source
+                    // scalar path in the event loop below.
+                    if chunk.len() < self.batch_threshold {
+                        continue;
+                    }
                     self.batch.run(chunk);
                     out.batch_sweeps += 1;
                     for (lane, &source) in chunk.iter().enumerate() {
@@ -903,6 +913,41 @@ mod tests {
             "L(m) telemetry must be bit-identical across graft paths"
         );
         assert_eq!(batched.samples, scalar.samples);
+    }
+
+    #[test]
+    fn exactly_threshold_tick_is_one_batch_and_no_scalar_pass() {
+        // 529 nodes: enough distinct sources for a full wide chunk plus a
+        // sub-threshold tail in one tick.
+        let g = mesh(23);
+        let run_burst = |count: usize| {
+            let mut storm = Storm::new(&g);
+            for session in 0..count as u32 {
+                storm.schedule_session_start(1.0, session, session as NodeId);
+                storm.schedule_session_end(2.0, session);
+            }
+            storm.run().expect("calendar is consistent")
+        };
+        // Exactly the threshold: one sweep covering every skeleton, with
+        // no scalar pass riding along.
+        let exact = run_burst(Storm::DEFAULT_BATCH_THRESHOLD);
+        assert_eq!(exact.batch_sweeps, 1, "one full-word tick, one sweep");
+        assert_eq!(exact.trees_built_batch, Storm::DEFAULT_BATCH_THRESHOLD as u64);
+        assert_eq!(exact.trees_built_scalar, 0, "no empty scalar pass");
+        // One source short: the batch path must not engage at all.
+        let below = run_burst(Storm::DEFAULT_BATCH_THRESHOLD - 1);
+        assert_eq!(below.batch_sweeps, 0);
+        assert_eq!(
+            below.trees_built_scalar,
+            Storm::DEFAULT_BATCH_THRESHOLD as u64 - 1
+        );
+        // A full wide chunk plus a tail below the threshold: the tail is
+        // cheaper per-source scalar than as a nearly-empty sweep.
+        let lanes = mcast_topology::batch::max_lanes();
+        let tail = run_burst(lanes + 8);
+        assert_eq!(tail.batch_sweeps, 1);
+        assert_eq!(tail.trees_built_batch, lanes as u64);
+        assert_eq!(tail.trees_built_scalar, 8);
     }
 
     #[test]
