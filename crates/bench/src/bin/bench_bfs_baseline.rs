@@ -156,6 +156,21 @@ fn ti20000(cfg: &RunConfig) -> Network {
     }
 }
 
+/// The `huge` tier's TIERS instance (1,015,200 nodes), completing the
+/// ti5000 → ti20000 → ti1000000 trajectory. Seeded like the suite's own
+/// huge build so the two agree bit-for-bit.
+fn ti1000000(cfg: &RunConfig) -> Network {
+    let params = TiersParams::ti1000000();
+    let mut rng = StdRng::seed_from_u64(cfg.sub_seed("ti5000"));
+    let graph = tiers(params, &mut rng).expect("ti1000000 parameters are valid");
+    assert_eq!(graph.node_count(), 1_015_200);
+    Network {
+        name: "ti1000000",
+        kind: NetworkKind::Generated,
+        graph,
+    }
+}
+
 fn entry_json(name: &str, e: &Entry) -> String {
     format!(
         "  \"{name}\": {{\n    \"nodes\": {},\n    \"scalar_ns\": {},\n    \
@@ -178,25 +193,29 @@ fn main() {
     let cfg = RunConfig::fast();
     let ti5000 = networks::ti5000(&cfg);
     let ti20000 = ti20000(&cfg);
+    let ti1000000 = ti1000000(&cfg);
     let arpa = networks::arpa(&cfg);
 
     let ti = measure(&ti5000, 20);
     let ti_big = measure(&ti20000, 10);
+    let ti_huge = measure(&ti1000000, 2);
     let arpa = measure(&arpa, 50);
 
     let json = format!(
         "{{\n  \"bench\": \"bfs\",\n  \"workload\": \"64-spread-source reachability \
-         sweep, scalar BFS loop vs 64-lane batch\",\n{},\n{},\n{}\n}}\n",
+         sweep, scalar BFS loop vs 64-lane batch\",\n{},\n{},\n{},\n{}\n}}\n",
         entry_json("ti5000", &ti),
         entry_json("ti20000", &ti_big),
+        entry_json("ti1000000", &ti_huge),
         entry_json("arpa", &arpa),
     );
     std::fs::write(&out_path, &json).expect("write baseline json");
     println!("{json}");
     eprintln!(
-        "wrote {out_path}: ti5000 speedup {:.2}x, ti20000 {:.2}x, arpa {:.2}x",
+        "wrote {out_path}: ti5000 speedup {:.2}x, ti20000 {:.2}x, ti1000000 {:.2}x, arpa {:.2}x",
         ti.speedup(),
         ti_big.speedup(),
+        ti_huge.speedup(),
         arpa.speedup()
     );
     assert!(

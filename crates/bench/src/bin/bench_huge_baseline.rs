@@ -1,0 +1,128 @@
+//! Records the million-node (`huge` tier) baseline as machine-readable
+//! JSON.
+//!
+//! One entry per huge instance: wall time to generate (streaming
+//! generators + in-place CSR build), pack and re-load through the
+//! streamed MCTB path, and run one 64-spread-source lane-summed
+//! reachability sweep with the leaf-folded totals kernel — plus the
+//! exponential-fit R² of the resulting `T(r)` curve, so the baseline
+//! also records the paper's S(r) dichotomy (transit-stub exponential,
+//! TIERS sub-exponential) holding three orders of magnitude past the
+//! original topologies. CI's `huge-smoke` job replays this bin under a
+//! wall-clock and RSS guard.
+//!
+//! Usage: `bench_huge_baseline [OUT_PATH]` (default `BENCH_huge.json`).
+
+use mcast_experiments::networks::{self, Network};
+use mcast_experiments::RunConfig;
+use mcast_store::format::{load_graph, save_graph};
+use mcast_topology::reachability::AverageReachability;
+use mcast_topology::NodeId;
+use std::time::Instant;
+
+/// One instance's measurements (single-shot: each step is seconds-long,
+/// so best-of-N repetition buys nothing a CI guard needs).
+struct Entry {
+    nodes: usize,
+    edges: usize,
+    gen_ns: u128,
+    pack_ns: u128,
+    load_ns: u128,
+    sweep_ns: u128,
+    file_bytes: u64,
+    exp_r2: f64,
+}
+
+fn measure(build: impl FnOnce() -> Network, dir: &std::path::Path) -> Entry {
+    let t = Instant::now();
+    let net = build();
+    let gen_ns = t.elapsed().as_nanos();
+    let graph = &net.graph;
+
+    let path = dir.join(format!("{}.mct", net.name));
+    let t = Instant::now();
+    save_graph(&path, graph).expect("streamed save");
+    let pack_ns = t.elapsed().as_nanos();
+    let file_bytes = std::fs::metadata(&path).expect("packed file").len();
+    let t = Instant::now();
+    let back = load_graph(&path).expect("streamed load");
+    let load_ns = t.elapsed().as_nanos();
+    assert_eq!(&back, graph, "{}: pack/unpack round trip drifted", net.name);
+    drop(back);
+    let _ = std::fs::remove_file(&path);
+
+    let n = graph.node_count();
+    let sources: Vec<NodeId> = (0..64).map(|i| (i * n / 64) as NodeId).collect();
+    let t = Instant::now();
+    let reach = AverageReachability::over_sources(graph, &sources).expect("sources non-empty");
+    let sweep_ns = t.elapsed().as_nanos();
+    let exp_r2 = reach.exponential_fit_r2(0.9);
+
+    Entry {
+        nodes: n,
+        edges: graph.edge_count(),
+        gen_ns,
+        pack_ns,
+        load_ns,
+        sweep_ns,
+        file_bytes,
+        exp_r2,
+    }
+}
+
+fn entry_json(name: &str, e: &Entry) -> String {
+    // Same threshold as ScalingStudy::reachability_class.
+    let class = if e.exp_r2 >= 0.93 {
+        "exponential"
+    } else {
+        "sub-exponential"
+    };
+    format!(
+        "  \"{name}\": {{\n    \"nodes\": {},\n    \"edges\": {},\n    \"gen_ns\": {},\n    \
+         \"pack_ns\": {},\n    \"load_ns\": {},\n    \"sweep_ns\": {},\n    \
+         \"file_bytes\": {},\n    \"exp_fit_r2\": {:.4},\n    \"class\": \"{class}\"\n  }}",
+        e.nodes, e.edges, e.gen_ns, e.pack_ns, e.load_ns, e.sweep_ns, e.file_bytes, e.exp_r2,
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_huge.json".to_string());
+    let dir = std::env::temp_dir().join(format!("mcast-bench-huge-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let cfg = RunConfig::huge();
+    let ti = measure(|| networks::ti5000(&cfg), &dir);
+    let ts = measure(|| networks::ts1000(&cfg), &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert!(ti.nodes >= 1_000_000 && ts.nodes >= 1_000_000);
+    // The paper's S(r) split, regraded at 10⁶ nodes: the transit-stub
+    // instance must fit an exponential markedly better than TIERS.
+    assert!(
+        ts.exp_r2 > ti.exp_r2,
+        "S(r) split inverted at huge scale: ts1000 r2 {:.4} vs ti5000 r2 {:.4}",
+        ts.exp_r2,
+        ti.exp_r2
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"huge\",\n  \"workload\": \"million-node tier: generate, \
+         streamed MCTB pack/load round trip, one 64-source leaf-folded totals sweep, \
+         exponential-fit grading of T(r)\",\n{},\n{}\n}}\n",
+        entry_json("ti5000-huge", &ti),
+        entry_json("ts1000-huge", &ts),
+    );
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    println!("{json}");
+    eprintln!(
+        "wrote {out_path}: ti gen {:.2}s sweep {:.2}s ({}), ts gen {:.2}s sweep {:.2}s ({})",
+        ti.gen_ns as f64 / 1e9,
+        ti.sweep_ns as f64 / 1e9,
+        if ti.exp_r2 >= 0.93 { "exp" } else { "sub-exp" },
+        ts.gen_ns as f64 / 1e9,
+        ts.sweep_ns as f64 / 1e9,
+        if ts.exp_r2 >= 0.93 { "exp" } else { "sub-exp" },
+    );
+}

@@ -20,7 +20,8 @@
 //! OPTIONS:
 //!   --paper          paper-scale sample counts and topology sizes
 //!   --fast           reduced sizes (default)
-//!   --scale <s>      spelled-out form of the above: `fast` or `paper`
+//!   --scale <s>      spelled-out form of the above: `fast`, `paper`, or `huge`
+//!                    (`huge` swaps in the million-node topology tier)
 //!   --seed <u64>     root seed (default 1999)
 //!   --threads <n>    worker threads, at least 1 (default: all cores)
 //!   --bfs-width <w>  lane cap for the bit-parallel BFS kernel: 64, 256,
@@ -122,7 +123,7 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: mcs [--paper|--fast|--scale fast|paper] [--seed N] [--threads N] [--bfs-width 64|256|512|auto] [--out DIR] [--metrics FILE] [--trace DIR [--trace-alloc]] [--cache-dir DIR] [--resume] [--verbose|--quiet] <table1|fig1..fig9|ablate-*|churn|storm|all|list>...\n       mcs [OPTIONS] suite [--only ID,ID,...] [--keep-going|--fail-fast] [--max-retries N]\n       mcs [OPTIONS] measure <edge-list-file>\n       mcs topo <pack|unpack|verify> <files...>\n       mcs --cache-dir DIR cache <ls|verify|gc [--dry-run]>\n       mcs serve [--addr H:P|--port N] [--cache-dir DIR [--resume]] [--workers N] [--queue-cap N] [--quota-rate R] [--quota-burst B] [--topo-dir DIR] [--request-log FILE] [--addr-file FILE] [--threads N] [--max-body BYTES] [-v]\n       mcs obs <report|flame|chrome> <trace.jsonl> [--json] [--top N]\n       mcs obs diff <base> <candidate> [--budget FILE]"
+    "usage: mcs [--paper|--fast|--scale fast|paper|huge] [--seed N] [--threads N] [--bfs-width 64|256|512|auto] [--out DIR] [--metrics FILE] [--trace DIR [--trace-alloc]] [--cache-dir DIR] [--resume] [--verbose|--quiet] <table1|fig1..fig9|ablate-*|churn|storm|all|list>...\n       mcs [OPTIONS] suite [--only ID,ID,...] [--keep-going|--fail-fast] [--max-retries N]\n       mcs [OPTIONS] measure <edge-list-file>\n       mcs topo <pack|unpack|verify> <files...>\n       mcs --cache-dir DIR cache <ls|verify|gc [--dry-run]>\n       mcs serve [--addr H:P|--port N] [--cache-dir DIR [--resume]] [--workers N] [--queue-cap N] [--quota-rate R] [--quota-burst B] [--topo-dir DIR] [--request-log FILE] [--addr-file FILE] [--threads N] [--max-body BYTES] [-v]\n       mcs obs <report|flame|chrome> <trace.jsonl> [--json] [--top N]\n       mcs obs diff <base> <candidate> [--budget FILE]"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -146,11 +147,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--paper" => cfg.scale = Scale::Paper,
             "--fast" => cfg.scale = Scale::Fast,
             "--scale" => {
-                let v = it.next().ok_or("--scale needs `fast` or `paper`")?;
+                let v = it.next().ok_or("--scale needs `fast`, `paper`, or `huge`")?;
                 cfg.scale = match v.as_str() {
                     "fast" => Scale::Fast,
                     "paper" => Scale::Paper,
-                    other => return Err(format!("bad scale `{other}` (want `fast` or `paper`)")),
+                    "huge" => Scale::Huge,
+                    other => {
+                        return Err(format!(
+                            "bad scale `{other}` (want `fast`, `paper`, or `huge`)"
+                        ))
+                    }
                 };
             }
             "--seed" => {

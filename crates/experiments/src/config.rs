@@ -5,7 +5,8 @@ use mcast_tree::MeasureConfig;
 
 /// How big to run: `Fast` keeps everything CI-friendly (seconds per
 /// figure), `Paper` uses the paper's sample counts and full-size
-/// topologies (minutes).
+/// topologies (minutes), `Huge` swaps in 10⁶-node generated topologies
+/// (reduced sample counts; tens of minutes and several GiB of RAM).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Scale {
     /// Reduced sample counts and topology sizes.
@@ -13,6 +14,10 @@ pub enum Scale {
     Fast,
     /// The paper's `N_source = N_rcvr = 100` and full-size stand-ins.
     Paper,
+    /// Million-node generated topologies, small sample counts: probes
+    /// whether the paper's exponential-vs-polynomial S(r) split persists
+    /// three orders of magnitude past the original graphs.
+    Huge,
 }
 
 /// Global configuration for an experiment run.
@@ -50,6 +55,14 @@ impl RunConfig {
         }
     }
 
+    /// A huge-scale config with the default seed.
+    pub fn huge() -> Self {
+        Self {
+            scale: Scale::Huge,
+            ..Self::default()
+        }
+    }
+
     /// The measurement sample counts for this scale (paper: 100 × 100).
     pub fn measure(&self) -> MeasureConfig {
         match self.scale {
@@ -61,6 +74,14 @@ impl RunConfig {
             Scale::Paper => MeasureConfig {
                 sources: 100,
                 receiver_sets: 100,
+                seed: self.seed,
+            },
+            // At 10⁶ nodes a single source sweep is itself a large
+            // computation; 4 × 4 keeps a full figure run in minutes while
+            // still averaging over source and receiver placement.
+            Scale::Huge => MeasureConfig {
+                sources: 4,
+                receiver_sets: 4,
                 seed: self.seed,
             },
         }
@@ -82,6 +103,7 @@ impl RunConfig {
         match self.scale {
             Scale::Fast => "fast",
             Scale::Paper => "paper",
+            Scale::Huge => "huge",
         }
     }
 
@@ -125,6 +147,10 @@ mod tests {
         let p = RunConfig::paper();
         assert_eq!(p.measure().sources, 100);
         assert_eq!(p.measure().receiver_sets, 100);
+        let h = RunConfig::huge();
+        assert_eq!(h.scale_name(), "huge");
+        assert_eq!(h.measure().sources, 4);
+        assert_eq!(h.measure().receiver_sets, 4);
     }
 
     #[test]

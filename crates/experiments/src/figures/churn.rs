@@ -62,7 +62,10 @@ pub fn try_run(cfg: &RunConfig) -> Result<Report, CurveError> {
     let graph = net.graph;
     let events = match cfg.scale {
         crate::config::Scale::Fast => (2_000usize, 20_000usize),
-        crate::config::Scale::Paper => (10_000, 120_000),
+        // As with the storm figure, huge scale varies the topology (the
+        // ts1000 slot becomes a million-node transit-stub), not the
+        // event counts.
+        crate::config::Scale::Paper | crate::config::Scale::Huge => (10_000, 120_000),
     };
 
     // Dynamic side: one churn run per mean size (parallel). Each item is

@@ -49,7 +49,9 @@ pub fn run(cfg: &RunConfig) -> Report {
     // `bench_storm` harness's job — a figure run keeps CI-sized.)
     let (session_rate, horizon, measure_from, flash_sessions) = match cfg.scale {
         crate::config::Scale::Fast => (30.0, 16.0, 6.0, 300u32),
-        crate::config::Scale::Paper => (120.0, 40.0, 15.0, 5_000),
+        // Huge keeps the paper's session counts: the topology underneath
+        // is already 1000× larger, which is the variable under study.
+        crate::config::Scale::Paper | crate::config::Scale::Huge => (120.0, 40.0, 15.0, 5_000),
     };
 
     // Steady-state sweep: one storm per member rate, merged by index.

@@ -105,53 +105,73 @@ pub fn mbone(cfg: &RunConfig) -> Network {
 }
 
 /// Internet router-map stand-in: power-law graph. Paper scale: 56,317
-/// nodes; fast scale: 12,000.
+/// nodes; fast scale: 12,000; huge scale: 10⁶.
 pub fn internet(cfg: &RunConfig) -> Network {
     memoized("Internet", NetworkKind::Real, cfg, || {
         let mut params = PowerLawParams::internet_map();
-        if cfg.scale == Scale::Fast {
-            params.nodes = 12_000;
+        match cfg.scale {
+            Scale::Fast => params.nodes = 12_000,
+            Scale::Paper => {}
+            Scale::Huge => params.nodes = 1_000_000,
         }
         power_law(params, &mut rng_for(cfg, "internet")).expect("internet parameters are valid")
     })
 }
 
-/// NLANR AS-map stand-in: power-law graph, 4,902 nodes.
+/// NLANR AS-map stand-in: power-law graph, 4,902 nodes (huge: 10⁶ with
+/// the same attachment parameters).
 pub fn as_map(cfg: &RunConfig) -> Network {
     memoized("AS", NetworkKind::Real, cfg, || {
-        power_law(PowerLawParams::as_map(), &mut rng_for(cfg, "as"))
-            .expect("AS parameters are valid")
+        let mut params = PowerLawParams::as_map();
+        if cfg.scale == Scale::Huge {
+            params.nodes = 1_000_000;
+        }
+        power_law(params, &mut rng_for(cfg, "as")).expect("AS parameters are valid")
     })
 }
 
-/// GT-ITM-style flat random graph, 100 nodes, average degree ≈ 4.
+/// GT-ITM-style flat random graph, 100 nodes, average degree ≈ 4
+/// (huge: 100,000 nodes at the same degree).
 pub fn r100(cfg: &RunConfig) -> Network {
     memoized("r100", NetworkKind::Generated, cfg, || {
-        random_with_degree(100, 4.0, &mut rng_for(cfg, "r100")).expect("r100 parameters are valid")
+        let n = if cfg.scale == Scale::Huge { 100_000 } else { 100 };
+        random_with_degree(n, 4.0, &mut rng_for(cfg, "r100")).expect("r100 parameters are valid")
     })
 }
 
-/// Transit-stub, 1000 nodes, average degree ≈ 3.6.
+/// Transit-stub, 1000 nodes, average degree ≈ 3.6 (huge: 1,001,000).
 pub fn ts1000(cfg: &RunConfig) -> Network {
     memoized("ts1000", NetworkKind::Generated, cfg, || {
-        transit_stub(TransitStubParams::ts1000(), &mut rng_for(cfg, "ts1000"))
-            .expect("ts1000 parameters are valid")
+        let params = if cfg.scale == Scale::Huge {
+            TransitStubParams::ts1000000()
+        } else {
+            TransitStubParams::ts1000()
+        };
+        transit_stub(params, &mut rng_for(cfg, "ts1000")).expect("ts1000 parameters are valid")
     })
 }
 
-/// Transit-stub, 1008 nodes, average degree ≈ 7.5.
+/// Transit-stub, 1008 nodes, average degree ≈ 7.5 (huge: 1,009,008).
 pub fn ts1008(cfg: &RunConfig) -> Network {
     memoized("ts1008", NetworkKind::Generated, cfg, || {
-        transit_stub(TransitStubParams::ts1008(), &mut rng_for(cfg, "ts1008"))
-            .expect("ts1008 parameters are valid")
+        let params = if cfg.scale == Scale::Huge {
+            TransitStubParams::ts1008000()
+        } else {
+            TransitStubParams::ts1008()
+        };
+        transit_stub(params, &mut rng_for(cfg, "ts1008")).expect("ts1008 parameters are valid")
     })
 }
 
-/// TIERS-style WAN/MAN/LAN hierarchy, 5000 nodes.
+/// TIERS-style WAN/MAN/LAN hierarchy, 5000 nodes (huge: 1,015,200).
 pub fn ti5000(cfg: &RunConfig) -> Network {
     memoized("ti5000", NetworkKind::Generated, cfg, || {
-        tiers(TiersParams::ti5000(), &mut rng_for(cfg, "ti5000"))
-            .expect("ti5000 parameters are valid")
+        let params = if cfg.scale == Scale::Huge {
+            TiersParams::ti1000000()
+        } else {
+            TiersParams::ti5000()
+        };
+        tiers(params, &mut rng_for(cfg, "ti5000")).expect("ti5000 parameters are valid")
     })
 }
 
@@ -218,6 +238,18 @@ mod tests {
         assert_eq!(params.nodes, 56_317);
         params.nodes = 1000;
         assert!(params.validate().is_ok());
+    }
+
+    #[test]
+    fn huge_scale_swaps_in_scaled_generators() {
+        // Build only the cheapest huge member here; the million-node
+        // builds belong to the gated `huge_tier` integration test.
+        let cfg = RunConfig::huge();
+        let g = r100(&cfg).graph;
+        assert_eq!(g.node_count(), 100_000);
+        assert!(Components::find(&g).is_connected());
+        let deg = g.average_degree();
+        assert!((3.8..4.2).contains(&deg), "average degree {deg}");
     }
 
     #[test]

@@ -59,8 +59,9 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph, GenE
 }
 
 /// Map a lexicographic pair index to the pair `(u, v)`, `u < v`, over `n`
-/// nodes: index 0 → (0,1), 1 → (0,2), …
-fn pair_from_index(n: u64, idx: u64) -> (u64, u64) {
+/// nodes: index 0 → (0,1), 1 → (0,2), … Shared with the transit-stub
+/// generator's skip-sampled intra-domain blocks.
+pub(crate) fn pair_from_index(n: u64, idx: u64) -> (u64, u64) {
     // Pairs preceding row u: f(u) = u·(2n − u − 1)/2. Invert with the
     // quadratic formula, then nudge to absorb floating-point error.
     let before = |u: u64| u * (2 * n - u - 1) / 2;

@@ -47,6 +47,21 @@ impl TiersParams {
         }
     }
 
+    /// `huge`-tier scaling of `ti5000`: 1,015,200 nodes. Per-domain sizes
+    /// stay small (the spatial MST is quadratic in *domain* size), so the
+    /// million-node build is dominated by the linear LAN-star pass.
+    pub fn ti1000000() -> Self {
+        Self {
+            wan_nodes: 200,
+            man_count: 250,
+            man_nodes: 60,
+            lans_per_man: 40,
+            lan_hosts: 100,
+            wan_redundancy: 1,
+            man_redundancy: 1,
+        }
+    }
+
     /// Total node count.
     pub fn node_count(&self) -> usize {
         self.wan_nodes

@@ -71,6 +71,39 @@ impl TransitStubParams {
         }
     }
 
+    /// `huge`-tier scaling of `ts1000`: 1,001,000 nodes with the same
+    /// gross structure (a small transit core fanning out to many stub
+    /// domains) and a comparable average degree. Stub domains of 100
+    /// nodes put intra-domain edge generation on the skip-sampled path.
+    pub fn ts1000000() -> Self {
+        Self {
+            transit_domains: 20,
+            transit_domain_size: 50,
+            stubs_per_transit_node: 10,
+            stub_domain_size: 100,
+            transit_edge_prob: 0.1,
+            stub_edge_prob: 0.01,
+            extra_transit_stub_edges: 30_000,
+            extra_stub_stub_edges: 30_000,
+        }
+    }
+
+    /// `huge`-tier scaling of `ts1008`: 1,009,008 nodes, denser stub
+    /// interiors and heavier multihoming for a higher average degree
+    /// (the `ts1008` analogue of the exponential-regime pair).
+    pub fn ts1008000() -> Self {
+        Self {
+            transit_domains: 24,
+            transit_domain_size: 42,
+            stubs_per_transit_node: 8,
+            stub_domain_size: 125,
+            transit_edge_prob: 0.2,
+            stub_edge_prob: 0.025,
+            extra_transit_stub_edges: 850_000,
+            extra_stub_stub_edges: 850_000,
+        }
+    }
+
     /// Total node count of the generated topology.
     pub fn node_count(&self) -> usize {
         let transit = self.transit_domains * self.transit_domain_size;
@@ -155,13 +188,25 @@ pub fn transit_stub_with_layout<R: Rng + ?Sized>(
         let v = (db as usize * t_size) as NodeId + rng.gen_range(0..t_size) as NodeId;
         b.add_edge(u, v);
     }
-    for da in 0..t_domains {
-        for db in (da + 1)..t_domains {
-            if rng.gen::<f64>() < 0.25 {
-                let u = (da * t_size + rng.gen_range(0..t_size)) as NodeId;
-                let v = (db * t_size + rng.gen_range(0..t_size)) as NodeId;
-                b.add_edge(u, v);
+    if t_domains < SKIP_SAMPLING_THRESHOLD {
+        for da in 0..t_domains {
+            for db in (da + 1)..t_domains {
+                if rng.gen::<f64>() < 0.25 {
+                    let u = (da * t_size + rng.gen_range(0..t_size)) as NodeId;
+                    let v = (db * t_size + rng.gen_range(0..t_size)) as NodeId;
+                    b.add_edge(u, v);
+                }
             }
+        }
+    } else {
+        // Skip-sample the domain pairs first (the endpoint draws need the
+        // same rng, so the hits are buffered; ~0.25·pairs of them).
+        let mut hits = Vec::new();
+        sample_block_pairs(t_domains, 0.25, rng, |da, db| hits.push((da, db)));
+        for (da, db) in hits {
+            let u = (da as usize * t_size + rng.gen_range(0..t_size)) as NodeId;
+            let v = (db as usize * t_size + rng.gen_range(0..t_size)) as NodeId;
+            b.add_edge(u, v);
         }
     }
 
@@ -206,9 +251,26 @@ pub fn transit_stub_with_layout<R: Rng + ?Sized>(
     ))
 }
 
+/// Block size at which [`connected_random_block`] switches from the
+/// per-pair Bernoulli loop to geometric skip-sampling. Both draw from the
+/// same edge distribution; the per-pair loop is kept below the threshold
+/// so the paper-scale topologies (`ts1000`/`ts1008`, whose domains have at
+/// most 8 nodes) consume their RNG streams exactly as before and every
+/// committed golden stays byte-identical. Domains at or above the
+/// threshold (the `huge` tier) use the new, documented seed stream: one
+/// uniform draw per *sampled* pair instead of one per *candidate* pair.
+const SKIP_SAMPLING_THRESHOLD: usize = 64;
+
 /// Add a connected random block over ids `base..base+size`: a random
 /// spanning tree plus each remaining pair independently with probability
 /// `extra_prob`.
+///
+/// Blocks below [`SKIP_SAMPLING_THRESHOLD`] enumerate all pairs with one
+/// Bernoulli draw each (O(size²), stream-compatible with every release to
+/// date). Larger blocks skip a Geometric(`extra_prob`) number of pairs
+/// between successive edges — identical inclusion distribution, O(size +
+/// edges) cost — which is what makes 100-node stub domains at 10⁶ total
+/// nodes affordable.
 fn connected_random_block<R: Rng + ?Sized>(
     b: &mut GraphBuilder,
     base: NodeId,
@@ -219,12 +281,58 @@ fn connected_random_block<R: Rng + ?Sized>(
     for (u, v) in random_tree_edges(size, rng) {
         b.add_edge(base + u, base + v);
     }
-    for u in 0..size as NodeId {
-        for v in (u + 1)..size as NodeId {
-            if rng.gen::<f64>() < extra_prob {
-                b.add_edge(base + u, base + v);
+    if size < SKIP_SAMPLING_THRESHOLD {
+        for u in 0..size as NodeId {
+            for v in (u + 1)..size as NodeId {
+                if rng.gen::<f64>() < extra_prob {
+                    b.add_edge(base + u, base + v);
+                }
             }
         }
+        return;
+    }
+    sample_block_pairs(size, extra_prob, rng, |u, v| {
+        b.add_edge(base + u, base + v);
+    });
+}
+
+/// Visit each of the `size·(size−1)/2` node pairs of a block
+/// independently with probability `p`, in lexicographic order, via
+/// geometric skipping (cost proportional to the pairs *visited*, not the
+/// pairs considered). Mirrors the `G(n, p)` sampler in [`crate::random`].
+fn sample_block_pairs<R: Rng + ?Sized>(
+    size: usize,
+    p: f64,
+    rng: &mut R,
+    mut visit: impl FnMut(NodeId, NodeId),
+) {
+    if p <= 0.0 || size < 2 {
+        return;
+    }
+    if p >= 1.0 {
+        for u in 0..size as NodeId {
+            for v in (u + 1)..size as NodeId {
+                visit(u, v);
+            }
+        }
+        return;
+    }
+    let total_pairs = size as u64 * (size as u64 - 1) / 2;
+    let log1mp = (-p).ln_1p();
+    let mut idx: u64 = 0;
+    loop {
+        let x: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let skip = (x.ln() / log1mp).floor() as u64;
+        idx = match idx.checked_add(skip) {
+            Some(i) => i,
+            None => break,
+        };
+        if idx >= total_pairs {
+            break;
+        }
+        let (u, v) = crate::random::pair_from_index(size as u64, idx);
+        visit(u as NodeId, v as NodeId);
+        idx += 1;
     }
 }
 
@@ -316,5 +424,90 @@ mod tests {
         let a = transit_stub(p, &mut SmallRng::seed_from_u64(3)).unwrap();
         let b = transit_stub(p, &mut SmallRng::seed_from_u64(3)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn huge_param_sets_validate_and_count() {
+        let p = TransitStubParams::ts1000000();
+        p.validate().unwrap();
+        assert_eq!(p.node_count(), 1_001_000);
+        let p = TransitStubParams::ts1008000();
+        p.validate().unwrap();
+        assert_eq!(p.node_count(), 1_009_008);
+    }
+
+    #[test]
+    fn skip_sampled_pairs_are_valid_sorted_and_distinct() {
+        let size = SKIP_SAMPLING_THRESHOLD + 9;
+        for seed in 0..50 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut last: Option<(NodeId, NodeId)> = None;
+            sample_block_pairs(size, 0.2, &mut rng, |u, v| {
+                assert!(u < v && (v as usize) < size, "({u}, {v})");
+                if let Some(prev) = last {
+                    assert!(prev < (u, v), "{prev:?} !< ({u}, {v})");
+                }
+                last = Some((u, v));
+            });
+        }
+    }
+
+    #[test]
+    fn skip_sampling_matches_bernoulli_distribution() {
+        // Distribution equivalence of the two samplers: each pair must be
+        // included independently with probability p. Count per-pair
+        // inclusion frequencies over many seeds and compare them to the
+        // per-pair Bernoulli loop's. With 400 trials and p = 0.15 the
+        // per-pair count is Binomial(400, 0.15): mean 60, σ ≈ 7.1 — a
+        // ±32 window is ~4.5σ, far beyond chance across 2016 pairs but
+        // tight enough to catch any systematic skew (an off-by-one in the
+        // skip or a mis-inverted pair index shifts whole rows).
+        let size = SKIP_SAMPLING_THRESHOLD; // 2016 pairs
+        let p = 0.15;
+        let trials = 400u32;
+        let n_pairs = size * (size - 1) / 2;
+        let mut skip_counts = vec![0u32; n_pairs];
+        let mut bern_counts = vec![0u32; n_pairs];
+        let pair_index = |u: usize, v: usize| u * (2 * size - u - 1) / 2 + (v - u - 1);
+        for seed in 0..trials as u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            sample_block_pairs(size, p, &mut rng, |u, v| {
+                skip_counts[pair_index(u as usize, v as usize)] += 1;
+            });
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed);
+            for u in 0..size {
+                for v in (u + 1)..size {
+                    if rng.gen::<f64>() < p {
+                        bern_counts[pair_index(u, v)] += 1;
+                    }
+                }
+            }
+        }
+        let expect = (trials as f64 * p).round() as i64; // 60
+        for (counts, label) in [(&skip_counts, "skip"), (&bern_counts, "bernoulli")] {
+            let total: u64 = counts.iter().map(|&c| c as u64).sum();
+            let mean = total as f64 / n_pairs as f64;
+            assert!(
+                (mean - trials as f64 * p).abs() < 1.5,
+                "{label}: mean inclusion count {mean} vs expected {expect}"
+            );
+            for (i, &c) in counts.iter().enumerate() {
+                assert!(
+                    (c as i64 - expect).abs() <= 32,
+                    "{label}: pair {i} count {c} vs expected {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skip_sampling_handles_probability_extremes() {
+        let size = SKIP_SAMPLING_THRESHOLD;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut count = 0usize;
+        sample_block_pairs(size, 0.0, &mut rng, |_, _| count += 1);
+        assert_eq!(count, 0);
+        sample_block_pairs(size, 1.0, &mut rng, |_, _| count += 1);
+        assert_eq!(count, size * (size - 1) / 2);
     }
 }

@@ -23,6 +23,24 @@ static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
 /// Creates parent directories as needed. On any error the temp file is
 /// removed (best effort) and the destination is untouched.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    write_atomic_with(path, |w| {
+        w.write_all(bytes)
+            .map_err(|e| StoreError::io(path, e))
+    })
+}
+
+/// [`write_atomic`] for producers that *stream* their contents instead of
+/// materialising them: `emit` writes the complete new contents to the
+/// buffered temp-file writer, and the rename happens only after `emit`
+/// succeeds and the buffer is flushed. This is how multi-hundred-MiB
+/// packed topologies reach disk without ever existing as one byte vector
+/// in RAM. Same atomicity contract as [`write_atomic`]: on any error
+/// (including one returned by `emit`) the temp file is removed (best
+/// effort) and the destination is untouched.
+pub fn write_atomic_with<F>(path: &Path, emit: F) -> Result<(), StoreError>
+where
+    F: FnOnce(&mut dyn std::io::Write) -> Result<(), StoreError>,
+{
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     if let Some(dir) = dir {
         fs::create_dir_all(dir).map_err(|e| StoreError::io(dir, e))?;
@@ -45,8 +63,12 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
         None => Path::new(&tmp_name).to_path_buf(),
     };
     let result = (|| {
-        let mut f = fs::File::create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
-        f.write_all(bytes).map_err(|e| StoreError::io(&tmp, e))?;
+        let f = fs::File::create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
+        let mut w = std::io::BufWriter::new(f);
+        emit(&mut w)?;
+        let mut f = w
+            .into_inner()
+            .map_err(|e| StoreError::io(&tmp, e.into_error()))?;
         f.flush().map_err(|e| StoreError::io(&tmp, e))?;
         fs::rename(&tmp, path).map_err(|e| StoreError::io(path, e))
     })();
@@ -102,6 +124,27 @@ mod tests {
         assert!(write_atomic_str(&bad, "x").is_err());
         // … and the original survives.
         assert_eq!(fs::read_to_string(&p).unwrap(), "good");
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn streamed_writer_cleans_up_on_emit_error() {
+        let d = temp_dir("stream");
+        let p = d.join("out.bin");
+        write_atomic_str(&p, "keep").unwrap();
+        // An emit failure after partial output must leave the original
+        // contents and no temp litter.
+        let err = write_atomic_with(&p, |w| {
+            w.write_all(b"partial").map_err(|e| StoreError::io(Path::new("x"), e))?;
+            Err(StoreError::HeaderCorrupt)
+        });
+        assert!(matches!(err, Err(StoreError::HeaderCorrupt)));
+        assert_eq!(fs::read_to_string(&p).unwrap(), "keep");
+        let entries: Vec<_> = fs::read_dir(&d)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(entries.len(), 1, "{entries:?}");
         fs::remove_dir_all(&d).unwrap();
     }
 

@@ -25,11 +25,12 @@
 //! forged payload cannot smuggle in a graph the builder could not have
 //! produced (which would silently change BFS tie-breaks).
 
-use crate::atomic::write_atomic;
+use crate::atomic::write_atomic_with;
 use crate::error::StoreError;
-use crate::hash::{sha256, Digest};
+use crate::hash::{sha256, Digest, Sha256};
 use mcast_topology::graph::{try_from_csr, NodeId};
 use mcast_topology::Graph;
+use std::io::{Read as _, Write as _};
 use std::path::Path;
 
 /// Magic bytes of a packed topology file.
@@ -39,31 +40,90 @@ pub const FORMAT_VERSION: u32 = 1;
 /// Total header length in bytes.
 pub const HEADER_LEN: usize = 96;
 
-/// Encode a graph into the binary topology format.
+/// Chunk granularity of the streaming save/load paths (a multiple of 8,
+/// so serialised offsets and neighbour ids never straddle a chunk).
+const STREAM_CHUNK: usize = 1 << 20;
+
+/// Serialise the payload bytes of `graph` — `(n+1)×u64` offsets then
+/// `2E×u32` neighbours, little-endian — in chunks of at most
+/// [`STREAM_CHUNK`] bytes. Both the in-RAM encoder and the out-of-core
+/// save stream through this one serialiser, so their bytes cannot drift.
+fn for_each_payload_chunk<F>(graph: &Graph, mut f: F) -> Result<(), StoreError>
+where
+    F: FnMut(&[u8]) -> Result<(), StoreError>,
+{
+    let mut buf = Vec::with_capacity(STREAM_CHUNK.min(payload_len_of(graph) + 8));
+    for o in graph.csr_offsets().iter() {
+        buf.extend_from_slice(&(o as u64).to_le_bytes());
+        if buf.len() + 8 > STREAM_CHUNK {
+            f(&buf)?;
+            buf.clear();
+        }
+    }
+    for &v in graph.csr_neighbors() {
+        buf.extend_from_slice(&v.to_le_bytes());
+        if buf.len() + 4 > STREAM_CHUNK {
+            f(&buf)?;
+            buf.clear();
+        }
+    }
+    if !buf.is_empty() {
+        f(&buf)?;
+    }
+    Ok(())
+}
+
+/// Payload length in bytes for `graph`.
+fn payload_len_of(graph: &Graph) -> usize {
+    graph.csr_offsets().len() * 8 + graph.csr_neighbors().len() * 4
+}
+
+/// Compose the 96-byte header for a payload hashing to `payload_sha`.
+fn header_bytes(nodes: u64, edges: u64, payload_len: u64, payload_sha: &Digest) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[0..4].copy_from_slice(&MAGIC);
+    h[4..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    h[8..16].copy_from_slice(&nodes.to_le_bytes());
+    h[16..24].copy_from_slice(&edges.to_le_bytes());
+    h[24..32].copy_from_slice(&payload_len.to_le_bytes());
+    h[32..64].copy_from_slice(&payload_sha.0);
+    let header_sha = sha256(&h[..64]);
+    h[64..96].copy_from_slice(&header_sha.0);
+    h
+}
+
+/// Hash the payload of `graph` without materialising it.
+fn payload_sha_of(graph: &Graph) -> Digest {
+    let mut hasher = Sha256::new();
+    for_each_payload_chunk(graph, |chunk| {
+        hasher.update(chunk);
+        Ok(())
+    })
+    .expect("hashing cannot fail");
+    hasher.finalize()
+}
+
+/// Encode a graph into the binary topology format, in RAM.
+///
+/// This materialises header + payload as one byte vector — fine for the
+/// fast/paper tiers and for cache-key hashing; the `huge` tier persists
+/// through [`save_graph`], which streams the identical bytes to disk
+/// without the intermediate vector.
 pub fn encode_graph(graph: &Graph) -> Vec<u8> {
-    let offsets = graph.csr_offsets();
-    let neighbors = graph.csr_neighbors();
-    let payload_len = offsets.len() * 8 + neighbors.len() * 4;
+    let payload_len = payload_len_of(graph);
     let mut out = Vec::with_capacity(HEADER_LEN + payload_len);
-    out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-    out.extend_from_slice(&(graph.node_count() as u64).to_le_bytes());
-    out.extend_from_slice(&(graph.edge_count() as u64).to_le_bytes());
-    out.extend_from_slice(&(payload_len as u64).to_le_bytes());
-
-    let mut payload = Vec::with_capacity(payload_len);
-    for &o in offsets {
-        payload.extend_from_slice(&(o as u64).to_le_bytes());
-    }
-    for &v in neighbors {
-        payload.extend_from_slice(&v.to_le_bytes());
-    }
-    debug_assert_eq!(payload.len(), payload_len);
-
-    out.extend_from_slice(&sha256(&payload).0);
-    let header_hash = sha256(&out[..64]);
-    out.extend_from_slice(&header_hash.0);
-    out.extend_from_slice(&payload);
+    out.extend_from_slice(&header_bytes(
+        graph.node_count() as u64,
+        graph.edge_count() as u64,
+        payload_len as u64,
+        &payload_sha_of(graph),
+    ));
+    for_each_payload_chunk(graph, |chunk| {
+        out.extend_from_slice(chunk);
+        Ok(())
+    })
+    .expect("vector append cannot fail");
+    debug_assert_eq!(out.len(), HEADER_LEN + payload_len);
     out
 }
 
@@ -120,14 +180,34 @@ pub fn decode_header(data: &[u8]) -> Result<TopologyHeader, StoreError> {
     })
 }
 
+/// Payload length a valid header implies, with fully checked arithmetic.
+///
+/// A forged header can claim node/edge counts near `u64::MAX`; naive
+/// `edges * 8` arithmetic would wrap on 64-bit hosts (and `as usize`
+/// truncates on 32-bit ones), making a corrupt file look internally
+/// consistent. Every step here is checked, so such headers are rejected
+/// as [`StoreError::PayloadCorrupt`] instead.
+fn expected_payload_len(header: &TopologyHeader) -> Result<usize, StoreError> {
+    let nodes: usize = header
+        .nodes
+        .try_into()
+        .map_err(|_| StoreError::PayloadCorrupt)?;
+    let edges: usize = header
+        .edges
+        .try_into()
+        .map_err(|_| StoreError::PayloadCorrupt)?;
+    nodes
+        .checked_add(1)
+        .and_then(|n1| n1.checked_mul(8))
+        .and_then(|o| edges.checked_mul(8)?.checked_add(o))
+        .ok_or(StoreError::PayloadCorrupt)
+}
+
 /// Decode a packed topology, validating header checksum, payload
 /// checksum, and every graph invariant.
 pub fn decode_graph(data: &[u8]) -> Result<Graph, StoreError> {
     let header = decode_header(data)?;
-    let expected_payload = (header.nodes as usize + 1)
-        .checked_mul(8)
-        .and_then(|o| o.checked_add(header.edges as usize * 2 * 4))
-        .ok_or(StoreError::PayloadCorrupt)?;
+    let expected_payload = expected_payload_len(&header)?;
     if header.payload_len as usize != expected_payload {
         return Err(StoreError::PayloadCorrupt);
     }
@@ -168,15 +248,111 @@ pub fn decode_graph(data: &[u8]) -> Result<Graph, StoreError> {
     Ok(graph)
 }
 
-/// Save a graph to `path` (atomically).
+/// Save a graph to `path` (atomically), streaming the payload.
+///
+/// Byte-identical to `write_atomic(path, &encode_graph(graph))` but the
+/// encoded file never exists as one vector in RAM: pass one hashes the
+/// payload chunkwise, pass two re-serialises the same chunks straight
+/// into the buffered temp-file writer. At the `huge` tier this keeps the
+/// save-side footprint at one [`STREAM_CHUNK`] instead of ~1.5× the
+/// graph's own size.
 pub fn save_graph(path: &Path, graph: &Graph) -> Result<(), StoreError> {
-    write_atomic(path, &encode_graph(graph))
+    let header = header_bytes(
+        graph.node_count() as u64,
+        graph.edge_count() as u64,
+        payload_len_of(graph) as u64,
+        &payload_sha_of(graph),
+    );
+    write_atomic_with(path, |w| {
+        w.write_all(&header).map_err(|e| StoreError::io(path, e))?;
+        for_each_payload_chunk(graph, |chunk| {
+            w.write_all(chunk).map_err(|e| StoreError::io(path, e))
+        })
+    })
 }
 
-/// Load a graph from `path`.
+/// Load a graph from `path`, streaming the payload.
+///
+/// Same validation and error typing as [`decode_graph`] on the whole
+/// file, but the payload is read in [`STREAM_CHUNK`]-sized pieces and
+/// parsed directly into the CSR vectors, so the raw bytes and the graph
+/// never coexist in RAM.
 pub fn load_graph(path: &Path) -> Result<Graph, StoreError> {
-    let data = std::fs::read(path).map_err(|e| StoreError::io(path, e))?;
-    decode_graph(&data)
+    let file = std::fs::File::open(path).map_err(|e| StoreError::io(path, e))?;
+    let file_len: usize = file
+        .metadata()
+        .map_err(|e| StoreError::io(path, e))?
+        .len()
+        .try_into()
+        .map_err(|_| StoreError::PayloadCorrupt)?;
+    let mut reader = std::io::BufReader::new(file);
+
+    let mut header_buf = [0u8; HEADER_LEN];
+    if file_len < HEADER_LEN {
+        // Match decode_graph on short files: report how much was found.
+        return Err(StoreError::Truncated {
+            expected: HEADER_LEN,
+            found: file_len,
+        });
+    }
+    reader
+        .read_exact(&mut header_buf)
+        .map_err(|e| StoreError::io(path, e))?;
+    let header = decode_header(&header_buf)?;
+    let expected_payload = expected_payload_len(&header)?;
+    if header.payload_len as usize != expected_payload {
+        return Err(StoreError::PayloadCorrupt);
+    }
+    let expected_total = HEADER_LEN + expected_payload;
+    if file_len < expected_total {
+        return Err(StoreError::Truncated {
+            expected: expected_total,
+            found: file_len,
+        });
+    }
+    if file_len > expected_total {
+        return Err(StoreError::PayloadCorrupt);
+    }
+
+    let n = header.nodes as usize;
+    let mut offsets: Vec<usize> = Vec::with_capacity(n + 1);
+    let mut neighbors: Vec<NodeId> = Vec::with_capacity(header.edges as usize * 2);
+    let mut hasher = Sha256::new();
+    let mut remaining = expected_payload;
+    let mut chunk = vec![0u8; STREAM_CHUNK.min(expected_payload.max(1))];
+    // Offsets serialise before neighbours and STREAM_CHUNK is a multiple
+    // of 8, so within each chunk the split point is byte-aligned.
+    let mut offsets_bytes_left = (n + 1) * 8;
+    while remaining > 0 {
+        let take = remaining.min(chunk.len());
+        let buf = &mut chunk[..take];
+        reader.read_exact(buf).map_err(|e| StoreError::io(path, e))?;
+        hasher.update(buf);
+        let off_take = take.min(offsets_bytes_left);
+        for b in buf[..off_take].chunks_exact(8) {
+            let v = u64::from_le_bytes(b.try_into().expect("8 bytes"));
+            let v: usize = v
+                .try_into()
+                .map_err(|_| StoreError::InvalidTopology("offset exceeds usize".into()))?;
+            offsets.push(v);
+        }
+        offsets_bytes_left -= off_take;
+        for b in buf[off_take..].chunks_exact(4) {
+            neighbors.push(u32::from_le_bytes(b.try_into().expect("4 bytes")));
+        }
+        remaining -= take;
+    }
+    if hasher.finalize() != header.payload_sha {
+        return Err(StoreError::PayloadCorrupt);
+    }
+    let graph = try_from_csr(offsets, neighbors)
+        .map_err(|e| StoreError::InvalidTopology(e.to_string()))?;
+    if graph.edge_count() as u64 != header.edges {
+        return Err(StoreError::InvalidTopology(
+            "header edge count disagrees with payload".into(),
+        ));
+    }
+    Ok(graph)
 }
 
 #[cfg(test)]
@@ -321,6 +497,82 @@ mod tests {
         let g = demo_graph();
         save_graph(&path, &g).unwrap();
         assert_eq!(load_graph(&path).unwrap(), g);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn streamed_save_matches_in_ram_encoder_byte_for_byte() {
+        // The cache keys hash encode_graph's bytes, so the streaming
+        // writer must never diverge from the in-RAM encoder.
+        let dir = std::env::temp_dir().join(format!("mcast-store-strm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("demo.mct");
+        let g = demo_graph();
+        save_graph(&path, &g).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), encode_graph(&g));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn forged_astronomical_edge_count_is_rejected_not_wrapped() {
+        // edges ≈ 2^61 would wrap `edges * 8` on a 64-bit host if the
+        // length arithmetic were unchecked; with a re-checksummed header
+        // the only defence is expected_payload_len's checked math.
+        let g = demo_graph();
+        let mut forged = encode_graph(&g);
+        forged[16..24].copy_from_slice(&(1u64 << 61).to_le_bytes());
+        let rehash = sha256(&forged[..64]);
+        forged[64..96].copy_from_slice(&rehash.0);
+        assert!(matches!(
+            decode_graph(&forged),
+            Err(StoreError::PayloadCorrupt)
+        ));
+        // Same rejection through the streaming loader.
+        let dir = std::env::temp_dir().join(format!("mcast-store-forge-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("forged.mct");
+        write_atomic_with(&path, |w| {
+            w.write_all(&forged).map_err(|e| StoreError::io(&path, e))
+        })
+        .unwrap();
+        assert!(matches!(load_graph(&path), Err(StoreError::PayloadCorrupt)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn streaming_loader_types_errors_like_the_in_ram_decoder() {
+        let dir = std::env::temp_dir().join(format!("mcast-store-lderr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = demo_graph();
+        let bytes = encode_graph(&g);
+        let write = |name: &str, data: &[u8]| {
+            let p = dir.join(name);
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(&p, data).unwrap();
+            p
+        };
+        // Short file → Truncated with the found length, like decode_graph.
+        let p = write("short.mct", &bytes[..10]);
+        assert!(matches!(
+            load_graph(&p),
+            Err(StoreError::Truncated {
+                expected: HEADER_LEN,
+                found: 10
+            })
+        ));
+        // Truncated payload (header intact).
+        let p = write("cut.mct", &bytes[..bytes.len() - 1]);
+        assert!(matches!(load_graph(&p), Err(StoreError::Truncated { .. })));
+        // Trailing garbage.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        let p = write("long.mct", &extended);
+        assert!(matches!(load_graph(&p), Err(StoreError::PayloadCorrupt)));
+        // Flipped payload byte → checksum mismatch.
+        let mut flipped = bytes.clone();
+        flipped[HEADER_LEN + 9] ^= 0x01;
+        let p = write("flip.mct", &flipped);
+        assert!(matches!(load_graph(&p), Err(StoreError::PayloadCorrupt)));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

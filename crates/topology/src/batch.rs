@@ -68,7 +68,7 @@
 //! of the same source tree are bit-identical by construction.
 
 use crate::bfs::UNREACHED;
-use crate::graph::{Graph, NodeId};
+use crate::graph::{Graph, NodeId, OffsetSlice, OffsetsView};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Lanes carried by one `u64` mask word.
@@ -285,29 +285,64 @@ struct CoreRep {
     leaf_count: Vec<u32>,
 }
 
+/// Lifecycle of the leaf-folded view: built lazily on the first totals
+/// sweep, and permanently declined when the core's directed arc count
+/// would overflow the `u32` cursors ([`CoreRep::core_off`]) — in that
+/// case [`BatchBfs::run_totals`] serves bit-identical histograms from a
+/// profile sweep instead of truncating offsets.
+enum CoreState {
+    /// No totals sweep has run yet.
+    Unbuilt,
+    /// Folded view available.
+    Ready(CoreRep),
+    /// Core arc count past the cap; totals fall back to profile folding.
+    TooLarge,
+}
+
 impl CoreRep {
-    fn build(graph: &Graph) -> Self {
+    /// Build the folded view, or `None` if the core's directed arc count
+    /// exceeds `arc_cap` (normally `u32::MAX`: the `core_off` cursor
+    /// width — reachable only past the 2^32 directed-arc boundary, i.e.
+    /// > 17 GiB of adjacency; tests inject a tiny cap to exercise it).
+    fn try_build(graph: &Graph, arc_cap: usize) -> Option<Self> {
         let n = graph.node_count();
         let offsets = graph.csr_offsets();
         let neigh = graph.csr_neighbors();
         let mut core_id = vec![u32::MAX; n];
         let mut ncore = 0u32;
+        let mut core_arcs = 0usize;
         for v in 0..n {
-            if offsets[v + 1] - offsets[v] >= 2 {
+            let deg = offsets.at(v + 1) - offsets.at(v);
+            if deg >= 2 {
                 core_id[v] = ncore;
                 ncore += 1;
             }
         }
+        // Exact pre-count of the core arcs so every `core_off` push below
+        // is guaranteed in range (the graph's total arc count may exceed
+        // the cap while the leaf-stripped core still fits).
+        for v in 0..n {
+            if core_id[v] == u32::MAX {
+                continue;
+            }
+            core_arcs += neigh[offsets.at(v)..offsets.at(v + 1)]
+                .iter()
+                .filter(|&&x| core_id[x as usize] != u32::MAX)
+                .count();
+        }
+        if core_arcs > arc_cap {
+            return None;
+        }
         let mut core_off = Vec::with_capacity(ncore as usize + 1);
         core_off.push(0u32);
-        let mut core_neigh = Vec::new();
+        let mut core_neigh = Vec::with_capacity(core_arcs);
         let mut leaf_count = vec![0u32; ncore as usize];
         for v in 0..n {
             let ci = core_id[v];
             if ci == u32::MAX {
                 continue;
             }
-            for &x in &neigh[offsets[v]..offsets[v + 1]] {
+            for &x in &neigh[offsets.at(v)..offsets.at(v + 1)] {
                 let xc = core_id[x as usize];
                 if xc != u32::MAX {
                     core_neigh.push(xc);
@@ -315,14 +350,15 @@ impl CoreRep {
                     leaf_count[ci as usize] += 1;
                 }
             }
+            debug_assert!(core_neigh.len() <= core_arcs, "core arc pre-count drifted");
             core_off.push(core_neigh.len() as u32);
         }
-        Self {
+        Some(Self {
             core_id,
             core_off,
             core_neigh,
             leaf_count,
-        }
+        })
     }
 }
 
@@ -366,7 +402,10 @@ pub struct BatchBfs<'g> {
     /// Lane-summed `S(r)` of a [`run_totals`](Self::run_totals) sweep.
     level_totals: Vec<u64>,
     /// Leaf-folded core view, built on the first totals sweep.
-    core: Option<CoreRep>,
+    core: CoreState,
+    /// Directed-arc cap for the folded core's `u32` cursors (lowered only
+    /// by tests to exercise the fallback).
+    core_arc_cap: usize,
     /// Totals sweeps: folded sources promoted to virtual slots.
     promoted: Vec<NodeId>,
     /// Totals sweeps: slot→slot pushes wiring the virtual slots in.
@@ -404,7 +443,8 @@ impl<'g> BatchBfs<'g> {
             dist: Vec::new(),
             level_counts: (0..MAX_LANES).map(|_| Vec::new()).collect(),
             level_totals: Vec::new(),
-            core: None,
+            core: CoreState::Unbuilt,
+            core_arc_cap: u32::MAX as usize,
             promoted: Vec::new(),
             pairs: Vec::new(),
             leaf_eff: Vec::new(),
@@ -520,6 +560,33 @@ impl<'g> BatchBfs<'g> {
     /// # Panics
     /// Same contract as [`run`](Self::run).
     pub fn run_totals(&mut self, sources: &[NodeId]) {
+        if matches!(self.core, CoreState::Unbuilt) {
+            self.core = match CoreRep::try_build(self.graph, self.core_arc_cap) {
+                Some(core) => CoreState::Ready(core),
+                None => CoreState::TooLarge,
+            };
+        }
+        if matches!(self.core, CoreState::TooLarge) {
+            // The folded core's u32 cursors cannot index this graph
+            // (> 2^32 directed core arcs). Serve the lane-summed
+            // histogram by folding a per-lane profile sweep instead —
+            // bit-identical by the u64-addition argument in the method
+            // docs, just without the leaf-folding speedup.
+            self.sweep::<MODE_PROFILES>(sources);
+            let mut totals: Vec<u64> = Vec::new();
+            for lane in 0..self.lanes {
+                let counts = &self.level_counts[lane];
+                if counts.len() > totals.len() {
+                    totals.resize(counts.len(), 0);
+                }
+                for (r, &c) in counts.iter().enumerate() {
+                    totals[r] += c;
+                }
+            }
+            self.level_totals = totals;
+            self.profiles_recorded = false;
+            return;
+        }
         match self.checked_words(sources) {
             1 => self.totals_sweep_w::<1>(sources),
             4 => self.totals_sweep_w::<4>(sources),
@@ -541,15 +608,25 @@ impl<'g> BatchBfs<'g> {
     }
 
     fn sweep<const MODE: u8>(&mut self, sources: &[NodeId]) {
-        match self.checked_words(sources) {
-            1 => self.sweep_w::<1, MODE>(sources),
-            4 => self.sweep_w::<4, MODE>(sources),
-            8 => self.sweep_w::<8, MODE>(sources),
+        // Monomorphise over both the mask width and the offset width, so
+        // the hot loops index offsets with no per-access branch.
+        let graph = self.graph;
+        match (self.checked_words(sources), graph.csr_offsets()) {
+            (1, OffsetsView::Narrow(o)) => self.sweep_w::<1, MODE, _>(sources, o),
+            (4, OffsetsView::Narrow(o)) => self.sweep_w::<4, MODE, _>(sources, o),
+            (8, OffsetsView::Narrow(o)) => self.sweep_w::<8, MODE, _>(sources, o),
+            (1, OffsetsView::Wide(o)) => self.sweep_w::<1, MODE, _>(sources, o),
+            (4, OffsetsView::Wide(o)) => self.sweep_w::<4, MODE, _>(sources, o),
+            (8, OffsetsView::Wide(o)) => self.sweep_w::<8, MODE, _>(sources, o),
             _ => unreachable!("width validated by force_words"),
         }
     }
 
-    fn sweep_w<const W: usize, const MODE: u8>(&mut self, sources: &[NodeId]) {
+    fn sweep_w<const W: usize, const MODE: u8, O: OffsetSlice>(
+        &mut self,
+        sources: &[NodeId],
+        offsets: O,
+    ) {
         // Timed span only while a trace records: a sweep is the BFS
         // kernel's unit of work, and the span carries this sweep's
         // counter deltas. Costs one relaxed load when tracing is off.
@@ -594,7 +671,6 @@ impl<'g> BatchBfs<'g> {
         self.level_totals.clear();
 
         let graph = self.graph;
-        let offsets = graph.csr_offsets();
         let neigh = graph.csr_neighbors();
         let seen = &mut self.seen[..];
         let frontier = &mut self.frontier[..];
@@ -626,7 +702,7 @@ impl<'g> BatchBfs<'g> {
         let mut front_deg: u64 = 0;
         for &v in &front {
             let vi = v as usize;
-            let deg = (offsets[vi + 1] - offsets[vi]) as u64;
+            let deg = (offsets.at(vi + 1) - offsets.at(vi)) as u64;
             front_deg += deg;
             if seen[vi * W..vi * W + W] == full[..] {
                 remaining_deg -= deg;
@@ -678,7 +754,7 @@ impl<'g> BatchBfs<'g> {
                         fw[k] = frontier[fb + k];
                         frontier[fb + k] = 0;
                     }
-                    for &x in &neigh[offsets[vi]..offsets[vi + 1]] {
+                    for &x in &neigh[offsets.at(vi)..offsets.at(vi + 1)] {
                         let xb = x as usize * W;
                         let nx = &mut next[xb..xb + W];
                         for k in 0..W {
@@ -722,7 +798,7 @@ impl<'g> BatchBfs<'g> {
                         became_full &= s2 == full[k];
                     }
                     next_front.push(xi as NodeId);
-                    let deg = (offsets[xi + 1] - offsets[xi]) as u64;
+                    let deg = (offsets.at(xi + 1) - offsets.at(xi)) as u64;
                     front_deg += deg;
                     if became_full {
                         remaining_deg -= deg;
@@ -757,7 +833,7 @@ impl<'g> BatchBfs<'g> {
                     active.clear();
                     remaining_deg = 0;
                     for v in 0..n {
-                        let deg = offsets[v + 1] - offsets[v];
+                        let deg = offsets.at(v + 1) - offsets.at(v);
                         if deg == 0 {
                             continue;
                         }
@@ -782,7 +858,7 @@ impl<'g> BatchBfs<'g> {
                     let mut span = 0usize;
                     while blk_end < active.len() && span < PULL_EDGE_BLOCK {
                         let v = active[blk_end] as usize;
-                        span += offsets[v + 1] - offsets[v];
+                        span += offsets.at(v + 1) - offsets.at(v);
                         blk_end += 1;
                     }
                     for &x in &active[ai..blk_end] {
@@ -799,7 +875,7 @@ impl<'g> BatchBfs<'g> {
                             continue;
                         }
                         let mut acc = [0u64; W];
-                        for &y in &neigh[offsets[xi]..offsets[xi + 1]] {
+                        for &y in &neigh[offsets.at(xi)..offsets.at(xi + 1)] {
                             let yb = y as usize * W;
                             let mut rem = 0u64;
                             for k in 0..W {
@@ -846,7 +922,7 @@ impl<'g> BatchBfs<'g> {
                         seen[xb + k] = s2;
                         became_full &= s2 == full[k];
                     }
-                    let deg = (offsets[xi + 1] - offsets[xi]) as u64;
+                    let deg = (offsets.at(xi + 1) - offsets.at(xi)) as u64;
                     front_deg += deg;
                     if became_full {
                         remaining_deg -= deg;
@@ -924,11 +1000,13 @@ impl<'g> BatchBfs<'g> {
         self.sources_last.extend_from_slice(sources);
         self.level_totals.clear();
 
-        if self.core.is_none() {
-            self.core = Some(CoreRep::build(self.graph));
-        }
-        let core = self.core.take().expect("core view just built");
+        let core = match std::mem::replace(&mut self.core, CoreState::Unbuilt) {
+            CoreState::Ready(core) => core,
+            _ => unreachable!("folded core built by run_totals before dispatch"),
+        };
         let ncore = core.leaf_count.len();
+        // Graph offsets only wire the few promoted sources (cold path);
+        // the hot level loop runs on the core's own u32 CSR.
         let offsets = self.graph.csr_offsets();
         let neigh = self.graph.csr_neighbors();
 
@@ -972,7 +1050,7 @@ impl<'g> BatchBfs<'g> {
         for (i, &l) in promoted.iter().enumerate() {
             let ls = (ncore + i) as u32;
             let li = l as usize;
-            for &u in &neigh[offsets[li]..offsets[li + 1]] {
+            for &u in &neigh[offsets.at(li)..offsets.at(li + 1)] {
                 let us = slot_of(u);
                 if us != u32::MAX {
                     pairs.push((us, ls));
@@ -1091,7 +1169,7 @@ impl<'g> BatchBfs<'g> {
         self.spare = next_front;
         self.promoted = promoted;
         self.pairs = pairs;
-        self.core = Some(core);
+        self.core = CoreState::Ready(core);
         self.pull_levels_last = 0;
         if mcast_obs::enabled() {
             mcast_obs::counter("bfs.batch.sweeps").add(1);
@@ -1452,6 +1530,45 @@ mod tests {
         pull.run_totals(&sources);
         assert_eq!(pull.level_totals(), &expect[..]);
         assert_eq!(pull.pull_levels(), 0);
+    }
+
+    #[test]
+    fn run_totals_falls_back_when_core_cursors_would_overflow() {
+        // Inject a tiny core-arc cap: the engine must decline the leaf
+        // fold (whose `core_off` cursors are u32) and serve bit-identical
+        // lane-summed histograms from a profile sweep instead. The real
+        // boundary (2^32 directed core arcs, > 17 GiB of adjacency) is
+        // unreachable in a test; the cap path is the same code.
+        let g = from_edges(9, &[(0, 1), (0, 2), (0, 3), (3, 4), (4, 5), (6, 7)]);
+        let sources = &[1, 6, 8, 4, 1][..];
+        let mut reference = BatchBfs::new(&g);
+        reference.run_totals(sources);
+        let expect = reference.level_totals().to_vec();
+        let mut capped = BatchBfs::new(&g);
+        capped.core_arc_cap = 1;
+        capped.run_totals(sources);
+        assert!(matches!(capped.core, CoreState::TooLarge));
+        assert_eq!(capped.level_totals(), &expect[..]);
+        // The accessor contract survives the fallback: totals sweeps
+        // still refuse per-lane reads, and later sweeps still work.
+        capped.run_profiles(sources);
+        let mut folded = BatchBfs::new(&g);
+        folded.run_profiles(sources);
+        for lane in 0..sources.len() {
+            assert_eq!(capped.level_counts(lane), folded.level_counts(lane));
+        }
+        capped.run_totals(sources);
+        assert_eq!(capped.level_totals(), &expect[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-lane histograms not recorded")]
+    fn level_counts_unavailable_after_fallback_totals_sweep() {
+        let g = path_graph(4);
+        let mut batch = BatchBfs::new(&g);
+        batch.core_arc_cap = 0;
+        batch.run_totals(&[0]);
+        let _ = batch.level_counts(0);
     }
 
     #[test]

@@ -10,6 +10,165 @@ use std::fmt;
 /// 56,317 nodes) fits comfortably.
 pub type NodeId = u32;
 
+/// Owned CSR offset array in the narrowest width that fits.
+///
+/// A graph's offsets run `0..=2E` (directed arc count), so any topology
+/// below the 2^32-arc boundary — every instance in the study, including
+/// the `huge` 10^6–10^7-node tier — stores them as `u32`, halving the
+/// per-node overhead. The `Wide` fallback keeps correctness past the
+/// boundary. The choice is a pure function of the final arc count, so
+/// equal graphs always pick the same representation and the derived
+/// `PartialEq`/`Eq` stay structural.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum OffsetArray {
+    /// All offsets fit in `u32` (directed arc count ≤ `u32::MAX`).
+    Narrow(Vec<u32>),
+    /// Checked fallback past the 2^32 directed-arc boundary.
+    Wide(Vec<usize>),
+}
+
+impl OffsetArray {
+    /// Narrow `offsets` to `u32` when every value fits (the offsets are
+    /// monotone, so checking the last suffices).
+    pub fn from_usize(offsets: Vec<usize>) -> Self {
+        match offsets.last() {
+            Some(&last) if last > u32::MAX as usize => OffsetArray::Wide(offsets),
+            _ => OffsetArray::Narrow(offsets.into_iter().map(|o| o as u32).collect()),
+        }
+    }
+
+    /// Number of entries (`node_count + 1` for a graph's offsets).
+    pub fn len(&self) -> usize {
+        match self {
+            OffsetArray::Narrow(o) => o.len(),
+            OffsetArray::Wide(o) => o.len(),
+        }
+    }
+
+    /// Whether the array has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrow as a width-tagged view.
+    #[inline]
+    pub fn view(&self) -> OffsetsView<'_> {
+        match self {
+            OffsetArray::Narrow(o) => OffsetsView::Narrow(o),
+            OffsetArray::Wide(o) => OffsetsView::Wide(o),
+        }
+    }
+}
+
+/// Borrowed, width-tagged view of a CSR offset array.
+///
+/// Hot kernels match once on the variant and monomorphise their sweep
+/// over the payload slice (see [`OffsetSlice`]); cold paths index through
+/// [`OffsetsView::at`] directly.
+#[derive(Clone, Copy, Debug)]
+pub enum OffsetsView<'a> {
+    /// Compact form: every offset fits in `u32`.
+    Narrow(&'a [u32]),
+    /// Fallback form past the 2^32 directed-arc boundary.
+    Wide(&'a [usize]),
+}
+
+impl<'a> OffsetsView<'a> {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            OffsetsView::Narrow(o) => o.len(),
+            OffsetsView::Wide(o) => o.len(),
+        }
+    }
+
+    /// Whether the view has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Offset at `i`, widened to `usize`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn at(&self, i: usize) -> usize {
+        match self {
+            OffsetsView::Narrow(o) => o[i] as usize,
+            OffsetsView::Wide(o) => o[i],
+        }
+    }
+
+    /// Iterate the offsets as `usize` values.
+    pub fn iter(self) -> OffsetsIter<'a> {
+        match self {
+            OffsetsView::Narrow(o) => OffsetsIter::Narrow(o.iter()),
+            OffsetsView::Wide(o) => OffsetsIter::Wide(o.iter()),
+        }
+    }
+
+    /// Copy out as a `Vec<usize>` (serialisation and tests; allocates).
+    pub fn to_usize_vec(self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+/// Iterator over an [`OffsetsView`], yielding `usize` offsets.
+pub enum OffsetsIter<'a> {
+    /// Iterating the compact form.
+    Narrow(std::slice::Iter<'a, u32>),
+    /// Iterating the fallback form.
+    Wide(std::slice::Iter<'a, usize>),
+}
+
+impl Iterator for OffsetsIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            OffsetsIter::Narrow(it) => it.next().map(|&o| o as usize),
+            OffsetsIter::Wide(it) => it.next().copied(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            OffsetsIter::Narrow(it) => it.size_hint(),
+            OffsetsIter::Wide(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for OffsetsIter<'_> {}
+
+/// Zero-cost offset indexing for kernels monomorphised per offset width.
+///
+/// Implemented for `&[u32]` and `&[usize]`; a sweep that takes
+/// `O: OffsetSlice` compiles to direct slice indexing with no per-access
+/// branch — the width match happens once at the dispatch site.
+pub trait OffsetSlice: Copy {
+    /// Offset at `i`, widened to `usize`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    fn at(self, i: usize) -> usize;
+}
+
+impl OffsetSlice for &[u32] {
+    #[inline(always)]
+    fn at(self, i: usize) -> usize {
+        self[i] as usize
+    }
+}
+
+impl OffsetSlice for &[usize] {
+    #[inline(always)]
+    fn at(self, i: usize) -> usize {
+        self[i]
+    }
+}
+
 /// An immutable undirected graph.
 ///
 /// Construction goes through [`GraphBuilder`], which performs the paper's
@@ -19,8 +178,9 @@ pub type NodeId = u32;
 /// workspace — is deterministic.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Graph {
-    /// `offsets[v]..offsets[v+1]` indexes `neighbors` for node `v`.
-    offsets: Vec<usize>,
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors` for node `v`;
+    /// stored `u32`-compacted below the 2^32 directed-arc boundary.
+    offsets: OffsetArray,
     /// Concatenated sorted adjacency lists; each undirected edge appears twice.
     neighbors: Vec<NodeId>,
     /// Number of undirected edges (half the directed arc count).
@@ -28,6 +188,16 @@ pub struct Graph {
 }
 
 impl Graph {
+    /// Offset at `i` widened to `usize`; one predictable branch on the
+    /// storage width (scalar paths — hot kernels monomorphise instead).
+    #[inline(always)]
+    fn off(&self, i: usize) -> usize {
+        match &self.offsets {
+            OffsetArray::Narrow(o) => o[i] as usize,
+            OffsetArray::Wide(o) => o[i],
+        }
+    }
+
     /// Number of nodes (including isolated ones declared to the builder).
     #[inline]
     pub fn node_count(&self) -> usize {
@@ -47,7 +217,7 @@ impl Graph {
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
         let v = v as usize;
-        self.offsets[v + 1] - self.offsets[v]
+        self.off(v + 1) - self.off(v)
     }
 
     /// Sorted neighbours of `v`.
@@ -57,7 +227,7 @@ impl Graph {
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
         let v = v as usize;
-        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+        &self.neighbors[self.off(v)..self.off(v + 1)]
     }
 
     /// Whether the undirected edge `{u, v}` exists (binary search).
@@ -84,11 +254,13 @@ impl Graph {
 
     /// The raw CSR offset array: `offsets[v]..offsets[v+1]` indexes
     /// [`Self::csr_neighbors`] for node `v`. Always `node_count + 1`
-    /// entries, starting at 0. Exposed for serialisation (the
-    /// `mcast-store` binary topology format persists CSR verbatim).
+    /// entries, starting at 0, returned as a width-tagged view over the
+    /// compact storage. Exposed for serialisation (the `mcast-store`
+    /// binary topology format persists the offsets as `u64` regardless of
+    /// the in-memory width) and for kernels that monomorphise per width.
     #[inline]
-    pub fn csr_offsets(&self) -> &[usize] {
-        &self.offsets
+    pub fn csr_offsets(&self) -> OffsetsView<'_> {
+        self.offsets.view()
     }
 
     /// The raw concatenated adjacency array (each undirected edge appears
@@ -126,7 +298,7 @@ impl fmt::Debug for Graph {
 #[derive(Clone, Debug, Default)]
 pub struct GraphBuilder {
     node_count: usize,
-    edges: Vec<(NodeId, NodeId)>,
+    edges: Vec<[NodeId; 2]>,
 }
 
 impl GraphBuilder {
@@ -176,51 +348,106 @@ impl GraphBuilder {
             "edge ({u}, {v}) out of range for {} nodes",
             self.node_count
         );
-        self.edges.push((u, v));
+        self.edges.push([u, v]);
     }
 
     /// Clean and freeze into an immutable [`Graph`].
+    ///
+    /// The CSR is counting-sorted *in place* inside the cleaned edge
+    /// list's own allocation: the sorted pair array is reinterpreted as
+    /// the neighbour array and rearranged with two linear passes, so the
+    /// adjacency never exists twice in RAM. Peak overhead beyond the edge
+    /// buffer is five `O(n)` scratch arrays — at the `huge` tier
+    /// (10^6–10^7 nodes) that is the difference between ~2× and ~1× the
+    /// final CSR footprint.
     pub fn build(mut self) -> Graph {
-        // Normalise to (min, max), drop self-loops, dedupe.
+        // Normalise to [min, max], drop self-loops, dedupe.
         for e in &mut self.edges {
-            if e.0 > e.1 {
-                *e = (e.1, e.0);
+            if e[0] > e[1] {
+                e.swap(0, 1);
             }
         }
-        self.edges.retain(|&(u, v)| u != v);
+        self.edges.retain(|e| e[0] != e[1]);
         self.edges.sort_unstable();
         self.edges.dedup();
 
         let n = self.node_count;
-        let mut degrees = vec![0usize; n];
-        for &(u, v) in &self.edges {
-            degrees[u as usize] += 1;
-            degrees[v as usize] += 1;
+        let m = self.edges.len();
+        let mut deg = vec![0u32; n];
+        let mut fwd = vec![0u32; n];
+        for e in &self.edges {
+            deg[e[0] as usize] += 1;
+            deg[e[1] as usize] += 1;
+            fwd[e[0] as usize] += 1;
         }
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0usize);
         let mut acc = 0usize;
-        for &d in &degrees {
-            acc += d;
+        for &d in &deg {
+            acc += d as usize;
             offsets.push(acc);
         }
-        let mut cursor = offsets.clone();
-        let mut neighbors = vec![0 as NodeId; acc];
-        for &(u, v) in &self.edges {
-            neighbors[cursor[u as usize]] = v;
-            cursor[u as usize] += 1;
-            neighbors[cursor[v as usize]] = u;
-            cursor[v as usize] += 1;
+        drop(deg);
+
+        // Reinterpret the pair array as the neighbour array: same
+        // allocation, `[u0, v0, u1, v1, …]` sorted by `(u, v)`.
+        let mut neighbors: Vec<NodeId> = self.edges.into_flattened();
+
+        // Pass 1 — compact the forward targets (the `v` of each pair)
+        // into the front third: index `2i+1` is always strictly ahead of
+        // write index `i`, and any source read later sits at an index
+        // `≥ i+1`, so nothing is read after being overwritten. The `u`
+        // endpoints become implicit in the group boundaries `fwd`.
+        for i in 0..m {
+            neighbors[i] = neighbors[2 * i + 1];
         }
-        // Edges were processed in sorted order, but per-node lists still need
-        // sorting because a node sees edges both as `min` and as `max` side.
-        for v in 0..n {
-            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        let mut fwd_off = Vec::with_capacity(n + 1);
+        fwd_off.push(0usize);
+        let mut facc = 0usize;
+        for &f in &fwd {
+            facc += f as usize;
+            fwd_off.push(facc);
         }
+
+        // Pass 2 — move each node's forward group to the *tail* of its
+        // final CSR slot, iterating nodes descending. A node's sorted
+        // adjacency is its backward neighbours (all `< v`) followed by
+        // its forward neighbours (all `> v`), so the tail is the forward
+        // group's final resting place. Destinations never clobber unread
+        // sources: `dest ≥ src` pointwise (each prefix of final slots is
+        // at least as long as the same prefix of forward groups), and a
+        // node's destination starts at or past every smaller node's
+        // source end.
+        for u in (0..n).rev() {
+            let src = fwd_off[u];
+            let len = fwd[u] as usize;
+            let dest = offsets[u + 1] - len;
+            neighbors.copy_within(src..src + len, dest);
+        }
+        drop(fwd_off);
+
+        // Pass 3 — fill the backward regions ascending: read node `u`'s
+        // forward targets from their final position and append `u` to
+        // each target's backward region. Backward regions
+        // (`offsets[v]..offsets[v] + bwd_deg(v)`) exactly abut the
+        // forward regions (`deg = bwd + fwd`), so writes never touch
+        // unread forward data, and ascending `u` lands every backward
+        // list pre-sorted. No per-node sort pass is needed.
+        let mut cursor = vec![0u32; n];
+        for u in 0..n {
+            let fstart = offsets[u + 1] - fwd[u] as usize;
+            for j in fstart..offsets[u + 1] {
+                let v = neighbors[j] as usize;
+                let d = offsets[v] + cursor[v] as usize;
+                neighbors[d] = u as NodeId;
+                cursor[v] += 1;
+            }
+        }
+
         Graph {
-            offsets,
+            offsets: OffsetArray::from_usize(offsets),
             neighbors,
-            edge_count: self.edges.len(),
+            edge_count: m,
         }
     }
 }
@@ -254,7 +481,7 @@ pub fn try_from_csr(offsets: Vec<usize>, neighbors: Vec<NodeId>) -> Result<Graph
         return Err(invalid("directed arc count must be even (each edge stored twice)"));
     }
     let graph = Graph {
-        offsets,
+        offsets: OffsetArray::from_usize(offsets),
         neighbors,
         edge_count: 0,
     };
@@ -376,17 +603,83 @@ mod tests {
     fn csr_round_trip() {
         let g = from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (4, 5)]);
         let rebuilt =
-            try_from_csr(g.csr_offsets().to_vec(), g.csr_neighbors().to_vec()).unwrap();
+            try_from_csr(g.csr_offsets().to_usize_vec(), g.csr_neighbors().to_vec()).unwrap();
         assert_eq!(g, rebuilt);
         assert_eq!(rebuilt.edge_count(), 6);
         // Empty graph round-trips too.
         let empty = GraphBuilder::new(0).build();
         let rebuilt = try_from_csr(
-            empty.csr_offsets().to_vec(),
+            empty.csr_offsets().to_usize_vec(),
             empty.csr_neighbors().to_vec(),
         )
         .unwrap();
         assert_eq!(empty, rebuilt);
+    }
+
+    #[test]
+    fn offsets_are_narrow_below_the_boundary() {
+        // Every study-scale graph stores u32 offsets; the view widens.
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        match g.csr_offsets() {
+            OffsetsView::Narrow(o) => assert_eq!(o, &[0, 1, 3, 5, 6]),
+            OffsetsView::Wide(_) => panic!("small graph must store narrow offsets"),
+        }
+        assert_eq!(g.csr_offsets().to_usize_vec(), vec![0, 1, 3, 5, 6]);
+        assert_eq!(g.csr_offsets().len(), 5);
+        assert_eq!(g.csr_offsets().at(2), 3);
+    }
+
+    #[test]
+    fn offset_array_narrows_exactly_at_the_u32_boundary() {
+        // `from_usize` keys off the final (largest) offset; values at the
+        // boundary stay narrow, one past it falls back to wide. (A real
+        // graph that wide needs > 17 GiB of adjacency, so the boundary is
+        // exercised here on bare arrays rather than a built graph.)
+        let at = OffsetArray::from_usize(vec![0, u32::MAX as usize]);
+        assert!(matches!(at, OffsetArray::Narrow(_)));
+        assert_eq!(at.view().at(1), u32::MAX as usize);
+        let past = OffsetArray::from_usize(vec![0, u32::MAX as usize + 1]);
+        assert!(matches!(past, OffsetArray::Wide(_)));
+        assert_eq!(past.view().at(1), u32::MAX as usize + 1);
+        assert_eq!(past.view().to_usize_vec(), vec![0, u32::MAX as usize + 1]);
+    }
+
+    #[test]
+    fn builder_matches_reference_construction() {
+        // The in-place counting-sort build must agree with a naïve
+        // sort-per-node reference on an adversarial mix: duplicate edges,
+        // reversed duplicates, self-loops, isolated nodes, and hubs seen
+        // from both the `min` and `max` side of their edges.
+        let n = 60;
+        let mut edges = Vec::new();
+        let mut x = 0x9e37_79b9u64;
+        for _ in 0..600 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let u = ((x >> 16) % n as u64) as NodeId;
+            let v = ((x >> 40) % n as u64) as NodeId;
+            edges.push((u, v));
+            if x & 7 == 0 {
+                edges.push((v, u)); // reversed duplicate
+            }
+        }
+        let g = from_edges(n, &edges);
+        // Reference adjacency.
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut seen = std::collections::HashSet::new();
+        for &(u, v) in &edges {
+            let (a, b) = if u < v { (u, v) } else { (v, u) };
+            if a != b && seen.insert((a, b)) {
+                adj[a as usize].push(b);
+                adj[b as usize].push(a);
+            }
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+        }
+        assert_eq!(g.edge_count(), seen.len());
+        for v in 0..n {
+            assert_eq!(g.neighbors(v as NodeId), &adj[v][..], "node {v}");
+        }
     }
 
     #[test]

@@ -50,4 +50,4 @@ pub mod reachability;
 pub mod spdag;
 
 pub use error::TopologyError;
-pub use graph::{Graph, GraphBuilder, NodeId};
+pub use graph::{Graph, GraphBuilder, NodeId, OffsetArray, OffsetSlice, OffsetsView};
